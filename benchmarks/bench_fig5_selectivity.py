@@ -1,0 +1,77 @@
+"""FIG5A/B — Figure 5: selectivity of substitutes (Section 7.6).
+
+Users draw 3 substitutes from a pool of 4 (panel a) or 12 (panel b). More
+selective users (larger pool) lower both approaches' utility; SubstOn
+sustains a utility of 1.0 at mean costs a multiple of those where Regret
+last manages 1.0 (paper: 2.5x and 12.5x).
+"""
+
+from __future__ import annotations
+
+from conftest import trials
+
+from repro.experiments import Fig5Config, format_result, run_fig5_selectivity
+
+
+def _reach(series, level: float = 1.0) -> float:
+    """Largest mean cost at which the series still clears ``level``."""
+    return max((x for x, y in zip(series.x, series.y) if y >= level), default=0.0)
+
+
+def test_fig5a_low_selectivity(benchmark, emit):
+    config = Fig5Config.low_selectivity(trials=trials(150))
+    result = benchmark.pedantic(
+        lambda: run_fig5_selectivity(config), rounds=1, iterations=1
+    )
+    subston = result.get("SubstOn Utility")
+    regret = result.get("Regret Utility")
+    assert min(subston.y) >= -1e-9
+    factor = _reach(subston) / max(_reach(regret), 1e-9)
+    print(f"\nFIG5A cost-reach factor at utility 1.0: {factor:.1f}x (paper 2.5x)")
+    assert factor > 1.0
+    emit("fig5a_low_selectivity", format_result(result, max_rows=25))
+
+
+def test_fig5b_high_selectivity(benchmark, emit):
+    config = Fig5Config.high_selectivity(trials=trials(150))
+    result = benchmark.pedantic(
+        lambda: run_fig5_selectivity(config), rounds=1, iterations=1
+    )
+    subston = result.get("SubstOn Utility")
+    regret = result.get("Regret Utility")
+    assert min(subston.y) >= -1e-9
+    factor = _reach(subston) / max(_reach(regret), 1e-9)
+    print(f"\nFIG5B cost-reach factor at utility 1.0: {factor:.1f}x (paper 12.5x)")
+    assert factor > 1.5
+    emit("fig5b_high_selectivity", format_result(result, max_rows=25))
+
+
+def test_fig5_selectivity_lowers_utility(benchmark, emit):
+    """The cross-panel claim: more selective users -> less utility."""
+
+    def run_both():
+        low = run_fig5_selectivity(
+            Fig5Config.low_selectivity(mean_costs=(0.36,), trials=trials(200))
+        )
+        high = run_fig5_selectivity(
+            Fig5Config.high_selectivity(mean_costs=(0.36,), trials=trials(200))
+        )
+        return low, high
+
+    low, high = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    low_s = low.get("SubstOn Utility").y[0]
+    high_s = high.get("SubstOn Utility").y[0]
+    low_r = low.get("Regret Utility").y[0]
+    high_r = high.get("Regret Utility").y[0]
+    print(
+        f"\nFIG5 at cost 0.36 — SubstOn: {low_s:.2f} -> {high_s:.2f} "
+        f"(paper 2.38 -> 1.90); Regret: {low_r:.2f} -> {high_r:.2f} "
+        f"(paper 1.10 -> -0.23)"
+    )
+    assert high_s < low_s
+    assert high_r < low_r
+    emit(
+        "fig5_selectivity_point",
+        f"SubstOn utility at mean cost 0.36: 3-of-4 {low_s:.3f}, 3-of-12 {high_s:.3f}\n"
+        f"Regret  utility at mean cost 0.36: 3-of-4 {low_r:.3f}, 3-of-12 {high_r:.3f}",
+    )

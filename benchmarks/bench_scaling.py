@@ -1,0 +1,72 @@
+"""ABL3 — mechanism runtime scaling (pytest-benchmark microbenchmarks).
+
+Times the four mechanisms at growing user / slot / optimization counts.
+There is no paper counterpart; these keep the implementations honest
+(the inner Shapley loop is O(m^2) worst case, AddOn O(z m^2), SubstOff
+O(phases * n * m^2)) and catch accidental quadratic blowups elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdditiveBid,
+    SubstitutableBid,
+    run_addon,
+    run_shapley,
+    run_substoff,
+    run_subston,
+)
+
+
+def _scalar_bids(users: int, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {k: float(v) for k, v in enumerate(rng.uniform(0.0, 50.0, users))}
+
+
+@pytest.mark.parametrize("users", [10, 100, 1000])
+def test_shapley_scaling(benchmark, users):
+    bids = _scalar_bids(users)
+    result = benchmark(run_shapley, 25.0 * users / 4, bids)
+    assert result.rounds >= 1
+
+
+@pytest.mark.parametrize("users,slots", [(10, 12), (50, 12), (50, 60)])
+def test_addon_scaling(benchmark, users, slots):
+    rng = np.random.default_rng(1)
+    bids = {}
+    for k in range(users):
+        start = int(rng.integers(1, slots + 1))
+        duration = int(rng.integers(1, slots - start + 2))
+        values = rng.uniform(0.0, 10.0, duration).tolist()
+        bids[k] = AdditiveBid.over(start, values)
+    outcome = benchmark(run_addon, 20.0, bids, slots)
+    assert outcome.horizon == slots
+
+
+@pytest.mark.parametrize("users,opts", [(10, 4), (50, 12), (100, 24)])
+def test_substoff_scaling(benchmark, users, opts):
+    rng = np.random.default_rng(2)
+    costs = {j: float(c) for j, c in enumerate(rng.uniform(1.0, 30.0, opts))}
+    bids = {}
+    for k in range(users):
+        chosen = rng.choice(opts, size=3, replace=False)
+        value = float(rng.uniform(0.0, 20.0))
+        bids[k] = {int(j): value for j in chosen}
+    outcome = benchmark(run_substoff, costs, bids)
+    assert outcome.total_payment >= outcome.total_cost - 1e-6
+
+
+@pytest.mark.parametrize("users,opts,slots", [(12, 6, 12), (24, 12, 12)])
+def test_subston_scaling(benchmark, users, opts, slots):
+    rng = np.random.default_rng(3)
+    costs = {j: float(c) for j, c in enumerate(rng.uniform(1.0, 30.0, opts))}
+    bids = {}
+    for k in range(users):
+        chosen = frozenset(int(j) for j in rng.choice(opts, size=3, replace=False))
+        slot = int(rng.integers(1, slots + 1))
+        bids[k] = SubstitutableBid.single_slot(slot, float(rng.uniform(0.0, 20.0)), chosen)
+    outcome = benchmark(run_subston, costs, bids, slots)
+    assert outcome.horizon == slots

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every figure benchmark regenerates its paper figure as a plain-text series
+table, printed to stdout (run with ``-s`` to watch) and written under
+``benchmarks/results/`` so EXPERIMENTS.md claims can be checked against a
+fresh run. Trial counts default to paper-meaningful-but-laptop-fast values
+and can be scaled with the ``REPRO_BENCH_TRIALS_SCALE`` environment
+variable (e.g. ``=4`` for quadruple trials).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def trials(base: int) -> int:
+    """Scale a base trial count by REPRO_BENCH_TRIALS_SCALE."""
+    scale = float(os.environ.get("REPRO_BENCH_TRIALS_SCALE", "1"))
+    return max(1, int(base * scale))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write (and echo) one experiment's formatted table."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def astronomy_use_case():
+    """The full 27-snapshot use case, built once per benchmark session."""
+    from repro.astro import build_use_case
+
+    return build_use_case()

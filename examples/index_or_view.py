@@ -1,0 +1,64 @@
+"""An index OR a view: substitutable pricing from real engine numbers.
+
+For the final snapshot, the cloud could build a (pid, halo) materialized
+view or a hash index on halo — either speeds up the astronomers' halo
+membership queries, and nobody needs both (Section 6's motivating case).
+This example derives each option's savings and storage cost from the
+relational engine, then lets SubstOff decide what to build and how to
+split the bill.
+
+Run:  python examples/index_or_view.py   (~10 s)
+"""
+
+from repro import run_substoff
+from repro.astro import UniverseConfig, UseCaseConfig, build_use_case
+from repro.astro.alternatives import build_index_or_view_game
+
+
+def main() -> None:
+    print("building the astronomy substrate (scaled-down config)...")
+    use_case = build_use_case(
+        UseCaseConfig(
+            universe=UniverseConfig(
+                particles=1200, halos=16, snapshots=10, min_halo_members=8
+            ),
+            halos_per_group=3,
+        )
+    )
+    game = build_index_or_view_game(use_case, executions=60)
+
+    print(f"\ntwo interchangeable optimizations for {game.table_name}:")
+    for opt, cost in game.costs.items():
+        print(f"  {opt:<22} build+store cost ${cost:.2f}")
+    print("\nper-astronomer savings (minutes/execution) and period value:")
+    print(f"  {'user':<6} {'via view':>9} {'via index':>10} {'value ($, 60 exec)':>19}")
+    for user, value in sorted(game.values.items()):
+        print(
+            f"  {user:<6} {game.view_saving_min[user]:>9.2f} "
+            f"{game.index_saving_min[user]:>10.2f} {value:>19.2f}"
+        )
+    print("  (the substitutable model needs one value per user; we take the")
+    print("   conservative minimum of the two savings)")
+
+    outcome = run_substoff(game.costs, game.bids)
+    print("\nSubstOff outcome:")
+    if not outcome.implemented:
+        print("  nothing affordable: no optimization is built")
+    for opt in outcome.implemented:
+        users = sorted(outcome.serviced(opt))
+        print(
+            f"  build {opt}: serves users {users} at "
+            f"${outcome.shares[opt]:.2f} each"
+        )
+    not_served = sorted(set(game.bids) - set(outcome.grants))
+    if not_served:
+        print(f"  unserved users: {not_served}")
+    print(
+        f"  payments ${outcome.total_payment:.2f} cover builds "
+        f"${outcome.total_cost:.2f} exactly; the cheaper-per-share option"
+        f" wins the phase loop"
+    )
+
+
+if __name__ == "__main__":
+    main()

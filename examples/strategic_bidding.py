@@ -1,0 +1,89 @@
+"""Why lying does not pay: strategy agents vs the mechanisms.
+
+Pits every manipulation the paper analyzes against truthful play on the
+same games: value shading, value inflation, free-riding by hiding early
+slots (Example 2), sybil identities (Alice, Section 5.2), and substitute-
+set lies (Example 7). The mechanisms price each of them to a loss or a
+wash; only the benign sybil play gains, and it provably hurts no one.
+
+Run:  python examples/strategic_bidding.py
+"""
+
+from repro import AdditiveBid, SubstitutableBid, run_addon, run_subston
+from repro.agents import (
+    OverBidder,
+    SetLiar,
+    SybilSplitter,
+    TimeShifter,
+    TruthfulAdditive,
+    TruthfulSubstitutable,
+    UnderBidder,
+)
+
+
+def play(cost, agents, horizon):
+    bids = {}
+    for agent in agents:
+        bids.update(agent.declarations())
+    outcome = run_addon(cost, bids, horizon=horizon)
+    return {agent.user: agent.utility(outcome) for agent in agents}
+
+
+def main() -> None:
+    cost = 100.0
+    others = [
+        TruthfulAdditive("rival-1", AdditiveBid.over(1, [60.0])),
+        TruthfulAdditive("rival-2", AdditiveBid.over(1, [45.0, 15.0])),
+    ]
+    truth = AdditiveBid.over(1, [30.0, 25.0])
+
+    print(f"one optimization, cost ${cost:.0f}; our user truly values "
+          f"$30 (slot 1) + $25 (slot 2)\n")
+    strategies = [
+        ("truthful", TruthfulAdditive("me", truth)),
+        ("underbid 50%", UnderBidder("me", truth, factor=0.5)),
+        ("overbid 3x", OverBidder("me", truth, factor=3.0)),
+        ("hide slot 1", TimeShifter("me", truth, delay=1)),
+    ]
+    print(f"{'strategy':<16} {'true utility':>12}")
+    baseline = None
+    for name, agent in strategies:
+        utility = play(cost, others + [agent], horizon=2)["me"]
+        baseline = utility if baseline is None else baseline
+        marker = "" if utility >= baseline - 1e-9 else "  <- worse than truth"
+        print(f"{name:<16} {utility:>12.2f}{marker}")
+
+    print("\nAlice's sybils (Section 5.2): 99 users worth $1, Alice worth $101,")
+    print(f"optimization cost $101:")
+    crowd = [
+        TruthfulAdditive(f"u{k}", AdditiveBid.single_slot(1, 1.0)) for k in range(99)
+    ]
+    alice_truth = AdditiveBid.single_slot(1, 101.0)
+    solo = play(101.0, crowd + [TruthfulAdditive("alice", alice_truth)], 1)
+    dual = play(101.0, crowd + [SybilSplitter("alice", alice_truth, identities=2)], 1)
+    print(f"  one account : alice utility {solo['alice']:.2f}, u0 utility {solo['u0']:.2f}")
+    print(f"  two accounts: alice utility {dual['alice']:.2f}, u0 utility {dual['u0']:.2f}")
+    print("  her gain services 99 previously excluded users — nobody loses"
+          " (Proposition 2)")
+
+    print("\nsubstitute-set lie (Example 7):")
+    costs = {1: 60.0, 2: 180.0, 3: 100.0}
+    rivals = [
+        TruthfulSubstitutable(1, SubstitutableBid.single_slot(1, 100.0, {1, 2})),
+        TruthfulSubstitutable(2, SubstitutableBid.single_slot(1, 101.0, {3})),
+        TruthfulSubstitutable(4, SubstitutableBid.single_slot(1, 70.0, {2})),
+    ]
+    truth_3 = SubstitutableBid.single_slot(1, 60.0, {1, 2, 3})
+    for name, agent in [
+        ("truthful sets", TruthfulSubstitutable(3, truth_3)),
+        ("drop option 1", SetLiar(3, truth_3, {2, 3})),
+    ]:
+        bids = {}
+        for a in rivals + [agent]:
+            bids.update(a.declarations())
+        outcome = run_subston(costs, bids, horizon=1)
+        print(f"  {name:<14} -> utility {agent.utility(outcome):.2f}")
+
+
+if __name__ == "__main__":
+    main()

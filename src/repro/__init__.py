@@ -1,0 +1,74 @@
+"""repro — a reproduction of "How to Price Shared Optimizations in the Cloud".
+
+Upadhyaya, Balazinska, Suciu. PVLDB 5(6), 2012.
+
+The package implements the paper's four cost-sharing mechanisms for shared
+database optimizations (AddOff, AddOn, SubstOff, SubstOn, all built on the
+Shapley Value Mechanism), the regret-amortization baseline it compares
+against, the astronomy use-case substrate (universe simulator, halo finder,
+merger-tree workload, mini relational engine with materialized views), and
+experiment drivers that regenerate every figure in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import run_shapley
+>>> result = run_shapley(cost=100.0, bids={"ann": 60.0, "bob": 55.0, "eve": 20.0})
+>>> sorted(result.serviced), result.price
+(['ann', 'bob'], 50.0)
+"""
+
+from repro.bids import AdditiveBid, RevisableBid, SlotValues, SubstitutableBid
+from repro.core import (
+    AddOffOutcome,
+    AddOnOutcome,
+    ShapleyResult,
+    SubstOffOutcome,
+    SubstOnOutcome,
+    accounting,
+    run_addoff,
+    run_addon,
+    run_shapley,
+    run_substoff,
+    run_subston,
+)
+from repro.errors import (
+    BidError,
+    GameConfigError,
+    MechanismError,
+    QueryError,
+    ReproError,
+    RevisionError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # bids
+    "SlotValues",
+    "AdditiveBid",
+    "SubstitutableBid",
+    "RevisableBid",
+    # mechanisms
+    "run_shapley",
+    "run_addoff",
+    "run_addon",
+    "run_substoff",
+    "run_subston",
+    # outcomes
+    "ShapleyResult",
+    "AddOffOutcome",
+    "AddOnOutcome",
+    "SubstOffOutcome",
+    "SubstOnOutcome",
+    "accounting",
+    # errors
+    "ReproError",
+    "BidError",
+    "RevisionError",
+    "MechanismError",
+    "GameConfigError",
+    "SchemaError",
+    "QueryError",
+]

@@ -1,0 +1,31 @@
+"""Bidder strategies: truthful play and the manipulations the paper studies.
+
+Each agent owns a *true* valuation and produces the declaration(s) it
+actually submits. The truthfulness analyses (Sections 5.2 and 6) become
+executable: pit a strategy against truthful play on the same game and
+compare realized utilities — which is exactly what the strategy tests and
+the ``strategic_bidding`` example do.
+"""
+
+from repro.agents.base import AdditiveAgent, SubstitutableAgent
+from repro.agents.misreport import (
+    OverBidder,
+    TimeShifter,
+    UnderBidder,
+    SetLiar,
+)
+from repro.agents.sybil import SubstitutableSybil, SybilSplitter
+from repro.agents.truthful import TruthfulAdditive, TruthfulSubstitutable
+
+__all__ = [
+    "AdditiveAgent",
+    "SubstitutableAgent",
+    "TruthfulAdditive",
+    "TruthfulSubstitutable",
+    "UnderBidder",
+    "OverBidder",
+    "TimeShifter",
+    "SetLiar",
+    "SybilSplitter",
+    "SubstitutableSybil",
+]

@@ -1,0 +1,92 @@
+"""Misreporting strategies: value scaling, time shifting, set lies.
+
+These are the manipulations the paper's truthfulness results rule out
+(for value/time lies) or analyze (set lies under SubstOff's assumptions).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping
+
+from repro.agents.base import AdditiveAgent, SubstitutableAgent
+from repro.bids.additive import AdditiveBid
+from repro.bids.slots import SlotValues
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.outcome import UserId
+from repro.errors import GameConfigError
+
+__all__ = ["UnderBidder", "OverBidder", "TimeShifter", "SetLiar"]
+
+
+class _Scaler(AdditiveAgent):
+    """Common machinery for multiplicative value misreports."""
+
+    factor: float = 1.0
+
+    def declarations(self) -> Mapping[UserId, AdditiveBid]:
+        scaled = self.truth.schedule.scaled(self.factor)
+        return {self.user: AdditiveBid(scaled)}
+
+
+class UnderBidder(_Scaler):
+    """Declares ``factor < 1`` of her true per-slot values."""
+
+    def __init__(self, user: UserId, truth: AdditiveBid, factor: float = 0.5) -> None:
+        if not 0.0 <= factor < 1.0:
+            raise GameConfigError(f"underbid factor must be in [0, 1), got {factor}")
+        super().__init__(user, truth)
+        self.factor = factor
+
+
+class OverBidder(_Scaler):
+    """Declares ``factor > 1`` of her true per-slot values."""
+
+    def __init__(self, user: UserId, truth: AdditiveBid, factor: float = 2.0) -> None:
+        if factor <= 1.0:
+            raise GameConfigError(f"overbid factor must be > 1, got {factor}")
+        super().__init__(user, truth)
+        self.factor = factor
+
+
+class TimeShifter(AdditiveAgent):
+    """Hides her first ``delay`` slots, declaring only the tail.
+
+    This is Example 2's attempted free-ride: arrive late and hope the
+    others have already paid for the optimization.
+    """
+
+    def __init__(self, user: UserId, truth: AdditiveBid, delay: int = 1) -> None:
+        if delay < 1:
+            raise GameConfigError(f"delay must be >= 1, got {delay}")
+        if delay > truth.end - truth.start:
+            raise GameConfigError(
+                f"delay {delay} would hide the whole interval "
+                f"[{truth.start}, {truth.end}]"
+            )
+        super().__init__(user, truth)
+        self.delay = delay
+
+    def declarations(self) -> Mapping[UserId, AdditiveBid]:
+        start = self.truth.start + self.delay
+        values = [self.truth.value_at(t) for t in range(start, self.truth.end + 1)]
+        return {self.user: AdditiveBid(SlotValues(start, tuple(values)))}
+
+
+class SetLiar(SubstitutableAgent):
+    """Declares a different substitute set than the truth (Example 7)."""
+
+    def __init__(
+        self,
+        user: UserId,
+        truth: SubstitutableBid,
+        declared_set: AbstractSet,
+    ) -> None:
+        super().__init__(user, truth)
+        if not declared_set:
+            raise GameConfigError("declared substitute set must be non-empty")
+        self.declared_set = frozenset(declared_set)
+
+    def declarations(self) -> Mapping[UserId, SubstitutableBid]:
+        return {
+            self.user: SubstitutableBid(self.truth.schedule, self.declared_set)
+        }

@@ -1,0 +1,88 @@
+"""Multiple-identity (sybil) strategies (paper Sections 5.2 and 6).
+
+A sybil splitter replaces one account with ``k`` identities. Under the
+additive mechanisms this can raise her own utility but — Proposition 2 —
+never lowers anyone else's; under substitutable mechanisms it *can* hurt
+others, though pulling that off requires knowing the other bids.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.agents.base import AdditiveAgent, SubstitutableAgent
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.outcome import UserId
+from repro.errors import GameConfigError
+
+__all__ = ["SybilSplitter", "SubstitutableSybil"]
+
+
+class SybilSplitter(AdditiveAgent):
+    """Submits ``identities`` copies of a bid instead of one.
+
+    ``scale`` controls each copy's declared values relative to the truth;
+    the paper's Alice example uses full copies (scale 1.0), betting that a
+    bigger crowd drags the per-user share below everyone's value.
+    """
+
+    def __init__(
+        self,
+        user: UserId,
+        truth: AdditiveBid,
+        identities: int = 2,
+        scale: float = 1.0,
+    ) -> None:
+        if identities < 2:
+            raise GameConfigError(f"a sybil needs >= 2 identities, got {identities}")
+        if scale <= 0:
+            raise GameConfigError(f"scale must be positive, got {scale}")
+        super().__init__(user, truth)
+        self.identities = identities
+        self.scale = scale
+
+    def declarations(self) -> Mapping[UserId, AdditiveBid]:
+        declared = AdditiveBid(self.truth.schedule.scaled(self.scale))
+        return {
+            f"{self.user}#{k}": declared for k in range(1, self.identities + 1)
+        }
+
+
+class SubstitutableSybil(SubstitutableAgent):
+    """Splits a substitutable bid into ``identities`` equal-value copies.
+
+    This is Section 6's dummy-user play: by inflating an optimization's
+    bidder count the sybil can drag its phase-1 cost-share down and steer
+    SubstOff toward the optimization she prefers. Unlike the additive case
+    this *can* reduce other users' utility — but pulling it off requires
+    knowing their bids, and a wrong guess backfires (the paper's argument
+    for why truthful play remains optimal in practice).
+
+    ``value_split`` controls each identity's declared value; the paper's
+    example splits the true value evenly (each of user 1's two identities
+    bids 2.5 of her 5).
+    """
+
+    def __init__(
+        self,
+        user: UserId,
+        truth: SubstitutableBid,
+        identities: int = 2,
+        value_split: bool = True,
+    ) -> None:
+        if identities < 2:
+            raise GameConfigError(f"a sybil needs >= 2 identities, got {identities}")
+        super().__init__(user, truth)
+        self.identities = identities
+        self.value_split = value_split
+
+    def declarations(self) -> Mapping[UserId, SubstitutableBid]:
+        if self.value_split:
+            schedule = self.truth.schedule.scaled(1.0 / self.identities)
+        else:
+            schedule = self.truth.schedule
+        declared = SubstitutableBid(schedule, self.truth.substitutes)
+        return {
+            f"{self.user}#{k}": declared for k in range(1, self.identities + 1)
+        }

@@ -1,0 +1,26 @@
+"""Truthful agents: declare exactly the true valuation."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.agents.base import AdditiveAgent, SubstitutableAgent
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.outcome import UserId
+
+__all__ = ["TruthfulAdditive", "TruthfulSubstitutable"]
+
+
+class TruthfulAdditive(AdditiveAgent):
+    """Declares her true additive schedule, one identity."""
+
+    def declarations(self) -> Mapping[UserId, AdditiveBid]:
+        return {self.user: self.truth}
+
+
+class TruthfulSubstitutable(SubstitutableAgent):
+    """Declares her true substitutable bid, one identity."""
+
+    def declarations(self) -> Mapping[UserId, SubstitutableBid]:
+        return {self.user: self.truth}

@@ -1,0 +1,40 @@
+"""The astronomy use-case substrate (paper Sections 2 and 7.2).
+
+The paper's motivating workload traces the evolution of dark-matter halos
+across 27 snapshots of a universe simulation, sped up by materialized
+``(particleID, haloID)`` views. We cannot ship the UW astronomy dataset, so
+this package synthesizes a laptop-scale equivalent that exercises the same
+query path (DESIGN.md, substitutions):
+
+* :mod:`~repro.astro.simulator` — an attractor-based particle simulator
+  with halo drift, mergers, and particle churn across snapshots;
+* :mod:`~repro.astro.halos` — a friends-of-friends halo finder (grid
+  hashing + union-find) labeling each snapshot;
+* :mod:`~repro.astro.workload` — the astronomers' two-part query workload
+  (per-snapshot top contributors + recursive progenitor chains) executed
+  on the :mod:`repro.db` engine;
+* :mod:`~repro.astro.pricing` — EC2-style compute and view-storage rates
+  back-derived from the paper's numbers;
+* :mod:`~repro.astro.usecase` — assembles the six astronomers, the 27 view
+  optimizations, their engine-measured values and costs, calibrated to the
+  paper's published runtimes.
+"""
+
+from repro.astro.particles import ParticleSnapshot
+from repro.astro.simulator import UniverseConfig, UniverseSimulator
+from repro.astro.halos import friends_of_friends
+from repro.astro.workload import AstronomerWorkload
+from repro.astro.pricing import Ec2Pricing
+from repro.astro.usecase import AstronomyUseCase, UseCaseConfig, build_use_case
+
+__all__ = [
+    "ParticleSnapshot",
+    "UniverseConfig",
+    "UniverseSimulator",
+    "friends_of_friends",
+    "AstronomerWorkload",
+    "Ec2Pricing",
+    "AstronomyUseCase",
+    "UseCaseConfig",
+    "build_use_case",
+]

@@ -1,0 +1,115 @@
+"""Halo environment classification (paper Section 2's second use-case).
+
+The astronomers' quote motivating the paper distinguishes "a Milky Way
+mass galaxy that forms in relative isolation" from one "that forms near
+many other galaxies (a rich, cluster-like environment)". This module
+answers that query on the relational engine: compute halo centers and
+masses from the particle table, then count neighboring halos within a
+radius to classify each halo's environment.
+
+It exercises the engine's aggregation operators (mass sums and centroid
+averages per halo) and is priced like any other workload: the
+``(pid, halo)`` view speeds up the membership pass here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.db.catalog import Catalog
+from repro.db.costmodel import CostMeter
+from repro.db.expr import Col, Const, Ne
+from repro.db.extra_operators import GroupAggregate
+from repro.db.operators import Filter, SeqScan
+from repro.errors import QueryError
+
+__all__ = ["HaloSummary", "halo_summaries", "classify_environment"]
+
+
+@dataclass(frozen=True)
+class HaloSummary:
+    """One halo's aggregate properties within a snapshot."""
+
+    halo: int
+    members: int
+    mass: float
+    center: tuple
+
+
+def halo_summaries(
+    catalog: Catalog, table_name: str, meter: CostMeter | None = None
+) -> dict[int, HaloSummary]:
+    """Aggregate every detected halo of one snapshot.
+
+    One clustered-rows pass for the member counts and mass sums (via
+    :class:`GroupAggregate`) plus one for the centroid components.
+    """
+    meter = meter if meter is not None else CostMeter()
+    base = catalog.table(table_name)
+    clustered = Filter(SeqScan(base), Ne(Col("halo"), Const(-1)))
+
+    counts = dict(
+        GroupAggregate(clustered, "halo", "pid", "count").execute(meter)
+    )
+    masses = dict(
+        GroupAggregate(
+            Filter(SeqScan(base), Ne(Col("halo"), Const(-1))),
+            "halo",
+            "mass",
+            "sum",
+        ).execute(meter)
+    )
+    centers: dict[int, list] = {}
+    for axis in ("x", "y", "z"):
+        axis_means = dict(
+            GroupAggregate(
+                Filter(SeqScan(base), Ne(Col("halo"), Const(-1))),
+                "halo",
+                axis,
+                "avg",
+            ).execute(meter)
+        )
+        for halo, mean in axis_means.items():
+            centers.setdefault(halo, []).append(mean)
+
+    return {
+        halo: HaloSummary(
+            halo=halo,
+            members=counts[halo],
+            mass=masses[halo],
+            center=tuple(centers[halo]),
+        )
+        for halo in counts
+    }
+
+
+def classify_environment(
+    summaries: Mapping[int, HaloSummary],
+    radius: float,
+    rich_threshold: int = 2,
+) -> dict[int, str]:
+    """Label each halo ``"isolated"`` or ``"rich"`` by neighbor count.
+
+    A neighbor is another halo whose center lies within ``radius``; a halo
+    with at least ``rich_threshold`` neighbors forms in a rich environment.
+    """
+    if radius <= 0:
+        raise QueryError(f"radius must be positive, got {radius}")
+    if rich_threshold < 1:
+        raise QueryError(f"rich threshold must be >= 1, got {rich_threshold}")
+    labels: dict[int, str] = {}
+    items = list(summaries.values())
+    radius_sq = radius * radius
+    for summary in items:
+        neighbors = 0
+        for other in items:
+            if other.halo == summary.halo:
+                continue
+            d = [a - b for a, b in zip(summary.center, other.center)]
+            if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= radius_sq:
+                neighbors += 1
+        labels[summary.halo] = (
+            "rich" if neighbors >= rich_threshold else "isolated"
+        )
+    return labels

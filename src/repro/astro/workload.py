@@ -1,0 +1,62 @@
+"""The astronomers' query workload (paper Section 7.2).
+
+Each astronomer starts from a subset of halos in the final snapshot and,
+for each halo g, (a) computes the halo in *each* earlier snapshot
+contributing the most particles to g, and (b) recursively traces the
+progenitor chain. Different astronomers use every snapshot, every 2nd, or
+every 4th — the paper's "faster, exploratory studies".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.costmodel import CostMeter
+from repro.db.engine import QueryEngine
+from repro.errors import GameConfigError
+
+__all__ = ["AstronomerWorkload"]
+
+
+@dataclass(frozen=True)
+class AstronomerWorkload:
+    """One astronomer: a halo subset in the final snapshot plus a stride.
+
+    ``final_halos`` are detected halo labels in the final snapshot;
+    ``stride`` selects every stride-th snapshot counting back from the
+    final one (stride 1 = all snapshots).
+    """
+
+    name: str
+    final_halos: tuple
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise GameConfigError(f"stride must be >= 1, got {self.stride}")
+        if not self.final_halos:
+            raise GameConfigError(f"workload {self.name!r} needs at least one halo")
+
+    def snapshot_tables(self, all_tables_oldest_first: list[str]) -> list[str]:
+        """The tables this workload touches, newest first."""
+        reversed_tables = list(reversed(all_tables_oldest_first))
+        return reversed_tables[:: self.stride]
+
+    def run(
+        self, engine: QueryEngine, all_tables_oldest_first: list[str]
+    ) -> CostMeter:
+        """Execute the full workload once; returns the combined meter."""
+        tables = self.snapshot_tables(all_tables_oldest_first)
+        if len(tables) < 2:
+            raise GameConfigError(
+                f"workload {self.name!r} needs at least two snapshots, got {len(tables)}"
+            )
+        final = tables[0]
+        earlier = tables[1:]
+        total = CostMeter()
+        for halo in self.final_halos:
+            _, meter_a = engine.contributors_to(final, halo, earlier)
+            total.merge(meter_a)
+            _, meter_b = engine.halo_chain(tables, halo)
+            total.merge(meter_b)
+        return total

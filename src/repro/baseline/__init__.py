@@ -1,0 +1,28 @@
+"""The state-of-the-art baseline: regret-based amortization (Section 7.1).
+
+Re-implements the core of Dash/Kantere et al.'s approach as the paper
+abstracts it: accumulate *regret* (value that would have been realized had
+the optimization existed), implement greedily once regret covers the cost,
+then charge future users a single price chosen — with clairvoyant knowledge
+of future values, an upper bound on the real approach — to minimize the
+cloud's loss.
+"""
+
+from repro.baseline.pricing import PriceDecision, optimal_price
+from repro.baseline.regret import (
+    RegretOptOutcome,
+    RegretOutcome,
+    run_regret_additive,
+    run_regret_additive_many,
+    run_regret_substitutable,
+)
+
+__all__ = [
+    "PriceDecision",
+    "optimal_price",
+    "RegretOptOutcome",
+    "RegretOutcome",
+    "run_regret_additive",
+    "run_regret_additive_many",
+    "run_regret_substitutable",
+]

@@ -1,0 +1,121 @@
+"""Naive mechanisms the paper uses as negative examples.
+
+* :func:`run_naive_pay_your_bid` — Example 1: implement when the bids sum
+  to the cost, charge everyone her own bid. Cost-recovering but not
+  truthful (underbidding keeps you serviced at a lower price).
+* :func:`run_naive_online_shapley` — Example 2: run the Shapley mechanism
+  per slot until the optimization is implemented, then give it away for
+  free. Truthful users who arrive after implementation free-ride, so
+  hiding early value is profitable — the flaw AddOn's residual bids and
+  cumulative forcing remove.
+
+Both exist for the ablation benchmarks and tests; do not use them to price
+anything real.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Union
+
+from repro.bids.additive import AdditiveBid
+from repro.core.outcome import AddOnOutcome, ShapleyResult, UserId
+from repro.core.shapley import run_shapley
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
+
+__all__ = ["run_naive_pay_your_bid", "run_naive_online_shapley"]
+
+def _valid_cost(cost: float) -> bool:
+    """Strictly positive, finite, non-NaN."""
+    import math as _math
+
+    return _plain_positive(cost) and not _math.isinf(cost)
+
+
+
+def run_naive_pay_your_bid(
+    cost: float, bids: Mapping[UserId, float]
+) -> ShapleyResult:
+    """Example 1's mechanism: if ``sum(bids) >= cost``, everyone pays her bid.
+
+    Returns a :class:`ShapleyResult` for interface parity (``price`` is the
+    *average* payment, payments are per-user bids).
+    """
+    if not _valid_cost(cost):
+        raise MechanismError(f"optimization cost must be positive, got {cost}")
+    for user, bid in bids.items():
+        if bid < 0 or math.isnan(bid):
+            raise MechanismError(f"bid for user {user!r} must be >= 0, got {bid}")
+    bidders = {user: bid for user, bid in bids.items() if bid > 0}
+    total = sum(bidders.values())
+    if total < cost:
+        return ShapleyResult(frozenset(), 0.0, {}, rounds=1)
+    return ShapleyResult(
+        serviced=frozenset(bidders),
+        price=total / len(bidders),
+        payments=dict(bidders),
+        rounds=1,
+    )
+
+
+def run_naive_online_shapley(
+    cost: float,
+    bids: Mapping[UserId, AdditiveBid],
+    horizon: int | None = None,
+) -> AddOnOutcome:
+    """Example 2's naive adaptation of Shapley to a dynamic setting.
+
+    Each slot runs Mechanism 1 over the residual bids of present users.
+    The first slot whose run succeeds implements the optimization and
+    charges that slot's serviced set; afterwards everyone present is
+    serviced for free.
+    """
+    if not _valid_cost(cost):
+        raise MechanismError(f"optimization cost must be positive, got {cost}")
+    if horizon is None:
+        horizon = max((b.end for b in bids.values()), default=0)
+
+    serviced_by_slot: list[frozenset] = [frozenset()]
+    cumulative_by_slot: list[frozenset] = [frozenset()]
+    price_by_slot: list[float] = [0.0]
+    payments: dict[UserId, float] = {}
+    implemented_at: int | None = None
+    cumulative: set = set()
+
+    for t in range(1, horizon + 1):
+        if implemented_at is None:
+            residuals = {
+                user: (bid.residual(t) if t >= bid.start else 0.0)
+                for user, bid in bids.items()
+            }
+            result = run_shapley(cost, residuals)
+            price_by_slot.append(result.price)
+            if result.implemented:
+                implemented_at = t
+                for user in result.serviced:
+                    payments[user] = result.price
+                cumulative |= set(result.serviced)
+        else:
+            price_by_slot.append(0.0)  # free riders welcome
+
+        if implemented_at is not None:
+            # Everyone present rides along from the implementation slot on.
+            cumulative |= {
+                user for user, bid in bids.items() if t >= bid.start
+            }
+        active = frozenset(
+            user for user in cumulative if bids[user].start <= t <= bids[user].end
+        )
+        serviced_by_slot.append(active)
+        cumulative_by_slot.append(frozenset(cumulative))
+
+    return AddOnOutcome(
+        cost=cost,
+        horizon=horizon,
+        serviced_by_slot=tuple(serviced_by_slot),
+        cumulative_by_slot=tuple(cumulative_by_slot),
+        price_by_slot=tuple(price_by_slot),
+        payments=payments,
+        implemented_at=implemented_at,
+    )

@@ -1,0 +1,94 @@
+"""Loss-minimizing single-price search for the Regret baseline.
+
+After implementing an optimization at slot ``t_r``, Regret charges every
+future user one price ``p``. With ``I(p) = |{i : F_i >= p}|`` (``F_i`` the
+user's residual future value) and loss ``L(p) = cost - p * I(p)``, the
+paper picks ``p = argmin_p max{L(p), 0}``, smallest ``p`` on ties so user
+utilities are maximized.
+
+Concretely: if any price recovers the cost, the smallest such price is
+``cost / k*`` where ``k*`` is the largest ``k`` with ``F_(k) >= cost / k``
+(``F_(k)`` the k-th largest residual) — the same structure as a Shapley
+share. Otherwise revenue is maximized at one of the residual values and we
+take the smallest maximizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["PriceDecision", "optimal_price"]
+
+
+@dataclass(frozen=True)
+class PriceDecision:
+    """The chosen price and its bookkeeping.
+
+    ``payers`` is ``I(p)`` restricted to strictly-positive residuals (users
+    with zero future value gain nothing and are not serviced). ``loss`` is
+    ``max(cost - revenue, 0)`` — zero exactly when the cost is recovered.
+    """
+
+    price: float
+    payers: int
+    revenue: float
+    loss: float
+
+    @property
+    def recovers_cost(self) -> bool:
+        """True when the collected revenue covers the optimization cost."""
+        return self.loss == 0.0
+
+
+def optimal_price(cost: float, future_values: Iterable[float]) -> PriceDecision:
+    """Choose the loss-minimizing price for ``cost`` given residual values.
+
+    Parameters
+    ----------
+    cost:
+        The optimization cost ``c_j`` to recover.
+    future_values:
+        One residual value ``F_i = sum_{t > t_r} v_ij(t)`` per future user.
+
+    Returns
+    -------
+    PriceDecision
+        The smallest price among loss minimizers, with payer count, revenue
+        and residual loss.
+    """
+    import math
+
+    if cost <= 0 or math.isnan(cost) or math.isinf(cost):
+        raise ValueError(f"cost must be positive and finite, got {cost}")
+    residuals = sorted((f for f in future_values if f > 0), reverse=True)
+    if not residuals:
+        return PriceDecision(price=0.0, payers=0, revenue=0.0, loss=cost)
+
+    # Feasible full recovery: largest k with F_(k) >= cost / k.
+    best_k = 0
+    for k, f_k in enumerate(residuals, start=1):
+        if f_k >= cost / k:
+            best_k = k
+    if best_k > 0:
+        price = cost / best_k
+        payers = sum(1 for f in residuals if f >= price)
+        revenue = price * payers
+        return PriceDecision(price=price, payers=payers, revenue=revenue, loss=0.0)
+
+    # No price recovers the cost: maximize revenue; smallest price on ties.
+    best_price = residuals[0]
+    best_revenue = 0.0
+    for candidate in sorted(set(residuals)):
+        payers = sum(1 for f in residuals if f >= candidate)
+        revenue = candidate * payers
+        if revenue > best_revenue:
+            best_revenue = revenue
+            best_price = candidate
+    payers = sum(1 for f in residuals if f >= best_price)
+    return PriceDecision(
+        price=best_price,
+        payers=payers,
+        revenue=best_revenue,
+        loss=cost - best_revenue,
+    )

@@ -1,0 +1,276 @@
+"""Regret-based amortization (paper Section 7.1).
+
+``R_j(t) = sum_{tau < t} sum_i v_ij(tau)`` is the value that would have
+been realized had ``j`` existed from the start. The greedy policy builds
+``j`` at the first slot ``t_r`` with ``C_j <= R_j(t_r)``. Users can then
+access ``j`` for slots ``t > t_r`` after paying the single price chosen by
+:func:`repro.baseline.pricing.optimal_price` over the (clairvoyantly known)
+residual future values — an upper bound on how well the real approach can
+price, as the paper notes.
+
+Boundary conventions (documented in DESIGN.md): value at slot ``t_r``
+itself is lost (regret excludes ``t``, the pricing formula counts
+``t > t_r``), and when several substitutable optimizations cross their
+threshold in the same slot they are processed in the order they appear in
+the ``costs`` mapping, each locking its serviced users before the next.
+
+The baseline trusts bids: it has no defense against misreports, which is
+one of the two critiques (with non-guaranteed cost recovery) the paper
+levels at it. Callers should therefore feed it *true* values when comparing
+total utility, as the paper's experiments do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.baseline.pricing import optimal_price
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.outcome import OptId, UserId
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf
+
+__all__ = [
+    "RegretOptOutcome",
+    "RegretOutcome",
+    "run_regret_additive",
+    "run_regret_additive_many",
+    "run_regret_substitutable",
+]
+
+
+@dataclass(frozen=True)
+class RegretOptOutcome:
+    """Regret outcome for a single optimization.
+
+    ``regret_trace[t]`` is ``R_j(t)`` for ``t = 0..horizon`` (index 0 kept
+    at 0 for 1-indexed slots). ``realized_values`` maps each serviced user
+    to the value she obtains (her residual after ``t_r``).
+    """
+
+    cost: float
+    horizon: int
+    implemented_at: int | None
+    price: float
+    serviced: frozenset
+    payments: Mapping[UserId, float]
+    realized_values: Mapping[UserId, float]
+    regret_trace: tuple
+
+    @property
+    def implemented(self) -> bool:
+        """True when regret ever reached the cost."""
+        return self.implemented_at is not None
+
+    @property
+    def total_cost(self) -> float:
+        """Cost incurred (0 when never implemented)."""
+        return self.cost if self.implemented else 0.0
+
+    @property
+    def total_payment(self) -> float:
+        """Revenue collected from serviced users."""
+        return sum(self.payments.values())
+
+    @property
+    def total_utility(self) -> float:
+        """Realized value minus incurred cost (can be negative)."""
+        return sum(self.realized_values.values()) - self.total_cost
+
+    @property
+    def cloud_balance(self) -> float:
+        """Payments minus costs; negative means the cloud lost money."""
+        return self.total_payment - self.total_cost
+
+
+@dataclass(frozen=True)
+class RegretOutcome:
+    """Aggregate Regret outcome over several optimizations."""
+
+    per_opt: Mapping[OptId, RegretOptOutcome]
+
+    @property
+    def total_cost(self) -> float:
+        """Combined incurred costs."""
+        return sum(o.total_cost for o in self.per_opt.values())
+
+    @property
+    def total_payment(self) -> float:
+        """Combined user payments."""
+        return sum(o.total_payment for o in self.per_opt.values())
+
+    @property
+    def total_utility(self) -> float:
+        """Combined total utility."""
+        return sum(o.total_utility for o in self.per_opt.values())
+
+    @property
+    def cloud_balance(self) -> float:
+        """Payments minus costs; negative means the cloud lost money."""
+        return self.total_payment - self.total_cost
+
+
+def run_regret_additive(
+    cost: float,
+    bids: Mapping[UserId, AdditiveBid],
+    horizon: int | None = None,
+) -> RegretOptOutcome:
+    """Run Regret for one additive optimization.
+
+    ``bids`` are the users' (trusted) value schedules; see the module
+    docstring for why they should be true values.
+    """
+    if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+        raise MechanismError(f"optimization cost must be positive, got {cost}")
+    if horizon is None:
+        horizon = max((b.end for b in bids.values()), default=0)
+
+    regret_trace = [0.0]
+    regret = 0.0
+    implemented_at: int | None = None
+    for t in range(1, horizon + 1):
+        # R_j(t) sums value strictly before t: check, then accumulate t.
+        if implemented_at is None and regret >= cost:
+            implemented_at = t
+        regret_trace.append(regret)
+        regret += sum(bid.value_at(t) for bid in bids.values())
+
+    if implemented_at is None:
+        return RegretOptOutcome(
+            cost=cost,
+            horizon=horizon,
+            implemented_at=None,
+            price=0.0,
+            serviced=frozenset(),
+            payments={},
+            realized_values={},
+            regret_trace=tuple(regret_trace),
+        )
+
+    residuals = {
+        user: bid.residual(implemented_at + 1) for user, bid in bids.items()
+    }
+    decision = optimal_price(cost, residuals.values())
+    serviced = frozenset(
+        user
+        for user, residual in residuals.items()
+        if residual > 0 and residual >= decision.price
+    )
+    payments = {user: decision.price for user in serviced}
+    realized = {user: residuals[user] for user in serviced}
+    return RegretOptOutcome(
+        cost=cost,
+        horizon=horizon,
+        implemented_at=implemented_at,
+        price=decision.price,
+        serviced=serviced,
+        payments=payments,
+        realized_values=realized,
+        regret_trace=tuple(regret_trace),
+    )
+
+
+def run_regret_additive_many(
+    costs: Mapping[OptId, float],
+    bids: Mapping[OptId, Mapping[UserId, AdditiveBid]],
+    horizon: int | None = None,
+) -> RegretOutcome:
+    """Run Regret independently for several additive optimizations."""
+    unknown = set(bids) - set(costs)
+    if unknown:
+        raise MechanismError(
+            f"bids reference unknown optimizations: {sorted(map(str, unknown))}"
+        )
+    if horizon is None:
+        ends = [
+            bid.end for opt_bids in bids.values() for bid in opt_bids.values()
+        ]
+        horizon = max(ends, default=0)
+    per_opt = {
+        j: run_regret_additive(cost, bids.get(j, {}), horizon=horizon)
+        for j, cost in costs.items()
+    }
+    return RegretOutcome(per_opt=per_opt)
+
+
+def run_regret_substitutable(
+    costs: Mapping[OptId, float],
+    bids: Mapping[UserId, SubstitutableBid],
+    horizon: int | None = None,
+) -> RegretOutcome:
+    """Run Regret for substitutable optimizations.
+
+    Each optimization accumulates regret from the not-yet-serviced users
+    whose substitute set contains it. Once a user pays for an implemented
+    optimization she is locked to it and stops feeding regret to the others.
+    """
+    for optimization, cost in costs.items():
+        if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+            raise MechanismError(
+                f"cost of {optimization!r} must be positive, got {cost}"
+            )
+    for user, bid in bids.items():
+        missing = bid.substitutes - set(costs)
+        if missing:
+            raise MechanismError(
+                f"user {user!r} wants unknown optimizations: {sorted(map(str, missing))}"
+            )
+    if horizon is None:
+        horizon = max((b.end for b in bids.values()), default=0)
+
+    regret: dict[OptId, float] = {j: 0.0 for j in costs}
+    traces: dict[OptId, list[float]] = {j: [0.0] for j in costs}
+    implemented_at: dict[OptId, int] = {}
+    prices: dict[OptId, float] = {}
+    serviced_by: dict[UserId, OptId] = {}
+    payments: dict[UserId, float] = {}
+    realized: dict[UserId, float] = {}
+
+    for t in range(1, horizon + 1):
+        # Threshold checks happen at the start of the slot, in mapping order.
+        for j, cost in costs.items():
+            traces[j].append(regret[j])
+            if j in implemented_at or regret[j] < cost:
+                continue
+            implemented_at[j] = t
+            eligible = {
+                user: bid.residual(t + 1)
+                for user, bid in bids.items()
+                if user not in serviced_by and j in bid.substitutes
+            }
+            decision = optimal_price(cost, eligible.values())
+            prices[j] = decision.price
+            for user, residual in eligible.items():
+                if residual > 0 and residual >= decision.price:
+                    serviced_by[user] = j
+                    payments[user] = decision.price
+                    realized[user] = residual
+
+        # Accumulate this slot's value into the regret of unserviced users.
+        for user, bid in bids.items():
+            if user in serviced_by:
+                continue
+            value = bid.value_at(t)
+            if value <= 0:
+                continue
+            for j in bid.substitutes:
+                if j not in implemented_at:
+                    regret[j] += value
+
+    per_opt: dict[OptId, RegretOptOutcome] = {}
+    for j, cost in costs.items():
+        users_j = frozenset(u for u, jj in serviced_by.items() if jj == j)
+        per_opt[j] = RegretOptOutcome(
+            cost=cost,
+            horizon=horizon,
+            implemented_at=implemented_at.get(j),
+            price=prices.get(j, 0.0),
+            serviced=users_j,
+            payments={u: payments[u] for u in users_j},
+            realized_values={u: realized[u] for u in users_j},
+            regret_trace=tuple(traces[j]),
+        )
+    return RegretOutcome(per_opt=per_opt)

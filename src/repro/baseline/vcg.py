@@ -1,0 +1,86 @@
+"""VCG (Clarke pivot) pricing for offline additive games.
+
+The third corner of Section 3's impossibility triangle: VCG is *efficient*
+(it implements the welfare-maximizing alternative) and *truthful*, but it
+is **not cost-recovering** — exactly the trade the paper refuses. For an
+additive game the Clarke payment decomposes per optimization:
+
+    p_ij = max(0, C_j - sum_{k != i} b_kj)    when j is implemented,
+
+i.e. each user pays only her *pivotal* contribution. Whenever an
+optimization is comfortably funded, everyone's pivotal share is 0 and the
+cloud eats the whole cost. The ablation benchmark quantifies that deficit
+against the Shapley mechanisms' welfare loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.efficiency import EfficientAdditiveOutcome, efficient_additive
+from repro.core.outcome import OptId, UserId
+
+__all__ = ["VcgOutcome", "run_vcg_additive"]
+
+
+@dataclass(frozen=True)
+class VcgOutcome:
+    """The efficient alternative plus Clarke payments."""
+
+    efficient: EfficientAdditiveOutcome
+    payments: Mapping[UserId, float]
+
+    @property
+    def implemented(self) -> frozenset:
+        """Optimizations built (the efficient set)."""
+        return self.efficient.implemented
+
+    @property
+    def welfare(self) -> float:
+        """Realized social welfare (optimal by construction)."""
+        return self.efficient.welfare
+
+    @property
+    def total_cost(self) -> float:
+        """Combined build costs."""
+        return self.efficient.total_cost
+
+    @property
+    def total_payment(self) -> float:
+        """Combined Clarke payments."""
+        return sum(self.payments.values())
+
+    @property
+    def deficit(self) -> float:
+        """Unrecovered cost (>= 0); the price of efficiency."""
+        return max(0.0, self.total_cost - self.total_payment)
+
+    def payment(self, user: UserId) -> float:
+        """Clarke payment of one user."""
+        return self.payments.get(user, 0.0)
+
+
+def run_vcg_additive(
+    costs: Mapping[OptId, float],
+    bids: Mapping[OptId, Mapping[UserId, float]],
+) -> VcgOutcome:
+    """Run VCG on an offline additive game.
+
+    Implements the efficient set per :func:`efficient_additive` and
+    charges each granted user her per-optimization pivotal payment.
+    """
+    outcome = efficient_additive(costs, bids)
+    payments: dict[UserId, float] = {}
+    for optimization in outcome.implemented:
+        opt_bids = bids.get(optimization, {})
+        positive_total = sum(v for v in opt_bids.values() if v > 0)
+        cost = costs[optimization]
+        for user, value in opt_bids.items():
+            if value <= 0:
+                continue
+            others = positive_total - value
+            pivotal = max(0.0, cost - others)
+            if pivotal > 0:
+                payments[user] = payments.get(user, 0.0) + pivotal
+    return VcgOutcome(efficient=outcome, payments=payments)

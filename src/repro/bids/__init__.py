@@ -1,0 +1,17 @@
+"""Bid and valuation models (paper Sections 3, 5.1 and 6).
+
+Offline games use plain scalar bids per (user, optimization). Online games
+use :class:`~repro.bids.additive.AdditiveBid` — a value schedule over the
+slot interval ``[start, end]`` — or
+:class:`~repro.bids.substitutive.SubstitutableBid`, which adds the set of
+substitutable optimizations ``J_i``. :class:`~repro.bids.revision.RevisableBid`
+implements the paper's online bidding rule: revisions may never be
+retroactive, never lower a future value, and never shrink the interval.
+"""
+
+from repro.bids.slots import SlotValues
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.bids.revision import RevisableBid
+
+__all__ = ["SlotValues", "AdditiveBid", "SubstitutableBid", "RevisableBid"]

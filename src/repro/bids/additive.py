@@ -1,0 +1,67 @@
+"""Additive bids for online games (paper Section 5.1).
+
+A user's declaration for one optimization is the tuple
+``theta_ij = (s_i, e_i, b_ij)`` where ``b_ij`` is a value schedule over
+``[s_i, e_i]``. Additivity means a user's value for an outcome is the sum of
+her values over all optimizations she is granted, so a multi-optimization
+game is simply one :class:`AdditiveBid` per (user, optimization) pair and
+the AddOn mechanism runs per optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bids.slots import SlotValues
+
+__all__ = ["AdditiveBid"]
+
+
+@dataclass(frozen=True)
+class AdditiveBid:
+    """Declared (or true) value schedule for a single optimization.
+
+    This is a thin semantic wrapper over :class:`SlotValues`: ``start`` is
+    the slot the user enters the system (``s_i``), ``end`` the slot she pays
+    and leaves (``e_i``).
+    """
+
+    schedule: SlotValues
+
+    @classmethod
+    def over(cls, start: int, values: Sequence[float]) -> "AdditiveBid":
+        """Build a bid starting at ``start`` with the given per-slot values."""
+        return cls(SlotValues(start, tuple(values)))
+
+    @classmethod
+    def single_slot(cls, slot: int, value: float) -> "AdditiveBid":
+        """A bid concentrated in one slot — the common experiment workload."""
+        return cls(SlotValues(slot, (value,)))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, float]) -> "AdditiveBid":
+        """Build from a ``{slot: value}`` mapping (gaps filled with zero)."""
+        return cls(SlotValues.from_mapping(mapping))
+
+    @property
+    def start(self) -> int:
+        """Entry slot ``s_i``."""
+        return self.schedule.start
+
+    @property
+    def end(self) -> int:
+        """Departure slot ``e_i`` (user pays when this slot is reached)."""
+        return self.schedule.end
+
+    def value_at(self, t: int) -> float:
+        """Value realized at slot ``t`` when serviced during ``t``."""
+        return self.schedule.value_at(t)
+
+    def residual(self, t: int) -> float:
+        """Residual value ``sum_{tau >= t} b(tau)`` — AddOn's per-slot bid."""
+        return self.schedule.residual(t)
+
+    def total(self) -> float:
+        """Total declared value over the service interval."""
+        return self.schedule.total()

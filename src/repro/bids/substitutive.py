@@ -1,0 +1,89 @@
+"""Substitutable bids (paper Section 6).
+
+A user declares a set of substitutable optimizations ``J_i`` and a single
+value schedule: she obtains the value if she is granted access to *at least
+one* optimization in ``J_i``, and no extra value from additional grants.
+Offline bids are the pair ``(J_i, v_i)``; online bids add the service
+interval, ``omega_i = (s_i, e_i, b_i, J_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Hashable, Mapping, Sequence
+
+from repro.bids.slots import SlotValues
+from repro.errors import BidError
+
+__all__ = ["SubstitutableBid"]
+
+
+@dataclass(frozen=True)
+class SubstitutableBid:
+    """Online substitutable bid ``(s_i, e_i, b_i, J_i)``.
+
+    ``substitutes`` is the set ``J_i`` of optimization ids the user considers
+    interchangeable; ``schedule`` is the per-slot value she gets from having
+    access to any one of them.
+    """
+
+    schedule: SlotValues
+    substitutes: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        subs = frozenset(self.substitutes)
+        if not subs:
+            raise BidError("a substitutable bid needs a non-empty substitute set")
+        object.__setattr__(self, "substitutes", subs)
+
+    @classmethod
+    def over(
+        cls,
+        start: int,
+        values: Sequence[float],
+        substitutes: AbstractSet[Hashable],
+    ) -> "SubstitutableBid":
+        """Build a bid over ``[start, start+len(values)-1]`` for ``substitutes``."""
+        return cls(SlotValues(start, tuple(values)), frozenset(substitutes))
+
+    @classmethod
+    def single_slot(
+        cls, slot: int, value: float, substitutes: AbstractSet[Hashable]
+    ) -> "SubstitutableBid":
+        """A bid concentrated in one slot."""
+        return cls(SlotValues(slot, (value,)), frozenset(substitutes))
+
+    @property
+    def start(self) -> int:
+        """Entry slot ``s_i``."""
+        return self.schedule.start
+
+    @property
+    def end(self) -> int:
+        """Departure slot ``e_i``."""
+        return self.schedule.end
+
+    def value_at(self, t: int) -> float:
+        """Value realized at slot ``t`` if serviced by any substitute."""
+        return self.schedule.value_at(t)
+
+    def residual(self, t: int) -> float:
+        """Residual value ``sum_{tau >= t} b(tau)``."""
+        return self.schedule.residual(t)
+
+    def total(self) -> float:
+        """Total declared value."""
+        return self.schedule.total()
+
+    def wants(self, optimization: Hashable) -> bool:
+        """True when ``optimization`` is in the substitute set ``J_i``."""
+        return optimization in self.substitutes
+
+    def matrix_row(self, optimizations: Sequence[Hashable], t: int) -> Mapping[Hashable, float]:
+        """Residual-bid row ``b'_ij`` used by SubstOff within SubstOn.
+
+        The substitutable valuation corresponds to a bid matrix holding the
+        residual value on every optimization in ``J_i`` and zero elsewhere.
+        """
+        residual = self.residual(t)
+        return {j: (residual if j in self.substitutes else 0.0) for j in optimizations}

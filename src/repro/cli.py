@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate any paper figure as a text table.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro fig2a --trials 200
+    python -m repro fig1 --values paper --samples 100
+    python -m repro all --trials 50 --out results/
+
+Each figure command prints the same series table the benchmark harness
+writes to ``benchmarks/results/`` and optionally saves it with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    Fig1Config,
+    Fig2AdditiveConfig,
+    Fig2SubstitutiveConfig,
+    Fig3aConfig,
+    Fig3bConfig,
+    Fig4Config,
+    Fig5Config,
+    format_result,
+    format_summary,
+    run_fig1_astronomy,
+    run_fig2_additive,
+    run_fig2_substitutive,
+    run_fig3a_slot_count,
+    run_fig3b_duration,
+    run_fig4_skew,
+    run_fig5_selectivity,
+)
+
+__all__ = ["main", "FIGURES"]
+
+
+def _fig1(args) -> object:
+    return run_fig1_astronomy(
+        Fig1Config(values=args.values, samples=args.samples, seed=args.seed)
+    )
+
+
+def _fig2a(args):
+    return run_fig2_additive(
+        Fig2AdditiveConfig.small(trials=args.trials, seed=args.seed)
+    )
+
+
+def _fig2b(args):
+    return run_fig2_additive(
+        Fig2AdditiveConfig.large(trials=args.trials, seed=args.seed)
+    )
+
+
+def _fig2c(args):
+    return run_fig2_substitutive(
+        Fig2SubstitutiveConfig.small(trials=args.trials, seed=args.seed)
+    )
+
+
+def _fig2d(args):
+    return run_fig2_substitutive(
+        Fig2SubstitutiveConfig.large(trials=max(args.trials // 2, 1), seed=args.seed)
+    )
+
+
+def _fig3a(args):
+    return run_fig3a_slot_count(Fig3aConfig(trials=args.trials, seed=args.seed))
+
+
+def _fig3b(args):
+    return run_fig3b_duration(Fig3bConfig(trials=args.trials, seed=args.seed))
+
+
+def _fig4(args):
+    return run_fig4_skew(Fig4Config(trials=args.trials, seed=args.seed))
+
+
+def _fig5a(args):
+    return run_fig5_selectivity(
+        Fig5Config.low_selectivity(trials=args.trials, seed=args.seed)
+    )
+
+
+def _fig5b(args):
+    return run_fig5_selectivity(
+        Fig5Config.high_selectivity(trials=args.trials, seed=args.seed)
+    )
+
+
+#: Figure id -> (runner, paper section, one-line description).
+FIGURES = {
+    "fig1": (_fig1, "7.2", "astronomy use-case: utilities vs executions"),
+    "fig2a": (_fig2a, "7.3.1", "additive, 6 users: utility vs cost"),
+    "fig2b": (_fig2b, "7.3.1", "additive, 24 users: utility vs cost"),
+    "fig2c": (_fig2c, "7.3.2", "substitutive, 6 users: utility vs cost"),
+    "fig2d": (_fig2d, "7.3.2", "substitutive, 24 users: utility vs cost"),
+    "fig3a": (_fig3a, "7.4", "utility gap vs number of slots"),
+    "fig3b": (_fig3b, "7.4", "utility gap vs bid duration"),
+    "fig4": (_fig4, "7.5", "arrival skew: utility ratios vs cost"),
+    "fig5a": (_fig5a, "7.6", "substitute selectivity 3-of-4"),
+    "fig5b": (_fig5b, "7.6", "substitute selectivity 3-of-12"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'How to Price Shared "
+        "Optimizations in the Cloud' (VLDB 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--trials", type=int, default=200, help="trials per point")
+    common.add_argument("--seed", type=int, default=2012, help="master RNG seed")
+    common.add_argument("--rows", type=int, default=25, help="max table rows")
+    common.add_argument("--summary", action="store_true", help="print min/mean/max only")
+    common.add_argument("--out", type=Path, default=None, help="directory to save tables")
+
+    for name, (_, section, description) in FIGURES.items():
+        p = sub.add_parser(
+            name, parents=[common], help=f"S{section}: {description}"
+        )
+        if name == "fig1":
+            p.add_argument(
+                "--values", choices=("paper", "engine"), default="paper",
+                help="value table: paper's published numbers or engine-measured",
+            )
+            p.add_argument(
+                "--samples", type=int, default=150,
+                help="bid-interval combinations sampled (of the 10^6)",
+            )
+    sub.add_parser("all", parents=[common], help="run every figure")
+    return parser
+
+
+def _emit(result, args) -> None:
+    text = format_summary(result) if args.summary else format_result(result, max_rows=args.rows)
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"{result.experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"[written to {path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_, section, description) in FIGURES.items():
+            print(f"{name:<7} Section {section:<6} {description}")
+        return 0
+
+    names = list(FIGURES) if args.command == "all" else [args.command]
+    if args.command == "all":
+        # `all` has no fig1-specific flags; use the fig1 defaults.
+        args.values = "paper"
+        args.samples = 150
+    for name in names:
+        runner, section, description = FIGURES[name]
+        print(f"== {name} (Section {section}): {description} ==")
+        started = time.time()
+        result = runner(args)
+        print(f"[{time.time() - started:.1f}s]")
+        _emit(result, args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

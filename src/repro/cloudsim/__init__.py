@@ -1,0 +1,38 @@
+"""Cloud-service simulation: the online mechanisms run as a live service.
+
+The experiment drivers replay complete bid profiles through the batch
+mechanism runners; this package instead simulates the *service* the paper
+envisions: an optimization catalog, users arriving / revising / departing
+over slots, the mechanism deciding per slot, and a billing ledger invoicing
+users at departure. It powers the runnable examples and the end-to-end
+integration tests.
+"""
+
+from repro.cloudsim.catalog import OptimizationCatalog, OptimizationSpec
+from repro.cloudsim.events import (
+    BidPlaced,
+    BidRevised,
+    EventLog,
+    OptimizationImplemented,
+    UserCharged,
+    UserDeparted,
+    UserGranted,
+)
+from repro.cloudsim.ledger import BillingLedger, LedgerEntry
+from repro.cloudsim.service import CloudService, ServiceReport
+
+__all__ = [
+    "OptimizationCatalog",
+    "OptimizationSpec",
+    "EventLog",
+    "BidPlaced",
+    "BidRevised",
+    "UserGranted",
+    "UserDeparted",
+    "UserCharged",
+    "OptimizationImplemented",
+    "BillingLedger",
+    "LedgerEntry",
+    "CloudService",
+    "ServiceReport",
+]

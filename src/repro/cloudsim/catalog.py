@@ -1,0 +1,75 @@
+"""The cloud's optimization catalog.
+
+Each entry is one binary optimization the provider can implement — an
+index, a materialized view, a replica — with its fixed period cost ``C_j``
+(implementation plus maintenance for the period ``T``, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.outcome import OptId
+from repro.errors import GameConfigError
+
+__all__ = ["OptimizationSpec", "OptimizationCatalog"]
+
+
+@dataclass(frozen=True)
+class OptimizationSpec:
+    """One purchasable optimization."""
+
+    opt_id: OptId
+    cost: float
+    kind: str = "generic"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise GameConfigError(
+                f"optimization {self.opt_id!r} needs a positive cost, got {self.cost}"
+            )
+
+
+class OptimizationCatalog:
+    """A registry of :class:`OptimizationSpec` addressed by id."""
+
+    def __init__(self, specs: Mapping[OptId, OptimizationSpec] | None = None) -> None:
+        self._specs: dict[OptId, OptimizationSpec] = dict(specs or {})
+
+    @classmethod
+    def from_costs(cls, costs: Mapping[OptId, float], kind: str = "generic"):
+        """Build a catalog from a plain ``{opt_id: cost}`` mapping."""
+        catalog = cls()
+        for opt_id, cost in costs.items():
+            catalog.register(OptimizationSpec(opt_id, cost, kind=kind))
+        return catalog
+
+    def register(self, spec: OptimizationSpec) -> OptimizationSpec:
+        """Add one optimization; ids must be unique."""
+        if spec.opt_id in self._specs:
+            raise GameConfigError(f"optimization {spec.opt_id!r} already registered")
+        self._specs[spec.opt_id] = spec
+        return spec
+
+    def get(self, opt_id: OptId) -> OptimizationSpec:
+        """Look one optimization up."""
+        try:
+            return self._specs[opt_id]
+        except KeyError:
+            raise GameConfigError(f"no optimization {opt_id!r} in catalog") from None
+
+    def __contains__(self, opt_id: OptId) -> bool:
+        return opt_id in self._specs
+
+    def __iter__(self) -> Iterator[OptId]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def costs(self) -> dict[OptId, float]:
+        """``{opt_id: cost}`` — what the mechanisms consume."""
+        return {opt_id: spec.cost for opt_id, spec in self._specs.items()}

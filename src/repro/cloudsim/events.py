@@ -1,0 +1,97 @@
+"""Typed event records emitted by the cloud-service simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Event",
+    "BidPlaced",
+    "BidRevised",
+    "UserGranted",
+    "OptimizationImplemented",
+    "UserDeparted",
+    "UserCharged",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: everything carries the slot it happened in."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class BidPlaced(Event):
+    """A user declared her (initial) bid."""
+
+    user: object
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BidRevised(Event):
+    """A user revised future values upward."""
+
+    user: object
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class UserGranted(Event):
+    """A user entered an optimization's serviced set."""
+
+    user: object
+    optimization: object
+
+
+@dataclass(frozen=True)
+class OptimizationImplemented(Event):
+    """The cloud built an optimization."""
+
+    optimization: object
+    cost: float
+
+
+@dataclass(frozen=True)
+class UserDeparted(Event):
+    """A user reached her departure slot."""
+
+    user: object
+
+
+@dataclass(frozen=True)
+class UserCharged(Event):
+    """A departing user was invoiced her cost-share."""
+
+    user: object
+    amount: float
+
+
+class EventLog:
+    """Append-only event history with typed filtering."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, event: Event) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    def all(self) -> list[Event]:
+        """Every event in order."""
+        return list(self._events)
+
+    def of_type(self, event_type: type) -> Iterator[Event]:
+        """Events of one type, in order."""
+        return (e for e in self._events if isinstance(e, event_type))
+
+    def in_slot(self, slot: int) -> Iterator[Event]:
+        """Events of one slot, in order."""
+        return (e for e in self._events if e.slot == slot)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,79 @@
+"""Billing ledger: who paid what, and whether the cloud broke even."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GameConfigError
+
+__all__ = ["LedgerEntry", "BillingLedger"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One ledger line; ``amount`` > 0 is user revenue, < 0 a cloud outlay."""
+
+    slot: int
+    kind: str
+    party: object
+    amount: float
+    memo: str = ""
+
+
+class BillingLedger:
+    """Double-purpose book: user invoices and cloud build outlays."""
+
+    def __init__(self) -> None:
+        self._entries: list[LedgerEntry] = []
+
+    def invoice(self, slot: int, user, amount: float, memo: str = "") -> LedgerEntry:
+        """Record a user payment (at her departure slot)."""
+        if amount < 0:
+            raise GameConfigError(f"invoice amounts must be >= 0, got {amount}")
+        entry = LedgerEntry(slot, "invoice", user, amount, memo)
+        self._entries.append(entry)
+        return entry
+
+    def build_outlay(
+        self, slot: int, optimization, cost: float, memo: str = ""
+    ) -> LedgerEntry:
+        """Record the cloud paying to implement an optimization."""
+        if cost <= 0:
+            raise GameConfigError(f"build costs must be positive, got {cost}")
+        entry = LedgerEntry(slot, "build", optimization, -cost, memo)
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        """All lines, in order."""
+        return list(self._entries)
+
+    @property
+    def revenue(self) -> float:
+        """Total user payments."""
+        return sum(e.amount for e in self._entries if e.kind == "invoice")
+
+    @property
+    def outlays(self) -> float:
+        """Total build costs (positive number)."""
+        return -sum(e.amount for e in self._entries if e.kind == "build")
+
+    @property
+    def balance(self) -> float:
+        """Revenue minus outlays; negative means the cloud lost money."""
+        return self.revenue - self.outlays
+
+    def paid_by(self, user) -> float:
+        """Total invoiced to one user."""
+        return sum(
+            e.amount
+            for e in self._entries
+            if e.kind == "invoice" and e.party == user
+        )
+
+    def statement(self, user) -> list[LedgerEntry]:
+        """All invoice lines of one user."""
+        return [
+            e for e in self._entries if e.kind == "invoice" and e.party == user
+        ]

@@ -1,0 +1,293 @@
+"""The cloud service loop: bids in, grants and invoices out.
+
+:class:`CloudService` runs one amortization period ``T`` of ``horizon``
+slots in either *additive* mode (one independent AddOn game per catalog
+optimization) or *substitutable* mode (one SubstOn game across the
+catalog). Users place bids for future slots, may revise them upward, are
+granted service as soon as the mechanism admits them, and are invoiced
+their final cost-share at their departure slot. Every step is recorded in
+the event log and the billing ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bids.additive import AdditiveBid
+from repro.bids.revision import RevisableBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.cloudsim.catalog import OptimizationCatalog
+from repro.cloudsim.events import (
+    BidPlaced,
+    BidRevised,
+    EventLog,
+    OptimizationImplemented,
+    UserCharged,
+    UserDeparted,
+    UserGranted,
+)
+from repro.cloudsim.ledger import BillingLedger
+from repro.core.online import AddOnState, SubstOnState
+from repro.core.outcome import OptId, UserId
+from repro.errors import GameConfigError, MechanismError
+from repro.utils.rng import RngLike
+
+__all__ = ["CloudService", "ServiceReport"]
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """End-of-period summary of one service run."""
+
+    horizon: int
+    mode: str
+    ledger: BillingLedger
+    events: EventLog
+    implemented: Mapping[OptId, int]
+    granted_at: Mapping[tuple, int]
+    payments: Mapping[UserId, float]
+
+    @property
+    def cloud_balance(self) -> float:
+        """Revenue minus build outlays; the mechanisms keep this >= 0."""
+        return self.ledger.balance
+
+    def grant_slot(self, user: UserId, optimization: OptId) -> int | None:
+        """Slot ``user`` gained access to ``optimization`` (None if never)."""
+        return self.granted_at.get((user, optimization))
+
+    def realized_value(
+        self, user: UserId, optimization: OptId, truth: AdditiveBid
+    ) -> float:
+        """True value realized from one grant, given the true schedule."""
+        granted = self.granted_at.get((user, optimization))
+        if granted is None:
+            return 0.0
+        return sum(truth.value_at(t) for t in range(granted, truth.end + 1))
+
+
+class CloudService:
+    """See the module docstring.
+
+    Parameters
+    ----------
+    catalog:
+        The purchasable optimizations.
+    horizon:
+        Number of slots in the period ``T``.
+    mode:
+        ``"additive"`` (independent AddOn per optimization) or
+        ``"substitutable"`` (one SubstOn game).
+    """
+
+    def __init__(
+        self,
+        catalog: OptimizationCatalog,
+        horizon: int,
+        mode: str = "additive",
+        rng: RngLike = None,
+        randomize_ties: bool = False,
+    ) -> None:
+        if horizon < 1:
+            raise GameConfigError(f"horizon must be >= 1, got {horizon}")
+        if mode not in ("additive", "substitutable"):
+            raise GameConfigError(f"unknown mode {mode!r}")
+        if len(catalog) == 0:
+            raise GameConfigError("catalog must offer at least one optimization")
+        self.catalog = catalog
+        self.horizon = horizon
+        self.mode = mode
+        self.slot = 0  # last processed slot; slot 1 is processed first
+        self.ledger = BillingLedger()
+        self.events = EventLog()
+        self._payments: dict[UserId, float] = {}
+        self._granted_at: dict[tuple, int] = {}
+        self._implemented: dict[OptId, int] = {}
+
+        if mode == "additive":
+            self._addon: dict[OptId, AddOnState] = {
+                j: AddOnState(catalog.get(j).cost) for j in catalog
+            }
+            self._additive_bids: dict[tuple, RevisableBid] = {}
+        else:
+            self._subston = SubstOnState(
+                catalog.costs, rng=rng, randomize_ties=randomize_ties
+            )
+            self._subst_bids: dict[UserId, SubstitutableBid] = {}
+
+    # -------------------------------------------------------------- bids --
+
+    def place_additive_bid(
+        self, user: UserId, optimization: OptId, bid: AdditiveBid
+    ) -> RevisableBid:
+        """Declare a bid for one optimization; returns the revisable handle."""
+        self._require_mode("additive")
+        if optimization not in self.catalog:
+            raise GameConfigError(f"no optimization {optimization!r} in catalog")
+        if (user, optimization) in self._additive_bids:
+            raise GameConfigError(
+                f"user {user!r} already bid on {optimization!r}; revise instead"
+            )
+        if bid.start <= self.slot:
+            raise GameConfigError(
+                f"bid for slots from {bid.start} is retroactive at slot {self.slot}"
+            )
+        if bid.end > self.horizon:
+            raise GameConfigError(
+                f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
+            )
+        handle = RevisableBid(bid, declared_at=self.slot + 1)
+        self._additive_bids[(user, optimization)] = handle
+        self.events.record(
+            BidPlaced(self.slot + 1, user, detail=f"opt={optimization!r}")
+        )
+        return handle
+
+    def revise_additive_bid(
+        self, user: UserId, optimization: OptId, new_values: Mapping[int, float]
+    ) -> None:
+        """Upward revision of a previously placed bid."""
+        self._require_mode("additive")
+        handle = self._additive_bids.get((user, optimization))
+        if handle is None:
+            raise GameConfigError(
+                f"user {user!r} has no bid on {optimization!r} to revise"
+            )
+        if any(slot > self.horizon for slot in new_values):
+            raise GameConfigError("revision extends beyond the horizon")
+        handle.revise(self.slot + 1, new_values)
+        self.events.record(
+            BidRevised(self.slot + 1, user, detail=f"opt={optimization!r}")
+        )
+
+    def place_substitutable_bid(self, user: UserId, bid: SubstitutableBid) -> None:
+        """Declare a substitutable bid ``(s_i, e_i, b_i, J_i)``."""
+        self._require_mode("substitutable")
+        missing = bid.substitutes - set(self.catalog.costs)
+        if missing:
+            raise GameConfigError(
+                f"unknown optimizations in substitute set: {sorted(map(str, missing))}"
+            )
+        if user in self._subst_bids:
+            raise GameConfigError(f"user {user!r} already bid")
+        if bid.start <= self.slot:
+            raise GameConfigError(
+                f"bid for slots from {bid.start} is retroactive at slot {self.slot}"
+            )
+        if bid.end > self.horizon:
+            raise GameConfigError(
+                f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
+            )
+        self._subst_bids[user] = bid
+        self.events.record(BidPlaced(self.slot + 1, user))
+
+    # -------------------------------------------------------------- loop --
+
+    def advance_slot(self) -> int:
+        """Process the next slot; returns its number."""
+        if self.slot >= self.horizon:
+            raise MechanismError(f"period is over after slot {self.horizon}")
+        t = self.slot + 1
+        if self.mode == "additive":
+            self._advance_additive(t)
+        else:
+            self._advance_substitutable(t)
+        self.slot = t
+        return t
+
+    def run_to_end(self) -> ServiceReport:
+        """Process every remaining slot and return the report."""
+        while self.slot < self.horizon:
+            self.advance_slot()
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        """The current summary (complete once the period is over)."""
+        return ServiceReport(
+            horizon=self.horizon,
+            mode=self.mode,
+            ledger=self.ledger,
+            events=self.events,
+            implemented=dict(self._implemented),
+            granted_at=dict(self._granted_at),
+            payments=dict(self._payments),
+        )
+
+    # ---------------------------------------------------------- internals --
+
+    def _require_mode(self, mode: str) -> None:
+        if self.mode != mode:
+            raise GameConfigError(
+                f"service is in {self.mode!r} mode; operation needs {mode!r}"
+            )
+
+    def _advance_additive(self, t: int) -> None:
+        # Gather residual bids per optimization, step every contested game.
+        by_opt: dict[OptId, dict[UserId, float]] = {}
+        for (user, optimization), handle in self._additive_bids.items():
+            view = handle.as_of(t)
+            residual = view.residual(t) if t >= view.start else 0.0
+            by_opt.setdefault(optimization, {})[user] = residual
+        for optimization, residuals in by_opt.items():
+            state = self._addon[optimization]
+            before = state.cumulative
+            result = state.step(t, residuals)
+            for newcomer in result.serviced - before:
+                self._granted_at[(newcomer, optimization)] = t
+                self.events.record(UserGranted(t, newcomer, optimization))
+            if state.implemented_at == t:
+                cost = self.catalog.get(optimization).cost
+                self._implemented[optimization] = t
+                self.ledger.build_outlay(t, optimization, cost)
+                self.events.record(OptimizationImplemented(t, optimization, cost))
+
+        # Invoice departures: a user pays each game's share as its bid ends.
+        departed: set[UserId] = set()
+        for (user, optimization), handle in self._additive_bids.items():
+            if handle.as_of(t).end != t:
+                continue
+            amount = self._addon[optimization].exit_price(user)
+            self._payments[user] = self._payments.get(user, 0.0) + amount
+            if amount > 0:
+                self.ledger.invoice(t, user, amount, memo=f"opt={optimization!r}")
+                self.events.record(UserCharged(t, user, amount))
+            departed.add(user)
+        for user in departed:
+            self.events.record(UserDeparted(t, user))
+
+    def _advance_substitutable(self, t: int) -> None:
+        residuals: dict[UserId, dict[OptId, float]] = {}
+        for user, bid in self._subst_bids.items():
+            if user in self._subston.grants:
+                continue
+            if t >= bid.start:
+                residual = bid.residual(t)
+                residuals[user] = {
+                    j: (residual if j in bid.substitutes else 0.0)
+                    for j in self.catalog
+                }
+            else:
+                residuals[user] = {j: 0.0 for j in self.catalog}
+
+        before_grants = set(self._subston.grants)
+        before_impl = set(self._subston.implemented_at)
+        self._subston.step(t, residuals)
+        for user in set(self._subston.grants) - before_grants:
+            optimization = self._subston.grants[user]
+            self._granted_at[(user, optimization)] = t
+            self.events.record(UserGranted(t, user, optimization))
+        for optimization in set(self._subston.implemented_at) - before_impl:
+            cost = self.catalog.get(optimization).cost
+            self._implemented[optimization] = t
+            self.ledger.build_outlay(t, optimization, cost)
+            self.events.record(OptimizationImplemented(t, optimization, cost))
+
+        for user, bid in self._subst_bids.items():
+            if bid.end == t:
+                amount = self._subston.exit_price(user)
+                self._payments[user] = amount
+                if amount > 0:
+                    self.ledger.invoice(t, user, amount)
+                    self.events.record(UserCharged(t, user, amount))
+                self.events.record(UserDeparted(t, user))

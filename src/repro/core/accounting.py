@@ -1,0 +1,213 @@
+"""Utility / payment / balance accounting (paper Sections 3 and 7.1).
+
+The mechanisms decide outcomes from *declared* bids; welfare is measured
+against *true* values. This module computes, for every outcome type:
+
+* **realized value** — the value users actually obtain from the slots (or
+  grants) they are serviced;
+* **user utility** — realized value minus payment (``U_i = V_i(a) - P_i``);
+* **total (social) utility** — total realized value minus the cost of the
+  implemented optimizations;
+* **cloud balance** — total payments minus total costs. Following the
+  paper's figures (not its self-contradicting prose), *negative* balance
+  means the cloud lost money; all Shapley-based mechanisms keep it >= 0.
+
+Passing declared bids as the truth yields the truthful-play welfare used by
+the experiments; passing a different truth evaluates a deviation, which is
+how the truthfulness property tests are written.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.outcome import (
+    AddOffOutcome,
+    AddOnOutcome,
+    OptId,
+    SubstOffOutcome,
+    SubstOnOutcome,
+    UserId,
+)
+
+__all__ = [
+    "addoff_total_utility",
+    "addoff_user_utility",
+    "addon_realized_value",
+    "addon_user_utility",
+    "addon_total_utility",
+    "substoff_realized_value",
+    "substoff_user_utility",
+    "substoff_total_utility",
+    "subston_realized_value",
+    "subston_user_utility",
+    "subston_total_utility",
+    "cloud_balance",
+]
+
+
+# ---------------------------------------------------------------- offline --
+
+
+def addoff_user_utility(
+    outcome: AddOffOutcome,
+    user: UserId,
+    true_values: Mapping[OptId, Mapping[UserId, float]],
+) -> float:
+    """``U_i`` for an AddOff outcome: sum of granted true values minus payment."""
+    value = sum(
+        true_values.get(j, {}).get(user, 0.0)
+        for j, result in outcome.results.items()
+        if user in result.serviced
+    )
+    return value - outcome.payment(user)
+
+
+def addoff_total_utility(
+    outcome: AddOffOutcome,
+    true_values: Mapping[OptId, Mapping[UserId, float]],
+) -> float:
+    """Total social utility of an AddOff outcome."""
+    realized = sum(
+        true_values.get(j, {}).get(user, 0.0)
+        for j, result in outcome.results.items()
+        for user in result.serviced
+    )
+    return realized - outcome.total_cost
+
+
+def substoff_realized_value(
+    outcome: SubstOffOutcome,
+    true_values: Mapping[UserId, Mapping[OptId, float]],
+) -> float:
+    """Realized value of a SubstOff outcome against a true bid matrix.
+
+    A user realizes value only if her grant is an optimization she truly
+    values (a user who lied about her substitute set may hold a worthless
+    grant — that is exactly the failed manipulation of Example 7).
+    """
+    return sum(
+        true_values.get(user, {}).get(optimization, 0.0)
+        for user, optimization in outcome.grants.items()
+    )
+
+
+def substoff_user_utility(
+    outcome: SubstOffOutcome,
+    user: UserId,
+    true_values: Mapping[UserId, Mapping[OptId, float]],
+) -> float:
+    """``U_i`` for a SubstOff outcome."""
+    optimization = outcome.grants.get(user)
+    value = (
+        true_values.get(user, {}).get(optimization, 0.0)
+        if optimization is not None
+        else 0.0
+    )
+    return value - outcome.payment(user)
+
+
+def substoff_total_utility(
+    outcome: SubstOffOutcome,
+    true_values: Mapping[UserId, Mapping[OptId, float]],
+) -> float:
+    """Total social utility of a SubstOff outcome."""
+    return substoff_realized_value(outcome, true_values) - outcome.total_cost
+
+
+# ----------------------------------------------------------------- online --
+
+
+def addon_realized_value(
+    outcome: AddOnOutcome,
+    user: UserId,
+    true_bid: AdditiveBid,
+) -> float:
+    """Value ``user`` truly obtains: her true value over her serviced slots.
+
+    Service windows come from the outcome (hence from declared bids); values
+    come from ``true_bid``, so time or value misreports are priced in.
+    """
+    return sum(
+        true_bid.value_at(t)
+        for t in range(1, outcome.horizon + 1)
+        if user in outcome.serviced_by_slot[t]
+    )
+
+
+def addon_user_utility(
+    outcome: AddOnOutcome,
+    user: UserId,
+    true_bid: AdditiveBid,
+) -> float:
+    """``U_i`` for an AddOn outcome."""
+    return addon_realized_value(outcome, user, true_bid) - outcome.payment(user)
+
+
+def addon_total_utility(
+    outcome: AddOnOutcome,
+    true_bids: Mapping[UserId, AdditiveBid],
+) -> float:
+    """Total social utility of an AddOn outcome."""
+    realized = sum(
+        addon_realized_value(outcome, user, bid) for user, bid in true_bids.items()
+    )
+    return realized - outcome.total_cost
+
+
+def subston_realized_value(
+    outcome: SubstOnOutcome,
+    user: UserId,
+    true_bid: SubstitutableBid,
+    declared_end: int | None = None,
+) -> float:
+    """Value ``user`` truly obtains from a SubstOn outcome.
+
+    She must hold a grant for an optimization in her *true* substitute set;
+    value accrues from the grant slot to her declared departure
+    (``declared_end`` defaults to the true bid's end, i.e. truthful timing).
+    """
+    optimization = outcome.grants.get(user)
+    if optimization is None or optimization not in true_bid.substitutes:
+        return 0.0
+    end = true_bid.end if declared_end is None else declared_end
+    start = outcome.granted_at[user]
+    return sum(true_bid.value_at(t) for t in range(start, end + 1))
+
+
+def subston_user_utility(
+    outcome: SubstOnOutcome,
+    user: UserId,
+    true_bid: SubstitutableBid,
+    declared_end: int | None = None,
+) -> float:
+    """``U_i`` for a SubstOn outcome."""
+    value = subston_realized_value(outcome, user, true_bid, declared_end)
+    return value - outcome.payment(user)
+
+
+def subston_total_utility(
+    outcome: SubstOnOutcome,
+    true_bids: Mapping[UserId, SubstitutableBid],
+) -> float:
+    """Total social utility of a SubstOn outcome (truthful timing)."""
+    realized = sum(
+        subston_realized_value(outcome, user, bid)
+        for user, bid in true_bids.items()
+    )
+    return realized - outcome.total_cost
+
+
+# ---------------------------------------------------------------- balance --
+
+
+def cloud_balance(outcome) -> float:
+    """Payments minus costs; negative means the cloud lost money.
+
+    Works for every outcome type in :mod:`repro.core.outcome` (they all
+    expose ``total_payment`` and ``total_cost``) and for the Regret
+    baseline's outcomes.
+    """
+    return outcome.total_payment - outcome.total_cost

@@ -1,0 +1,46 @@
+"""AddOff — offline mechanism for additive optimizations (Section 4.2).
+
+With additive valuations each optimization is an independent cost-sharing
+game, so AddOff simply runs the Shapley Value Mechanism once per
+optimization and sums the per-optimization payments. Truthfulness and
+cost-recovery are inherited directly from Mechanism 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.outcome import AddOffOutcome, OptId, ShapleyResult, UserId
+from repro.core.shapley import run_shapley
+from repro.errors import MechanismError
+
+__all__ = ["run_addoff"]
+
+
+def run_addoff(
+    costs: Mapping[OptId, float],
+    bids: Mapping[OptId, Mapping[UserId, float]],
+) -> AddOffOutcome:
+    """Run AddOff over a set of additive optimizations.
+
+    Parameters
+    ----------
+    costs:
+        Cost ``C_j`` per optimization id.
+    bids:
+        For each optimization id, the users' scalar bids for it. An
+        optimization missing from ``bids`` is treated as having no bidders
+        (it is never implemented).
+
+    Returns
+    -------
+    AddOffOutcome
+        Per-optimization Shapley results plus aggregate payment helpers.
+    """
+    unknown = set(bids) - set(costs)
+    if unknown:
+        raise MechanismError(f"bids reference unknown optimizations: {sorted(map(str, unknown))}")
+    results: dict[OptId, ShapleyResult] = {}
+    for optimization, cost in costs.items():
+        results[optimization] = run_shapley(cost, bids.get(optimization, {}))
+    return AddOffOutcome(results=results, costs=dict(costs))

@@ -1,0 +1,144 @@
+"""Mechanism 2 — AddOn, the online mechanism for additive optimizations.
+
+Users join and leave across slots ``1..z``. At every slot the mechanism
+runs the Shapley Value Mechanism over *residual bids*
+``b'_ij = sum_{tau >= t} b_ij(tau)`` for users already seen, ``infinity``
+for users in the cumulative serviced set ``CS_j`` (once serviced, always
+serviced), and ``0`` for users not yet seen. A user is actively serviced at
+slot ``t`` when she belongs to ``CS_j(t)`` and has not left
+(``t <= e_i``); she pays only at her departure slot ``e_i``, and she pays
+the cost-share computed at that slot — the lowest share so far, since the
+cumulative set only grows.
+
+The mechanism is truthful in the model-free sense (Proposition 1) and
+cost-recovering; later joiners shrink everyone's share while early leavers
+pay their higher historical share, so the cloud may strictly over-recover
+(paper Example 3: payments 175 against a cost of 100).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.bids.additive import AdditiveBid
+from repro.bids.revision import RevisableBid
+from repro.core.online import AddOnState
+from repro.core.outcome import AddOnOutcome, UserId
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
+
+__all__ = ["run_addon"]
+
+def _valid_cost(cost: float) -> bool:
+    """Strictly positive, finite, non-NaN."""
+    import math as _math
+
+    return _plain_positive(cost) and not _math.isinf(cost)
+
+
+BidLike = Union[AdditiveBid, RevisableBid]
+
+
+def _view(bid: BidLike, t: int) -> AdditiveBid:
+    """The bid as the cloud sees it at slot ``t`` (supports revisions)."""
+    if isinstance(bid, RevisableBid):
+        if t < bid.declared_at:
+            # Not yet declared: behave as unseen (the caller prunes via s_i).
+            return bid.current
+        return bid.as_of(t)
+    return bid
+
+
+def _start(bid: BidLike) -> int:
+    """The entry slot ``s_i``; Mechanism 2 prunes users with ``t < s_i``.
+
+    A revisable bid may be declared before its interval begins, but the
+    paper includes a user's residual only from ``s_i`` onwards (line 6 of
+    Mechanism 2), so pruning keys on the interval start. Revisions cannot
+    move the start, so the current view's start is authoritative.
+    """
+    if isinstance(bid, RevisableBid):
+        return bid.current.start
+    return bid.start
+
+
+def run_addon(
+    cost: float,
+    bids: Mapping[UserId, BidLike],
+    horizon: int | None = None,
+) -> AddOnOutcome:
+    """Run the AddOn Mechanism for a single additive optimization.
+
+    Parameters
+    ----------
+    cost:
+        The fixed optimization cost ``C_j`` covering implementation plus
+        maintenance for the whole period ``T``.
+    bids:
+        One :class:`AdditiveBid` (or :class:`RevisableBid`) per user.
+    horizon:
+        Number of slots ``z``. Defaults to the latest departure slot among
+        the bids; must be at least that to guarantee every user pays.
+
+    Returns
+    -------
+    AddOnOutcome
+        Per-slot serviced/cumulative sets, price trace, and final payments.
+    """
+    if not _valid_cost(cost):
+        raise MechanismError(f"optimization cost must be positive, got {cost}")
+    if not bids:
+        horizon = horizon or 0
+        return AddOnOutcome(
+            cost=cost,
+            horizon=horizon,
+            serviced_by_slot=tuple([frozenset()] * (horizon + 1)),
+            cumulative_by_slot=tuple([frozenset()] * (horizon + 1)),
+            price_by_slot=tuple([0.0] * (horizon + 1)),
+            payments={},
+            implemented_at=None,
+        )
+
+    if horizon is None:
+        horizon = max(
+            b.current.end if isinstance(b, RevisableBid) else b.end
+            for b in bids.values()
+        )
+    if horizon < 1:
+        raise MechanismError(f"horizon must be >= 1, got {horizon}")
+
+    state = AddOnState(cost)
+    serviced_by_slot: list[frozenset] = [frozenset()]
+    cumulative_by_slot: list[frozenset] = [frozenset()]
+    price_by_slot: list[float] = [0.0]
+    payments: dict[UserId, float] = {}
+
+    for t in range(1, horizon + 1):
+        residual_bids: dict[UserId, float] = {}
+        for user, bid in bids.items():
+            if t >= _start(bid):
+                residual_bids[user] = _view(bid, t).residual(t)
+            else:
+                residual_bids[user] = 0.0  # prune users not yet seen
+
+        result = state.step(t, residual_bids)
+        active = frozenset(
+            user for user in state.cumulative if t <= _view(bids[user], t).end
+        )
+        serviced_by_slot.append(active)
+        cumulative_by_slot.append(state.cumulative)
+        price_by_slot.append(result.price)
+
+        for user, bid in bids.items():
+            if _view(bid, t).end == t:
+                payments[user] = result.payment(user)
+
+    return AddOnOutcome(
+        cost=cost,
+        horizon=horizon,
+        serviced_by_slot=tuple(serviced_by_slot),
+        cumulative_by_slot=tuple(cumulative_by_slot),
+        price_by_slot=tuple(price_by_slot),
+        payments=payments,
+        implemented_at=state.implemented_at,
+    )

@@ -1,0 +1,168 @@
+"""Efficient (welfare-maximizing) outcomes and efficiency-loss accounting.
+
+Section 3 recalls the impossibility at the heart of the paper: no
+mechanism is simultaneously truthful, cost-recovering and *efficient*
+(welfare-maximizing). The paper's mechanisms keep the first two and pay
+with some welfare. This module computes the welfare-optimal alternative —
+the unreachable ideal — so that loss can be measured:
+
+* additive games decompose per optimization: implement ``j`` exactly when
+  the values sum past the cost, and grant every positive-value user;
+* substitutable games need a search over optimization subsets (users
+  realize their value when *any* wanted optimization is built), done
+  exactly for small pools.
+
+``efficiency_loss`` then relates any outcome's realized welfare to the
+optimum; the ablation benchmark uses it to place Shapley/AddOff between
+"free" (no optimization) and the efficient frontier, next to VCG which
+sits *on* the frontier but runs budget deficits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.outcome import OptId, UserId
+from repro.errors import MechanismError
+
+__all__ = [
+    "EfficientAdditiveOutcome",
+    "EfficientSubstitutableOutcome",
+    "efficient_additive",
+    "efficient_substitutable",
+    "efficiency_loss",
+]
+
+#: Exact subset search is exponential; refuse beyond this pool size.
+MAX_EXACT_OPTS = 20
+
+
+@dataclass(frozen=True)
+class EfficientAdditiveOutcome:
+    """The welfare-optimal alternative of an offline additive game."""
+
+    implemented: frozenset
+    grants: frozenset
+    welfare: float
+    total_cost: float
+
+    def serviced(self, optimization: OptId) -> frozenset:
+        """Users granted one optimization."""
+        return frozenset(i for i, j in self.grants if j == optimization)
+
+
+@dataclass(frozen=True)
+class EfficientSubstitutableOutcome:
+    """The welfare-optimal alternative of an offline substitutable game."""
+
+    implemented: frozenset
+    assignment: Mapping[UserId, OptId]
+    welfare: float
+    total_cost: float
+
+
+def efficient_additive(
+    costs: Mapping[OptId, float],
+    values: Mapping[OptId, Mapping[UserId, float]],
+) -> EfficientAdditiveOutcome:
+    """The efficient outcome: build ``j`` iff its values cover its cost.
+
+    With additive valuations the welfare objective separates per
+    optimization, so the optimum is exact and linear-time.
+    """
+    implemented = set()
+    grants = set()
+    welfare = 0.0
+    total_cost = 0.0
+    for optimization, cost in costs.items():
+        if cost <= 0:
+            raise MechanismError(
+                f"cost of {optimization!r} must be positive, got {cost}"
+            )
+        opt_values = values.get(optimization, {})
+        total_value = sum(v for v in opt_values.values() if v > 0)
+        if total_value >= cost:
+            implemented.add(optimization)
+            total_cost += cost
+            welfare += total_value - cost
+            for user, value in opt_values.items():
+                if value > 0:
+                    grants.add((user, optimization))
+    return EfficientAdditiveOutcome(
+        implemented=frozenset(implemented),
+        grants=frozenset(grants),
+        welfare=welfare,
+        total_cost=total_cost,
+    )
+
+
+def efficient_substitutable(
+    costs: Mapping[OptId, float],
+    values: Mapping[UserId, Mapping[OptId, float]],
+) -> EfficientSubstitutableOutcome:
+    """Exact welfare-optimal subset of optimizations to build.
+
+    ``values[i]`` holds user ``i``'s value per acceptable optimization
+    (her substitutable bid as a matrix row). Given a built subset ``S``,
+    she realizes ``max over j in S`` of her row (0 if none) — for the
+    paper's pure substitutable valuations all her entries are equal, but
+    the search handles general rows too. Exponential in the pool size;
+    capped at ``MAX_EXACT_OPTS``.
+    """
+    pool = list(costs)
+    for optimization, cost in costs.items():
+        if cost <= 0:
+            raise MechanismError(
+                f"cost of {optimization!r} must be positive, got {cost}"
+            )
+    if len(pool) > MAX_EXACT_OPTS:
+        raise MechanismError(
+            f"exact search supports at most {MAX_EXACT_OPTS} optimizations, "
+            f"got {len(pool)}"
+        )
+
+    best_welfare = 0.0
+    best_subset: tuple = ()
+    for size in range(len(pool) + 1):
+        for subset in itertools.combinations(pool, size):
+            built = set(subset)
+            cost = sum(costs[j] for j in built)
+            value = 0.0
+            for row in values.values():
+                candidates = [v for j, v in row.items() if j in built and v > 0]
+                if candidates:
+                    value += max(candidates)
+            welfare = value - cost
+            if welfare > best_welfare:
+                best_welfare = welfare
+                best_subset = subset
+
+    built = set(best_subset)
+    assignment: dict[UserId, OptId] = {}
+    for user, row in values.items():
+        candidates = [(v, j) for j, v in row.items() if j in built and v > 0]
+        if candidates:
+            assignment[user] = max(candidates)[1]
+    return EfficientSubstitutableOutcome(
+        implemented=frozenset(built),
+        assignment=assignment,
+        welfare=best_welfare,
+        total_cost=sum(costs[j] for j in built),
+    )
+
+
+def efficiency_loss(achieved_welfare: float, optimal_welfare: float) -> float:
+    """Relative welfare loss in [0, 1]; 0 when the optimum is hit.
+
+    An optimum of 0 (nothing worth building) counts as lossless when the
+    achieved welfare is also 0.
+    """
+    if optimal_welfare < -1e-9:
+        raise MechanismError(
+            f"optimal welfare cannot be negative, got {optimal_welfare}"
+        )
+    if optimal_welfare <= 0:
+        return 0.0
+    return max(0.0, (optimal_welfare - achieved_welfare) / optimal_welfare)

@@ -1,0 +1,124 @@
+"""General Moulin mechanisms over cross-monotonic cost shares.
+
+Section 8 situates the paper: the Shapley Value Mechanism "is an instance
+of Moulin Mechanisms [27] that have been designed for various offline
+combinatorial cost-sharing problems". A Moulin mechanism is parameterized
+by a *cost-share function* ``xi(i, S)`` — what user ``i`` pays if exactly
+the set ``S`` is serviced — that must be
+
+* **budget balanced**: ``sum_{i in S} xi(i, S) = C`` for every ``S``, and
+* **cross-monotonic**: ``xi(i, S) >= xi(i, T)`` whenever ``i in S subset T``
+  (more company never raises your share).
+
+The mechanism then iterates exactly like Mechanism 1: start from everyone,
+drop users whose bid is below their current share, repeat to the largest
+fixed point. Cross-monotonicity is what makes the iteration converge to a
+group-strategyproof outcome (Moulin & Shenker 2001). Equal splitting
+recovers :func:`repro.core.shapley.run_shapley`; weighted splitting prices
+heavy users more — e.g. shares proportional to bytes scanned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.outcome import ShapleyResult, UserId
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf, isclose_or_greater
+
+__all__ = ["equal_shares", "weighted_shares", "run_moulin"]
+
+#: A cost-share function: (user, serviced set) -> that user's share.
+ShareFunction = Callable[[UserId, frozenset], float]
+
+
+def equal_shares(cost: float) -> ShareFunction:
+    """The Shapley split ``xi(i, S) = C / |S|``."""
+    if not is_positive_finite_or_inf(cost):
+        raise MechanismError(f"cost must be positive, got {cost}")
+
+    def share(user: UserId, serviced: frozenset) -> float:
+        return cost / len(serviced)
+
+    return share
+
+
+def weighted_shares(cost: float, weights: Mapping[UserId, float]) -> ShareFunction:
+    """Shares proportional to positive per-user weights.
+
+    ``xi(i, S) = C * w_i / sum_{k in S} w_k`` — budget balanced by
+    construction and cross-monotonic because adding users only grows the
+    denominator. Natural weights: expected scan bytes, query counts,
+    storage footprints.
+    """
+    if not is_positive_finite_or_inf(cost):
+        raise MechanismError(f"cost must be positive, got {cost}")
+    for user, weight in weights.items():
+        if not is_positive_finite_or_inf(weight):
+            raise MechanismError(
+                f"weight of user {user!r} must be positive, got {weight}"
+            )
+
+    def share(user: UserId, serviced: frozenset) -> float:
+        total = sum(weights[k] for k in serviced)
+        return cost * weights[user] / total
+
+    return share
+
+
+def run_moulin(
+    share_fn: ShareFunction,
+    bids: Mapping[UserId, float],
+    max_rounds: int | None = None,
+) -> ShapleyResult:
+    """Run the Moulin mechanism for one optimization.
+
+    Parameters
+    ----------
+    share_fn:
+        A budget-balanced, cross-monotonic cost-share function. The
+        mechanism trusts these properties; :mod:`tests` probe them for the
+        built-in share families.
+    bids:
+        Declared value per user (``math.inf`` allowed, as in
+        :func:`~repro.core.shapley.run_shapley`).
+    max_rounds:
+        Safety valve for misbehaved share functions; defaults to the user
+        count (each round must evict someone or stop).
+
+    Returns
+    -------
+    ShapleyResult
+        Serviced set and per-user payments. ``price`` reports the *mean*
+        share (all shares are equal under ``equal_shares``).
+    """
+    import math
+
+    for user, bid in bids.items():
+        if bid < 0 or math.isnan(bid):
+            raise MechanismError(f"bid for user {user!r} must be >= 0, got {bid}")
+    serviced = frozenset(user for user, bid in bids.items() if bid > 0)
+    limit = len(serviced) + 1 if max_rounds is None else max_rounds
+    rounds = 0
+    shares: dict[UserId, float] = {}
+    while serviced and rounds < limit:
+        rounds += 1
+        shares = {user: share_fn(user, serviced) for user in serviced}
+        keep = frozenset(
+            user
+            for user in serviced
+            if isclose_or_greater(bids[user], shares[user])
+        )
+        if keep == serviced:
+            break
+        serviced = keep
+    if serviced and rounds >= limit:
+        raise MechanismError(
+            f"share function did not converge within {limit} rounds; "
+            "is it cross-monotonic?"
+        )
+    if not serviced:
+        return ShapleyResult(frozenset(), 0.0, {}, rounds)
+    payments = {user: shares[user] for user in serviced}
+    mean_share = sum(payments.values()) / len(payments)
+    return ShapleyResult(serviced, mean_share, payments, rounds)

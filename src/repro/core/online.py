@@ -1,0 +1,149 @@
+"""Incremental per-slot state machines for the online mechanisms.
+
+The batch runners (:func:`repro.core.addon.run_addon`,
+:func:`repro.core.subston.run_subston`) replay a complete bid profile; the
+cloud-service simulator (:mod:`repro.cloudsim`) instead advances slot by
+slot as agents arrive, revise and depart. Both share these state machines,
+which encode the two rules that make the mechanisms work online:
+
+* previously serviced users are *forced* (infinite residual bid) so the
+  cumulative set only grows and shares only shrink;
+* in the substitutable case a granted user is additionally *locked* to her
+  optimization (zero bids elsewhere) so she can never switch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.outcome import OptId, ShapleyResult, UserId
+from repro.core.shapley import run_shapley
+from repro.core.substoff import run_substoff
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
+from repro.utils.rng import RngLike
+
+__all__ = ["AddOnState", "SubstOnState"]
+
+def _valid_cost(cost: float) -> bool:
+    """Strictly positive, finite, non-NaN."""
+    import math as _math
+
+    return _plain_positive(cost) and not _math.isinf(cost)
+
+
+
+class AddOnState:
+    """Slot-by-slot evolution of AddOn for a single optimization."""
+
+    def __init__(self, cost: float) -> None:
+        if not _valid_cost(cost):
+            raise MechanismError(f"optimization cost must be positive, got {cost}")
+        self.cost = cost
+        self.cumulative: frozenset = frozenset()
+        self.price: float = 0.0
+        self.implemented_at: int | None = None
+        self._slot = 0
+
+    @property
+    def implemented(self) -> bool:
+        """True once some slot's residuals covered the cost."""
+        return self.implemented_at is not None
+
+    def step(self, t: int, residual_bids: Mapping[UserId, float]) -> ShapleyResult:
+        """Advance to slot ``t`` with the given residual bids.
+
+        ``residual_bids`` must cover every user the caller wants considered
+        (users in the cumulative set are forced regardless of their entry,
+        and may be omitted). Slots must be visited in increasing order.
+        """
+        if t <= self._slot:
+            raise MechanismError(
+                f"slots must advance; got {t} after {self._slot}"
+            )
+        self._slot = t
+        bids = {user: float(bid) for user, bid in residual_bids.items()}
+        for user in self.cumulative:
+            bids[user] = math.inf
+        result = run_shapley(self.cost, bids)
+        self.cumulative = result.serviced
+        self.price = result.price
+        if self.implemented_at is None and result.serviced:
+            self.implemented_at = t
+        return result
+
+    def exit_price(self, user: UserId) -> float:
+        """What ``user`` owes if she departs now (her current cost-share)."""
+        return self.price if user in self.cumulative else 0.0
+
+
+class SubstOnState:
+    """Slot-by-slot evolution of SubstOn across an optimization pool."""
+
+    def __init__(
+        self,
+        costs: Mapping[OptId, float],
+        rng: RngLike = None,
+        randomize_ties: bool = False,
+    ) -> None:
+        for optimization, cost in costs.items():
+            if not _valid_cost(cost):
+                raise MechanismError(
+                    f"cost of {optimization!r} must be positive, got {cost}"
+                )
+        self.costs = dict(costs)
+        self.grants: dict[UserId, OptId] = {}
+        self.granted_at: dict[UserId, int] = {}
+        self.implemented_at: dict[OptId, int] = {}
+        self.shares: dict[OptId, float] = {}
+        self._rng = rng
+        self._randomize_ties = randomize_ties
+        self._slot = 0
+
+    def step(
+        self, t: int, residual_bids: Mapping[UserId, Mapping[OptId, float]]
+    ):
+        """Advance to slot ``t``; returns the slot's SubstOff outcome.
+
+        ``residual_bids`` holds each unserviced user's residual value per
+        optimization (zero rows for unseen users are fine and equivalent to
+        omission); granted users are forced/locked internally.
+        """
+        if t <= self._slot:
+            raise MechanismError(f"slots must advance; got {t} after {self._slot}")
+        self._slot = t
+        matrix: dict[UserId, dict[OptId, float]] = {}
+        for user, row in residual_bids.items():
+            if user in self.grants:
+                continue
+            unknown = set(row) - set(self.costs)
+            if unknown:
+                raise MechanismError(
+                    f"user {user!r} bids on unknown optimizations: "
+                    f"{sorted(map(str, unknown))}"
+                )
+            matrix[user] = dict(row)
+        for user, locked in self.grants.items():
+            row = {j: 0.0 for j in self.costs}
+            row[locked] = math.inf
+            matrix[user] = row
+
+        outcome = run_substoff(
+            self.costs, matrix, rng=self._rng, randomize_ties=self._randomize_ties
+        )
+        for user, optimization in outcome.grants.items():
+            if user not in self.grants:
+                self.grants[user] = optimization
+                self.granted_at[user] = t
+            if optimization not in self.implemented_at:
+                self.implemented_at[optimization] = t
+        self.shares = dict(outcome.shares)
+        return outcome
+
+    def exit_price(self, user: UserId) -> float:
+        """What ``user`` owes if she departs now."""
+        optimization = self.grants.get(user)
+        if optimization is None:
+            return 0.0
+        return self.shares.get(optimization, 0.0)

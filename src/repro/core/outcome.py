@@ -1,0 +1,216 @@
+"""Outcome types returned by the mechanisms.
+
+The paper's *alternative* is a set of implemented optimizations plus grant
+pairs ``(i, j)`` (Section 3). Each mechanism returns a frozen outcome
+holding the alternative it chose, the payment vector, and enough trace
+information (per-slot serviced sets, price trajectories) to reproduce the
+worked examples and compute utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+__all__ = [
+    "UserId",
+    "OptId",
+    "ShapleyResult",
+    "AddOffOutcome",
+    "AddOnOutcome",
+    "SubstOffOutcome",
+    "SubstOnOutcome",
+]
+
+UserId = Hashable
+OptId = Hashable
+
+
+@dataclass(frozen=True)
+class ShapleyResult:
+    """Output of one Shapley Value Mechanism run (Mechanism 1).
+
+    ``price`` is the common cost-share ``C_j / |S_j|`` paid by each serviced
+    user, or ``0.0`` when nobody could afford the optimization.
+    """
+
+    serviced: frozenset
+    price: float
+    payments: Mapping[UserId, float]
+    rounds: int
+
+    @property
+    def implemented(self) -> bool:
+        """True when at least one user is serviced (the optimization is built)."""
+        return bool(self.serviced)
+
+    @property
+    def revenue(self) -> float:
+        """Total collected payment (= cost when implemented, else 0)."""
+        return sum(self.payments.values())
+
+    def payment(self, user: UserId) -> float:
+        """``p_ij`` for ``user`` (0 for non-serviced users)."""
+        return self.payments.get(user, 0.0)
+
+
+@dataclass(frozen=True)
+class AddOffOutcome:
+    """Output of AddOff: one independent Shapley run per optimization."""
+
+    results: Mapping[OptId, ShapleyResult]
+    costs: Mapping[OptId, float]
+
+    @property
+    def implemented(self) -> frozenset:
+        """Optimizations that were built."""
+        return frozenset(j for j, r in self.results.items() if r.implemented)
+
+    @property
+    def grants(self) -> frozenset:
+        """All grant pairs ``(user, optimization)`` of the chosen alternative."""
+        return frozenset(
+            (i, j) for j, r in self.results.items() for i in r.serviced
+        )
+
+    def serviced(self, optimization: OptId) -> frozenset:
+        """``S_j`` for one optimization."""
+        return self.results[optimization].serviced
+
+    def payment(self, user: UserId) -> float:
+        """Total payment ``P_i`` across all optimizations."""
+        return sum(r.payment(user) for r in self.results.values())
+
+    def payment_for(self, user: UserId, optimization: OptId) -> float:
+        """``p_ij`` for one grant pair."""
+        return self.results[optimization].payment(user)
+
+    @property
+    def total_cost(self) -> float:
+        """Combined cost of the implemented optimizations."""
+        return sum(self.costs[j] for j in self.implemented)
+
+    @property
+    def total_payment(self) -> float:
+        """Combined payments over all users."""
+        return sum(r.revenue for r in self.results.values())
+
+
+@dataclass(frozen=True)
+class AddOnOutcome:
+    """Output of the AddOn Mechanism (Mechanism 2) for one optimization.
+
+    Slots are 1-indexed: ``serviced_by_slot[t]`` is ``S_j(t)`` and
+    ``cumulative_by_slot[t]`` is ``CS_j(t)``; index 0 is the empty pre-game
+    state. ``price_by_slot[t]`` is the cost-share computed by the embedded
+    Shapley run at slot ``t`` (0 while the optimization is unaffordable).
+    """
+
+    cost: float
+    horizon: int
+    serviced_by_slot: tuple
+    cumulative_by_slot: tuple
+    price_by_slot: tuple
+    payments: Mapping[UserId, float]
+    implemented_at: int | None
+
+    @property
+    def implemented(self) -> bool:
+        """True when the optimization was built at some slot."""
+        return self.implemented_at is not None
+
+    def serviced(self, t: int) -> frozenset:
+        """``S_j(t)`` — users actively serviced during slot ``t``."""
+        return self.serviced_by_slot[t]
+
+    def cumulative(self, t: int) -> frozenset:
+        """``CS_j(t)`` — every user serviced up to and including slot ``t``."""
+        return self.cumulative_by_slot[t]
+
+    def payment(self, user: UserId) -> float:
+        """Final payment charged when ``user`` left the system."""
+        return self.payments.get(user, 0.0)
+
+    @property
+    def total_payment(self) -> float:
+        """Sum of all user payments."""
+        return sum(self.payments.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Cost incurred by the cloud (0 when never implemented)."""
+        return self.cost if self.implemented else 0.0
+
+
+@dataclass(frozen=True)
+class SubstOffOutcome:
+    """Output of SubstOff (Mechanism 3).
+
+    ``implemented`` lists optimizations in the order the phase loop selected
+    them. ``grants`` maps each serviced user to the single optimization she
+    was granted (substitutable users never hold two grants).
+    """
+
+    costs: Mapping[OptId, float]
+    implemented: tuple
+    grants: Mapping[UserId, OptId]
+    payments: Mapping[UserId, float]
+    shares: Mapping[OptId, float]
+
+    def serviced(self, optimization: OptId) -> frozenset:
+        """``S_j`` — the users granted ``optimization``."""
+        return frozenset(i for i, j in self.grants.items() if j == optimization)
+
+    def payment(self, user: UserId) -> float:
+        """Payment for ``user`` (0 when not serviced)."""
+        return self.payments.get(user, 0.0)
+
+    @property
+    def total_cost(self) -> float:
+        """Combined cost of implemented optimizations."""
+        return sum(self.costs[j] for j in self.implemented)
+
+    @property
+    def total_payment(self) -> float:
+        """Combined payments over all users."""
+        return sum(self.payments.values())
+
+
+@dataclass(frozen=True)
+class SubstOnOutcome:
+    """Output of SubstOn (Mechanism 4).
+
+    ``granted_at[i]`` is the slot user ``i`` first obtained access to
+    ``grants[i]``; she is locked to that optimization afterwards.
+    ``implemented_at[j]`` is the slot optimization ``j`` was first built.
+    """
+
+    costs: Mapping[OptId, float]
+    horizon: int
+    grants: Mapping[UserId, OptId]
+    granted_at: Mapping[UserId, int]
+    implemented_at: Mapping[OptId, int]
+    payments: Mapping[UserId, float]
+    shares_by_slot: tuple = field(default=())
+
+    def serviced(self, optimization: OptId, t: int) -> frozenset:
+        """Users holding a grant for ``optimization`` as of slot ``t``."""
+        return frozenset(
+            i
+            for i, j in self.grants.items()
+            if j == optimization and self.granted_at[i] <= t
+        )
+
+    def payment(self, user: UserId) -> float:
+        """Final payment charged when ``user`` left the system."""
+        return self.payments.get(user, 0.0)
+
+    @property
+    def total_cost(self) -> float:
+        """Combined cost of every optimization that was built."""
+        return sum(self.costs[j] for j in self.implemented_at)
+
+    @property
+    def total_payment(self) -> float:
+        """Combined payments over all users."""
+        return sum(self.payments.values())

@@ -1,0 +1,67 @@
+"""Mechanism 1 — the Shapley Value Mechanism (paper Section 4.1).
+
+Given one optimization with cost ``C_j`` and one bid per user, find the
+largest set ``S_j`` of users such that every member's bid covers the even
+split ``C_j / |S_j|``. Start from all users, repeatedly divide the cost
+evenly and evict users whose bid falls below the share, until the set is
+stable (or empty). Serviced users all pay the same share; everyone else
+pays nothing; an empty set means the optimization is not implemented.
+
+The mechanism is cost-recovering by construction (serviced payments sum to
+exactly ``C_j``) and truthful (Moulin & Shenker 2001): underbidding can only
+evict you, overbidding can only leave you paying more than your value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.outcome import ShapleyResult, UserId
+from repro.errors import MechanismError
+from repro.utils.numeric import is_positive_finite_or_inf, isclose_or_greater
+
+__all__ = ["run_shapley"]
+
+
+def run_shapley(cost: float, bids: Mapping[UserId, float]) -> ShapleyResult:
+    """Run the Shapley Value Mechanism for one optimization.
+
+    Parameters
+    ----------
+    cost:
+        The optimization cost ``C_j``; must be strictly positive (the paper
+        assumes ``C_j > 0`` — a free optimization needs no mechanism).
+    bids:
+        Declared value per user. ``math.inf`` is a legal bid: the online
+        mechanisms force previously-serviced users into the set this way.
+
+    Returns
+    -------
+    ShapleyResult
+        Serviced set, the common per-user price, and per-user payments.
+    """
+    if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+        raise MechanismError(f"optimization cost must be positive, got {cost}")
+    for user, bid in bids.items():
+        if bid < 0 or math.isnan(bid):
+            raise MechanismError(f"bid for user {user!r} must be >= 0, got {bid}")
+
+    # Users bidding 0 can never afford a positive share; dropping them first
+    # does not change the fixed point (the iteration removes them in round
+    # one regardless) but avoids a wasted pass.
+    serviced = {user for user, bid in bids.items() if bid > 0}
+    price = 0.0
+    rounds = 0
+    while serviced:
+        rounds += 1
+        price = cost / len(serviced)
+        keep = {user for user in serviced if isclose_or_greater(bids[user], price)}
+        if keep == serviced:
+            break
+        serviced = keep
+
+    if not serviced:
+        return ShapleyResult(frozenset(), 0.0, {}, rounds)
+    payments = {user: price for user in serviced}
+    return ShapleyResult(frozenset(serviced), price, payments, rounds)

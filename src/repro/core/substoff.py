@@ -1,0 +1,115 @@
+"""Mechanism 3 — SubstOff, offline mechanism for substitutable optimizations.
+
+Works in phases. Each phase runs the Shapley Value Mechanism independently
+for every still-available optimization over the still-unserviced users,
+then implements the *feasible* optimization with the smallest cost-share.
+Users serviced by it are granted access, pay the share, and drop out of all
+later phases (their bids are zeroed — a substitutable user gains nothing
+from a second grant). The implemented optimization's cost is set to
+infinity so it is never reconsidered. The loop ends when no optimization is
+feasible.
+
+Ties on the minimum cost-share are broken uniformly at random when an
+``rng`` is supplied (the paper's Example 7 assumes a random choice), and by
+first appearance in the ``costs`` mapping otherwise, which keeps unit tests
+deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.outcome import OptId, SubstOffOutcome, UserId
+from repro.core.shapley import run_shapley
+from repro.errors import MechanismError
+from repro.utils.numeric import close
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["run_substoff"]
+
+
+def run_substoff(
+    costs: Mapping[OptId, float],
+    bids: Mapping[UserId, Mapping[OptId, float]],
+    rng: RngLike = None,
+    randomize_ties: bool = False,
+) -> SubstOffOutcome:
+    """Run SubstOff over substitutable optimizations.
+
+    Parameters
+    ----------
+    costs:
+        Cost ``C_j`` per optimization.
+    bids:
+        Bid matrix ``b_ij``: for each user, her declared value per
+        optimization. A substitutable bid ``(J_i, v_i)`` corresponds to the
+        row holding ``v_i`` on every ``j in J_i`` and 0 elsewhere
+        (:meth:`repro.bids.SubstitutableBid.matrix_row` builds exactly
+        that); the mechanism itself accepts any non-negative matrix, which
+        is what Mechanism 4 feeds it. ``math.inf`` entries are legal (forced
+        grants from the online wrapper).
+    rng, randomize_ties:
+        When ``randomize_ties`` is true, ties on the minimum cost-share are
+        broken uniformly at random using ``rng``.
+
+    Returns
+    -------
+    SubstOffOutcome
+        Implemented optimizations in phase order, one grant per serviced
+        user, and the payments (each serviced user pays the cost-share of
+        the phase that granted her).
+    """
+    order = {j: k for k, j in enumerate(costs)}
+    for user, row in bids.items():
+        unknown = set(row) - set(costs)
+        if unknown:
+            raise MechanismError(
+                f"user {user!r} bids on unknown optimizations: {sorted(map(str, unknown))}"
+            )
+    generator = ensure_rng(rng) if randomize_ties else None
+
+    remaining_costs = dict(costs)
+    active = {user: dict(row) for user, row in bids.items()}
+    implemented: list[OptId] = []
+    grants: dict[UserId, OptId] = {}
+    payments: dict[UserId, float] = {}
+    shares: dict[OptId, float] = {}
+
+    while True:
+        # Phase: run Shapley for every available optimization, discard payments.
+        feasible: dict[OptId, tuple[float, frozenset]] = {}
+        for optimization, cost in remaining_costs.items():
+            if math.isinf(cost):
+                continue  # already implemented in an earlier phase
+            column = {
+                user: row.get(optimization, 0.0) for user, row in active.items()
+            }
+            result = run_shapley(cost, column)
+            if result.implemented:
+                feasible[optimization] = (result.price, result.serviced)
+
+        if not feasible:
+            return SubstOffOutcome(
+                costs=dict(costs),
+                implemented=tuple(implemented),
+                grants=grants,
+                payments=payments,
+                shares=shares,
+            )
+
+        min_share = min(price for price, _ in feasible.values())
+        tied = [j for j, (price, _) in feasible.items() if close(price, min_share)]
+        if generator is not None and len(tied) > 1:
+            chosen = tied[int(generator.integers(len(tied)))]
+        else:
+            chosen = min(tied, key=order.__getitem__)
+
+        share, serviced = feasible[chosen]
+        implemented.append(chosen)
+        shares[chosen] = share
+        for user in serviced:
+            grants[user] = chosen
+            payments[user] = share
+            active[user] = {}  # remove the user from all future phases
+        remaining_costs[chosen] = math.inf  # never reconsider

@@ -1,0 +1,98 @@
+"""Mechanism 4 — SubstOn, online mechanism for substitutable optimizations.
+
+Runs SubstOff at every slot over the residual values of all users seen so
+far. The first time a user is granted access to an optimization ``j`` she
+is *locked* to it: her bid for ``j`` becomes infinity (she is always in
+``j``'s feasible set, including after she leaves — departed users keep
+contributing to the denominator so later users' shares keep falling) and
+her bids for every other optimization become 0 (she may never switch; the
+paper's Example 8 shows switching would break truthfulness). Users pay at
+their departure slot ``e_i``, and pay the share computed by that slot's
+SubstOff run — the lowest share their optimization has reached so far.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bids.substitutive import SubstitutableBid
+from repro.core.online import SubstOnState
+from repro.core.outcome import OptId, SubstOnOutcome, UserId
+from repro.errors import MechanismError
+from repro.utils.rng import RngLike
+
+__all__ = ["run_subston"]
+
+
+def run_subston(
+    costs: Mapping[OptId, float],
+    bids: Mapping[UserId, SubstitutableBid],
+    horizon: int | None = None,
+    rng: RngLike = None,
+    randomize_ties: bool = False,
+) -> SubstOnOutcome:
+    """Run the SubstOn Mechanism.
+
+    Parameters
+    ----------
+    costs:
+        Cost ``C_j`` per optimization.
+    bids:
+        One :class:`SubstitutableBid` ``(s_i, e_i, b_i, J_i)`` per user.
+    horizon:
+        Number of slots ``z``; defaults to the latest departure slot.
+    rng, randomize_ties:
+        Passed through to the per-slot SubstOff runs for tie-breaking.
+
+    Returns
+    -------
+    SubstOnOutcome
+        Final grants (one optimization per serviced user), the slot of each
+        grant, the slot each optimization was first built, and the
+        departure-time payments.
+    """
+    for user, bid in bids.items():
+        missing = bid.substitutes - set(costs)
+        if missing:
+            raise MechanismError(
+                f"user {user!r} wants unknown optimizations: {sorted(map(str, missing))}"
+            )
+    if horizon is None:
+        horizon = max((bid.end for bid in bids.values()), default=0)
+
+    optimizations = list(costs)
+    state = SubstOnState(costs, rng=rng, randomize_ties=randomize_ties)
+    payments: dict[UserId, float] = {}
+    shares_by_slot: list[Mapping[OptId, float]] = [{}]
+
+    for t in range(1, horizon + 1):
+        matrix: dict[UserId, dict[OptId, float]] = {}
+        for user, bid in bids.items():
+            if user in state.grants:
+                continue  # forced/locked internally by the state machine
+            if t >= bid.start:
+                residual = bid.residual(t)
+                row = {
+                    j: (residual if j in bid.substitutes else 0.0)
+                    for j in optimizations
+                }
+            else:
+                row = {j: 0.0 for j in optimizations}  # not yet seen
+            matrix[user] = row
+
+        result = state.step(t, matrix)
+        shares_by_slot.append(dict(result.shares))
+
+        for user, bid in bids.items():
+            if bid.end == t:
+                payments[user] = result.payment(user)
+
+    return SubstOnOutcome(
+        costs=dict(costs),
+        horizon=horizon,
+        grants=state.grants,
+        granted_at=state.granted_at,
+        implemented_at=state.implemented_at,
+        payments=payments,
+        shares_by_slot=tuple(shares_by_slot),
+    )

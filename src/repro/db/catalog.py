@@ -1,0 +1,117 @@
+"""Catalog: the registry of tables, indexes and materialized views."""
+
+from __future__ import annotations
+
+from repro.db.costmodel import CostMeter
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.table import Table
+from repro.db.view import MaterializedView
+from repro.errors import QueryError, SchemaError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Holds the engine's persistent objects, addressed by name."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, MaterializedView] = {}
+        self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
+        self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
+
+    # ------------------------------------------------------------- tables --
+
+    def create_table(self, table: Table) -> Table:
+        """Register a table; names must be unique across tables and views."""
+        if table.name in self._tables or table.name in self._views:
+            raise SchemaError(f"name {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table named {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and any indexes built on it."""
+        self.table(name)
+        del self._tables[name]
+        for key in [k for k in self._hash_indexes if k[0] == name]:
+            del self._hash_indexes[key]
+        for key in [k for k in self._sorted_indexes if k[0] == name]:
+            del self._sorted_indexes[key]
+
+    @property
+    def table_names(self) -> list[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
+
+    # -------------------------------------------------------------- views --
+
+    def create_view(
+        self, view: MaterializedView, meter: CostMeter | None = None
+    ) -> MaterializedView:
+        """Register and materialize a view."""
+        if view.name in self._views or view.name in self._tables:
+            raise SchemaError(f"name {view.name!r} already exists")
+        build_meter = meter if meter is not None else CostMeter()
+        view.refresh(build_meter)
+        self._views[view.name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look a view up by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise QueryError(f"no view named {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        """True when a view of that name is registered."""
+        return name in self._views
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view."""
+        self.view(name)
+        del self._views[name]
+
+    @property
+    def view_names(self) -> list[str]:
+        """All registered view names, sorted."""
+        return sorted(self._views)
+
+    # ------------------------------------------------------------ indexes --
+
+    def create_hash_index(
+        self, table_name: str, key: str, meter: CostMeter | None = None
+    ) -> HashIndex:
+        """Build (or return the existing) hash index on ``table.key``."""
+        existing = self._hash_indexes.get((table_name, key))
+        if existing is not None:
+            return existing
+        index = HashIndex(self.table(table_name), key, meter)
+        self._hash_indexes[(table_name, key)] = index
+        return index
+
+    def hash_index(self, table_name: str, key: str) -> HashIndex | None:
+        """The hash index on ``table.key`` if one exists."""
+        return self._hash_indexes.get((table_name, key))
+
+    def create_sorted_index(
+        self, table_name: str, key: str, meter: CostMeter | None = None
+    ) -> SortedIndex:
+        """Build (or return the existing) sorted index on ``table.key``."""
+        existing = self._sorted_indexes.get((table_name, key))
+        if existing is not None:
+            return existing
+        index = SortedIndex(self.table(table_name), key, meter)
+        self._sorted_indexes[(table_name, key)] = index
+        return index
+
+    def sorted_index(self, table_name: str, key: str) -> SortedIndex | None:
+        """The sorted index on ``table.key`` if one exists."""
+        return self._sorted_indexes.get((table_name, key))

@@ -1,0 +1,164 @@
+"""A tiny predicate/expression AST for filters.
+
+Expressions are evaluated against a row tuple plus its schema; ``compile_``
+pre-resolves column positions into a closure so per-row evaluation does no
+name lookups (the engine filters millions of rows across an experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Callable
+
+from repro.db.schema import Schema
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Const",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "In",
+    "And",
+    "Or",
+    "Not",
+]
+
+
+class Expr:
+    """Base class: every expression compiles to ``row -> value``."""
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        """Return a closure evaluating this expression on one row."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A column reference."""
+
+    name: str
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        pos = schema.position(self.name)
+        return lambda row: row[pos]
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: object
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        value = self.value
+        return lambda row: value
+
+
+@dataclass(frozen=True)
+class _Binary(Expr):
+    left: Expr
+    right: Expr
+
+    # Comparison operator; a plain class attribute (not a dataclass field)
+    # overridden by each subclass.
+    _op = None
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        lf = self.left.compile_(schema)
+        rf = self.right.compile_(schema)
+        op = self._op
+        return lambda row: op(lf(row), rf(row))
+
+
+class Eq(_Binary):
+    """``left == right``"""
+
+    _op = staticmethod(lambda a, b: a == b)
+
+
+class Ne(_Binary):
+    """``left != right``"""
+
+    _op = staticmethod(lambda a, b: a != b)
+
+
+class Lt(_Binary):
+    """``left < right``"""
+
+    _op = staticmethod(lambda a, b: a < b)
+
+
+class Le(_Binary):
+    """``left <= right``"""
+
+    _op = staticmethod(lambda a, b: a <= b)
+
+
+class Gt(_Binary):
+    """``left > right``"""
+
+    _op = staticmethod(lambda a, b: a > b)
+
+
+class Ge(_Binary):
+    """``left >= right``"""
+
+    _op = staticmethod(lambda a, b: a >= b)
+
+
+@dataclass(frozen=True)
+class In(Expr):
+    """``column value in a constant set`` — the semi-join predicate."""
+
+    expr: Expr
+    values: AbstractSet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", frozenset(self.values))
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        inner = self.expr.compile_(schema)
+        values = self.values
+        return lambda row: inner(row) in values
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        lf = self.left.compile_(schema)
+        rf = self.right.compile_(schema)
+        return lambda row: bool(lf(row)) and bool(rf(row))
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        lf = self.left.compile_(schema)
+        rf = self.right.compile_(schema)
+        return lambda row: bool(lf(row)) or bool(rf(row))
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    inner: Expr
+
+    def compile_(self, schema: Schema) -> Callable[[tuple], object]:
+        f = self.inner.compile_(schema)
+        return lambda row: not bool(f(row))

@@ -1,0 +1,127 @@
+"""Additional physical operators: sort, limit, distinct, general aggregation.
+
+The core astronomy path only needs scan/filter/project/group-count; these
+round the engine out to the operator set a downstream user would expect
+(top-k halo queries, deduplicated projections, mass sums per halo) and are
+used by the extended examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.db.costmodel import CostMeter
+from repro.db.operators import Operator
+from repro.db.schema import Schema
+from repro.errors import QueryError
+
+__all__ = ["Sort", "Limit", "Distinct", "GroupAggregate", "AGGREGATES"]
+
+#: Supported aggregate functions: name -> (fold over a list of values).
+AGGREGATES: dict[str, Callable] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda vals: sum(vals) / len(vals),
+}
+
+
+class Sort(Operator):
+    """Full sort on one column; charges a build of the spilled rows."""
+
+    def __init__(self, child: Operator, key: str, descending: bool = False) -> None:
+        self.child = child
+        self.key = key
+        self.descending = descending
+        self.schema = child.schema
+        self._pos = child.schema.position(key)
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        rows = list(self.child.execute(meter))
+        meter.charge_build(len(rows), self.schema.row_width)
+        rows.sort(key=lambda r: r[self._pos], reverse=self.descending)
+        for row in rows:
+            meter.emit()
+            yield row
+
+
+class Limit(Operator):
+    """Stop after ``count`` rows — early termination saves child work only
+    insofar as the child is lazy (all our scans are)."""
+
+    def __init__(self, child: Operator, count: int) -> None:
+        if count < 0:
+            raise QueryError(f"limit must be >= 0, got {count}")
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        if self.count == 0:
+            return
+        produced = 0
+        for row in self.child.execute(meter):
+            yield row
+            produced += 1
+            if produced >= self.count:
+                return
+
+
+class Distinct(Operator):
+    """Hash-based duplicate elimination over full rows."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        seen: set = set()
+        for row in self.child.execute(meter):
+            meter.charge_probe(1)
+            if row in seen:
+                continue
+            seen.add(row)
+            meter.emit()
+            yield row
+
+
+class GroupAggregate(Operator):
+    """``SELECT key, AGG(value) GROUP BY key`` for any registered AGG."""
+
+    def __init__(
+        self, child: Operator, key: str, value: str, aggregate: str
+    ) -> None:
+        if aggregate not in AGGREGATES:
+            raise QueryError(
+                f"unknown aggregate {aggregate!r}; have {sorted(AGGREGATES)}"
+            )
+        self.child = child
+        self.key = key
+        self.value = value
+        self.aggregate = aggregate
+        key_dtype = child.schema.columns[child.schema.position(key)].dtype
+        out_dtype = "int" if aggregate == "count" else "float"
+        self.schema = Schema.of(**{key: key_dtype, aggregate: out_dtype})
+        self._key_pos = child.schema.position(key)
+        self._val_pos = child.schema.position(value)
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        groups: dict = {}
+        rows = 0
+        for row in self.child.execute(meter):
+            groups.setdefault(row[self._key_pos], []).append(row[self._val_pos])
+            rows += 1
+        meter.charge_build(rows, 16)
+        fold = AGGREGATES[self.aggregate]
+        for key_value, values in groups.items():
+            meter.emit()
+            result = fold(values)
+            if self.aggregate != "count":
+                result = float(result)
+            yield (key_value, result)
+
+
+def top_k(child: Operator, key: str, k: int, descending: bool = True) -> Operator:
+    """Convenience plan: the ``k`` extreme rows by ``key``."""
+    return Limit(Sort(child, key, descending=descending), k)

@@ -1,0 +1,83 @@
+"""Secondary indexes: hash (equality) and sorted (range)."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.db.costmodel import CostMeter
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """An equality index mapping key values to row ids.
+
+    Build cost is charged to the supplied meter at construction; lookups
+    charge one probe plus the emitted matches.
+    """
+
+    def __init__(self, table: Table, key: str, meter: CostMeter | None = None) -> None:
+        self.table = table
+        self.key = key
+        pos = table.schema.position(key)
+        self._buckets: dict = {}
+        for rid, row in enumerate(table.rows()):
+            self._buckets.setdefault(row[pos], []).append(rid)
+        if meter is not None:
+            meter.charge_build(len(table), table.schema.row_width)
+
+    def lookup(self, value, meter: CostMeter) -> Iterator[tuple]:
+        """Yield rows whose key equals ``value``."""
+        meter.charge_probe(1)
+        for rid in self._buckets.get(value, ()):
+            meter.emit()
+            yield self.table.row(rid)
+
+    def contains(self, value, meter: CostMeter) -> bool:
+        """Membership probe without materializing rows."""
+        meter.charge_probe(1)
+        return value in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """A sorted (key, rid) list answering range queries via binary search."""
+
+    def __init__(self, table: Table, key: str, meter: CostMeter | None = None) -> None:
+        self.table = table
+        self.key = key
+        pos = table.schema.position(key)
+        pairs = sorted(
+            (row[pos], rid) for rid, row in enumerate(table.rows())
+        )
+        self._keys = [k for k, _ in pairs]
+        self._rids = [r for _, r in pairs]
+        if meter is not None:
+            meter.charge_build(len(table), table.schema.row_width)
+
+    def range(self, low, high, meter: CostMeter) -> Iterator[tuple]:
+        """Yield rows with ``low <= key <= high`` in key order."""
+        if low is not None and high is not None and low > high:
+            raise QueryError(f"empty range: low {low!r} > high {high!r}")
+        lo = 0 if low is None else bisect.bisect_left(self._keys, low)
+        hi = len(self._keys) if high is None else bisect.bisect_right(self._keys, high)
+        meter.charge_probe(1)
+        for idx in range(lo, hi):
+            meter.emit()
+            yield self.table.row(self._rids[idx])
+
+    def min_key(self):
+        """Smallest key, or None when empty."""
+        return self._keys[0] if self._keys else None
+
+    def max_key(self):
+        """Largest key, or None when empty."""
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,159 @@
+"""Iterator-style physical operators with cost accounting.
+
+Each operator is a generator over row tuples that charges its work to a
+shared :class:`~repro.db.costmodel.CostMeter`. Plans are built by nesting
+operators; schemas travel alongside via the ``schema`` attribute so parents
+can compile predicates and projections once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.db.costmodel import CostMeter
+from repro.db.expr import Expr
+from repro.db.index import HashIndex
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["SeqScan", "IndexLookup", "Filter", "Project", "HashJoin", "GroupCount"]
+
+
+class Operator:
+    """Base class: exposes ``schema`` and an ``execute(meter)`` iterator."""
+
+    schema: Schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        """Yield result rows, charging work to ``meter``."""
+        raise NotImplementedError
+
+    def materialize(self, meter: CostMeter) -> list[tuple]:
+        """Run to completion and collect the rows."""
+        return list(self.execute(meter))
+
+
+class SeqScan(Operator):
+    """Full scan of a table; charges bytes proportional to row width."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.schema = table.schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        meter.charge_scan(len(self.table), self.schema.row_width)
+        meter.bump(f"scan:{self.table.name}")
+        for row in self.table.rows():
+            yield row
+
+
+class IndexLookup(Operator):
+    """Equality probes of a hash index for a batch of key values."""
+
+    def __init__(self, index: HashIndex, values: Sequence) -> None:
+        self.index = index
+        self.values = list(values)
+        self.schema = index.table.schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        for value in self.values:
+            yield from self.index.lookup(value, meter)
+
+
+class Filter(Operator):
+    """Row filter over a child operator."""
+
+    def __init__(self, child: Operator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        test = self.predicate.compile_(self.schema)
+        for row in self.child.execute(meter):
+            if test(row):
+                meter.emit()
+                yield row
+
+
+class Project(Operator):
+    """Column projection over a child operator."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]) -> None:
+        if not columns:
+            raise QueryError("projection needs at least one column")
+        self.child = child
+        self.columns = tuple(columns)
+        self.schema = child.schema.project(columns)
+        self._positions = [child.schema.position(c) for c in columns]
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        positions = self._positions
+        for row in self.child.execute(meter):
+            yield tuple(row[p] for p in positions)
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right, probe with the left.
+
+    The result schema is the left schema followed by the right schema with
+    the join key dropped (it would be a duplicate name).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key: str,
+        right_key: str,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        right_cols = [
+            c for c in right.schema.columns if c.name != right_key
+        ]
+        self.schema = Schema(list(left.schema.columns) + right_cols)
+        self._left_pos = left.schema.position(left_key)
+        self._right_pos = right.schema.position(right_key)
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        build: dict = {}
+        right_rows = 0
+        for row in self.right.execute(meter):
+            build.setdefault(row[self._right_pos], []).append(row)
+            right_rows += 1
+        meter.charge_build(right_rows, self.right.schema.row_width)
+
+        rpos = self._right_pos
+        for left_row in self.left.execute(meter):
+            meter.charge_probe(1)
+            for right_row in build.get(left_row[self._left_pos], ()):
+                meter.emit()
+                yield left_row + tuple(
+                    v for i, v in enumerate(right_row) if i != rpos
+                )
+
+
+class GroupCount(Operator):
+    """``SELECT key, COUNT(*) GROUP BY key`` — the merger-tree histogram."""
+
+    def __init__(self, child: Operator, key: str) -> None:
+        self.child = child
+        self.key = key
+        self.schema = Schema.of(**{key: child.schema.project([key]).columns[0].dtype,
+                                   "count": "int"})
+        self._pos = child.schema.position(key)
+
+    def execute(self, meter: CostMeter) -> Iterator[tuple]:
+        counts: dict = {}
+        rows = 0
+        for row in self.child.execute(meter):
+            counts[row[self._pos]] = counts.get(row[self._pos], 0) + 1
+            rows += 1
+        meter.charge_build(rows, 8)
+        for key_value, count in counts.items():
+            meter.emit()
+            yield (key_value, count)

@@ -1,0 +1,174 @@
+"""Rule-based access-path selection and what-if costing.
+
+The astronomy workload needs two plan shapes per snapshot:
+
+* **membership** — project the particle ids of one halo;
+* **progenitor histogram** — count, per halo, how many of a given particle
+  set ends up in it.
+
+Both only touch ``(pid, halo)``, so a narrow materialized view (the
+paper's optimization) serves either; the planner picks the view when the
+catalog has it, else falls back to scanning the wide base table. The
+``what_if_*`` helpers estimate the byte cost of both alternatives without
+executing anything — that difference, run through the cost model and the
+pricing layer, is a user's *value* for the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from repro.db.catalog import Catalog
+from repro.db.costmodel import CostModel
+from repro.db.expr import Col, Const, Eq, In, Ne
+from repro.db.operators import (
+    Filter,
+    GroupCount,
+    IndexLookup,
+    Operator,
+    Project,
+    SeqScan,
+)
+from repro.errors import QueryError
+
+__all__ = [
+    "view_name_for",
+    "PlanChoice",
+    "members_plan",
+    "histogram_plan",
+    "what_if_scan_bytes",
+    "what_if_index_units",
+]
+
+#: Weights used for access-path cost comparison (kept in sync with the
+#: default CostModel; plan choice only needs *relative* costs).
+_COST = CostModel()
+
+#: Column names the astronomy substrate uses throughout.
+PID, HALO = "pid", "halo"
+
+
+def view_name_for(table_name: str) -> str:
+    """Canonical name of the (pid, halo) view over a snapshot table."""
+    return f"ph_{table_name}"
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """A chosen plan plus which access path it uses ('view' or 'base')."""
+
+    plan: Operator
+    source: str
+
+
+def _narrow_source(catalog: Catalog, table_name: str) -> PlanChoice:
+    """The cheapest relation exposing clustered (pid, halo) rows.
+
+    The view materializes exactly the clustered rows (halo != -1), so the
+    base-table fallback applies the same filter: both paths produce the
+    same row set and the *only* cost difference between them is the scan
+    bytes (wide base rows vs narrow view rows) plus the fallback's filter
+    emits — which is what makes the analytic what-if savings in
+    :mod:`repro.astro.usecase` exact.
+    """
+    view_name = view_name_for(table_name)
+    if catalog.has_view(view_name):
+        view = catalog.view(view_name)
+        if view.table is None:
+            raise QueryError(f"view {view_name!r} exists but is not materialized")
+        return PlanChoice(plan=SeqScan(view.table), source="view")
+    base = catalog.table(table_name)
+    plan = Project(
+        Filter(SeqScan(base), Ne(Col(HALO), Const(-1))),
+        [PID, HALO],
+    )
+    return PlanChoice(plan=plan, source="base")
+
+
+def _narrow_scan_units(catalog: Catalog, table_name: str) -> float:
+    """Estimated cost units of one narrow (pid, halo) pass."""
+    view_name = view_name_for(table_name)
+    if catalog.has_view(view_name):
+        view_table = catalog.view(view_name).table
+        return len(view_table) * view_table.schema.row_width * _COST.scan_byte_weight
+    base = catalog.table(table_name)
+    return len(base) * base.schema.row_width * _COST.scan_byte_weight
+
+
+def what_if_index_units(
+    catalog: Catalog, table_name: str, expected_matches: float, probes: int = 1
+) -> float:
+    """Estimated cost units of answering via a hash index instead of a scan."""
+    return probes * _COST.probe_weight + expected_matches * _COST.emit_weight
+
+
+def members_plan(catalog: Catalog, table_name: str, halo_id: int) -> PlanChoice:
+    """Plan producing the particle ids belonging to ``halo_id``.
+
+    Access paths, cheapest estimated first: a hash index on ``halo`` (one
+    probe plus the matching rows), then the materialized view, then the
+    filtered base table. The index estimate assumes uniform halo sizes
+    (rows / distinct halos) — the System-R assumption from
+    :mod:`repro.db.stats`.
+    """
+    index = catalog.hash_index(table_name, HALO)
+    if index is not None:
+        base = catalog.table(table_name)
+        expected = len(base) / max(len(index), 1)
+        if what_if_index_units(catalog, table_name, expected) < _narrow_scan_units(
+            catalog, table_name
+        ):
+            plan = Project(IndexLookup(index, [halo_id]), [PID])
+            return PlanChoice(plan=plan, source="index")
+    choice = _narrow_source(catalog, table_name)
+    plan = Project(
+        Filter(choice.plan, Eq(Col(HALO), Const(halo_id))),
+        [PID],
+    )
+    return PlanChoice(plan=plan, source=choice.source)
+
+
+def histogram_plan(
+    catalog: Catalog, table_name: str, member_pids: AbstractSet
+) -> PlanChoice:
+    """Plan counting rows per halo among ``member_pids`` in ``table_name``.
+
+    With a hash index on ``pid`` the semi-join becomes one probe per
+    member (each matching at most one row); the planner compares that
+    against the narrow scan and picks the cheaper estimate. Unclustered
+    matches are filtered after the index fetch so both paths agree with
+    the view's clustered-only contents.
+    """
+    index = catalog.hash_index(table_name, PID)
+    if index is not None:
+        probes = len(member_pids)
+        index_units = what_if_index_units(
+            catalog, table_name, expected_matches=probes, probes=probes
+        )
+        if index_units < _narrow_scan_units(catalog, table_name):
+            fetched = Filter(
+                IndexLookup(index, sorted(member_pids)),
+                Ne(Col(HALO), Const(-1)),
+            )
+            plan = GroupCount(Project(fetched, [PID, HALO]), HALO)
+            return PlanChoice(plan=plan, source="index")
+    choice = _narrow_source(catalog, table_name)
+    plan = GroupCount(
+        Filter(choice.plan, In(Col(PID), member_pids)),
+        HALO,
+    )
+    return PlanChoice(plan=plan, source=choice.source)
+
+
+def what_if_scan_bytes(catalog: Catalog, table_name: str) -> tuple[float, float]:
+    """Estimated bytes for one (pid, halo) pass: (without view, with view).
+
+    Note the base-table cost is the *wide* row width: projection does not
+    save scan bytes in a row store — that is exactly why the view helps.
+    """
+    base = catalog.table(table_name)
+    without = float(len(base) * base.schema.row_width)
+    narrow_width = base.schema.project([PID, HALO]).row_width
+    with_view = float(len(base) * narrow_width)
+    return without, with_view

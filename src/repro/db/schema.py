@@ -1,0 +1,118 @@
+"""Typed relational schemas for the mini engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Column", "Schema", "TYPE_WIDTHS"]
+
+#: Logical byte widths per column type, used by the cost model: scanning a
+#: wide particle row costs proportionally more than a narrow view row.
+TYPE_WIDTHS = {"int": 8, "float": 8, "str": 24}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    dtype: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.dtype not in TYPE_WIDTHS:
+            raise SchemaError(
+                f"unknown dtype {self.dtype!r}; expected one of {sorted(TYPE_WIDTHS)}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Logical byte width of one value."""
+        return TYPE_WIDTHS[self.dtype]
+
+
+class Schema:
+    """An ordered list of uniquely named columns."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        self.columns = tuple(columns)
+        self._positions = {c.name: i for i, c in enumerate(self.columns)}
+
+    @classmethod
+    def of(cls, **dtypes: str) -> "Schema":
+        """Keyword shorthand: ``Schema.of(pid="int", x="float")``."""
+        return cls([Column(name, dtype) for name, dtype in dtypes.items()])
+
+    def position(self, name: str) -> int:
+        """Index of a column within a row tuple."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {[c.name for c in self.columns]}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._positions
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype}" for c in self.columns)
+        return f"Schema({cols})"
+
+    @property
+    def names(self) -> tuple:
+        """Column names in order."""
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Logical byte width of one full row — the scan-cost driver."""
+        return sum(c.width for c in self.columns)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Sub-schema of the named columns, in the requested order."""
+        return Schema([self.columns[self.position(n)] for n in names])
+
+    def validate_row(self, row: Sequence) -> tuple:
+        """Type-check one row against the schema and coerce it to a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values for {len(self.columns)} columns"
+            )
+        out = []
+        for value, column in zip(row, self.columns):
+            if column.dtype == "int":
+                if not isinstance(value, (int,)) or isinstance(value, bool):
+                    raise SchemaError(
+                        f"column {column.name!r} expects int, got {value!r}"
+                    )
+            elif column.dtype == "float":
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise SchemaError(
+                        f"column {column.name!r} expects float, got {value!r}"
+                    )
+                value = float(value)
+            else:
+                if not isinstance(value, str):
+                    raise SchemaError(
+                        f"column {column.name!r} expects str, got {value!r}"
+                    )
+            out.append(value)
+        return tuple(out)

@@ -1,0 +1,111 @@
+"""Table statistics (ANALYZE) and selectivity estimation.
+
+The planner's what-if pricing needs cost *estimates* without executing
+plans. ``analyze`` collects per-column statistics (distinct counts,
+min/max, null-ish fractions) in one pass; ``Selectivity`` turns simple
+predicates into row-fraction estimates with the classical System-R
+assumptions (uniformity, independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["ColumnStats", "TableStats", "analyze"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One column's summary statistics."""
+
+    name: str
+    distinct: int
+    minimum: object
+    maximum: object
+
+    def eq_selectivity(self) -> float:
+        """Estimated fraction of rows matching ``col = const``."""
+        if self.distinct <= 0:
+            return 0.0
+        return 1.0 / self.distinct
+
+    def range_selectivity(self, low, high) -> float:
+        """Estimated fraction matching ``low <= col <= high``.
+
+        Falls back to 1/3 (the System-R default) for non-numeric columns
+        or degenerate ranges.
+        """
+        if not isinstance(self.minimum, (int, float)) or not isinstance(
+            self.maximum, (int, float)
+        ):
+            return 1.0 / 3.0
+        span = float(self.maximum) - float(self.minimum)
+        if span <= 0:
+            return 1.0
+        lo = float(self.minimum) if low is None else max(float(low), float(self.minimum))
+        hi = float(self.maximum) if high is None else min(float(high), float(self.maximum))
+        if hi < lo:
+            return 0.0
+        return min(1.0, (hi - lo) / span)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics."""
+
+    table_name: str
+    row_count: int
+    row_width: int
+    columns: Mapping[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        """Statistics of one column."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(
+                f"no statistics for column {name!r} of {self.table_name!r}"
+            ) from None
+
+    def estimated_rows_eq(self, column: str) -> float:
+        """Estimated matches of an equality predicate on ``column``."""
+        return self.row_count * self.column(column).eq_selectivity()
+
+    def estimated_scan_bytes(self) -> float:
+        """Bytes one full scan reads."""
+        return float(self.row_count * self.row_width)
+
+
+def analyze(table: Table) -> TableStats:
+    """Collect statistics in one pass over ``table``."""
+    positions = {c.name: i for i, c in enumerate(table.schema.columns)}
+    seen: dict[str, set] = {name: set() for name in positions}
+    minimum: dict[str, object] = {}
+    maximum: dict[str, object] = {}
+    for row in table.rows():
+        for name, pos in positions.items():
+            value = row[pos]
+            seen[name].add(value)
+            if name not in minimum or value < minimum[name]:
+                minimum[name] = value
+            if name not in maximum or value > maximum[name]:
+                maximum[name] = value
+    columns = {
+        name: ColumnStats(
+            name=name,
+            distinct=len(seen[name]),
+            minimum=minimum.get(name),
+            maximum=maximum.get(name),
+        )
+        for name in positions
+    }
+    return TableStats(
+        table_name=table.name,
+        row_count=len(table),
+        row_width=table.schema.row_width,
+        columns=columns,
+    )

@@ -1,0 +1,59 @@
+"""In-memory row-store tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named, schema-validated list of row tuples.
+
+    Rows are stored in insertion order and addressed by integer row id
+    (their position), which is what the indexes store.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: list[tuple] = []
+
+    def insert(self, row: Sequence) -> int:
+        """Validate and append one row; returns its row id."""
+        self._rows.append(self.schema.validate_row(row))
+        return len(self._rows) - 1
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        """Validate and append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def row(self, rid: int) -> tuple:
+        """Fetch one row by id."""
+        return self._rows[rid]
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate all rows in insertion order."""
+        return iter(self._rows)
+
+    def column_values(self, name: str) -> list:
+        """All values of one column, in row order."""
+        pos = self.schema.position(name)
+        return [row[pos] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self)}, {self.schema!r})"
+
+    @property
+    def byte_size(self) -> int:
+        """Logical size in bytes — drives view storage costs."""
+        return len(self._rows) * self.schema.row_width

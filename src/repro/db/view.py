@@ -1,0 +1,71 @@
+"""Materialized views.
+
+The astronomy use-case materializes ``(particleID, haloID)`` per snapshot:
+a narrow projection of the wide particle table. A view owns its
+materialized table (rebuilt on :meth:`refresh`) and knows its storage
+footprint, which the pricing layer turns into the optimization cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.db.operators import Operator, Project, SeqScan
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = ["MaterializedView"]
+
+
+class MaterializedView:
+    """A named, materialized query result over a base table.
+
+    Parameters
+    ----------
+    name:
+        View name (unique within a catalog).
+    definition:
+        Zero-argument callable returning the defining plan
+        (:class:`~repro.db.operators.Operator`). Called at build time and
+        on every refresh, so the plan re-reads current base data.
+    """
+
+    def __init__(self, name: str, definition: Callable[[], Operator]) -> None:
+        if not name:
+            raise QueryError("view name must be non-empty")
+        self.name = name
+        self.definition = definition
+        self.table: Table | None = None
+        self.build_cost_units: float = 0.0
+
+    @classmethod
+    def projection_of(
+        cls, name: str, base: Table, columns: Sequence[str]
+    ) -> "MaterializedView":
+        """The common case: a narrow projection of a base table."""
+        return cls(name, lambda: Project(SeqScan(base), columns))
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once :meth:`refresh` has run."""
+        return self.table is not None
+
+    def refresh(self, meter=None) -> Table:
+        """(Re)build the view contents; returns the materialized table."""
+        from repro.db.costmodel import CostMeter
+
+        meter = meter if meter is not None else CostMeter()
+        plan = self.definition()
+        table = Table(self.name, plan.schema)
+        for row in plan.execute(meter):
+            table.insert(row)
+        meter.charge_build(len(table), table.schema.row_width)
+        self.table = table
+        return table
+
+    @property
+    def byte_size(self) -> int:
+        """Logical storage footprint; raises if not yet materialized."""
+        if self.table is None:
+            raise QueryError(f"view {self.name!r} is not materialized")
+        return self.table.byte_size

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BidError",
+    "RevisionError",
+    "MechanismError",
+    "GameConfigError",
+    "SchemaError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BidError(ReproError):
+    """A bid is malformed: bad interval, negative values, empty substitutes."""
+
+
+class RevisionError(BidError):
+    """An illegal bid revision: retroactive, downward, or shrinking the end."""
+
+
+class MechanismError(ReproError):
+    """A mechanism was invoked with inconsistent inputs."""
+
+
+class GameConfigError(ReproError):
+    """An experiment or simulation was configured with invalid parameters."""
+
+
+class SchemaError(ReproError):
+    """A relational schema violation in the mini database engine."""
+
+
+class QueryError(ReproError):
+    """A malformed or unanswerable query against the mini database engine."""

@@ -1,0 +1,101 @@
+"""Shared containers and trial plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GameConfigError
+from repro.utils.rng import RngLike, spawn_rngs
+
+__all__ = ["Series", "ExperimentResult", "average_trials"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: a name, x coordinates, and mean y values.
+
+    ``std`` holds the across-trial standard deviation when the driver
+    computed one (Figure 1 reports mean and deviation over bid
+    combinations; the others report means).
+    """
+
+    name: str
+    x: tuple
+    y: tuple
+    std: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise GameConfigError(
+                f"series {self.name!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+        if self.std is not None and len(self.std) != len(self.x):
+            raise GameConfigError(
+                f"series {self.name!r}: std length {len(self.std)} != {len(self.x)}"
+            )
+
+    def at(self, x_value) -> float:
+        """The y value at an exact x coordinate."""
+        return self.y[self.x.index(x_value)]
+
+    def mean(self) -> float:
+        """Mean of the y values (used by the gap experiments)."""
+        return float(np.mean(self.y))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All the curves of one figure, plus axis labels for reporting."""
+
+    experiment: str
+    x_label: str
+    y_label: str
+    series: tuple
+
+    def get(self, name: str) -> Series:
+        """Look one curve up by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"no series named {name!r}; have {[s.name for s in self.series]}"
+        )
+
+    @property
+    def names(self) -> list[str]:
+        """Names of the curves, in plot order."""
+        return [s.name for s in self.series]
+
+
+def average_trials(
+    trial: Callable[[np.random.Generator], np.ndarray],
+    trials: int,
+    rng: RngLike,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``trial`` with independent child RNGs; return mean and std.
+
+    ``trial`` must return an array of fixed shape; results are averaged
+    elementwise across trials. Child generators are spawned up front so the
+    outcome does not depend on evaluation order.
+    """
+    if trials < 1:
+        raise GameConfigError(f"need at least one trial, got {trials}")
+    rngs = spawn_rngs(rng, trials)
+    stack = np.stack([np.asarray(trial(r), dtype=float) for r in rngs])
+    return stack.mean(axis=0), stack.std(axis=0)
+
+
+def cost_grid(start: float, stop: float, step: float) -> tuple:
+    """An inclusive arithmetic cost grid, rounded to avoid fp drift."""
+    if step <= 0:
+        raise GameConfigError(f"step must be positive, got {step}")
+    count = int(round((stop - start) / step)) + 1
+    return tuple(round(start + k * step, 10) for k in range(count))
+
+
+def as_tuple(values: Sequence[float]) -> tuple:
+    """Coerce a sequence into a plain tuple of floats."""
+    return tuple(float(v) for v in values)

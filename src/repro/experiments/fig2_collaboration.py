@@ -1,0 +1,177 @@
+"""Figure 2 — total utility vs optimization cost by collaboration size.
+
+Panels (a)/(b): additive, one optimization, 6 vs 24 users, each bidding a
+U[0,1) value in one uniform slot of 12. Panels (c)/(d): substitutive, 12
+optimizations with costs ~ U[0, 2c], each user drawing 3 substitutes.
+Curves: AddOn (resp. SubstOn) utility, Regret utility, Regret balance.
+
+Expected shapes (Section 7.3): the mechanism never goes negative in either
+utility or balance; Regret's balance dips negative as costs grow, followed
+by its utility; in large collaborations there is a band of costs where
+Regret's utility briefly exceeds AddOn's before collapsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baseline.regret import run_regret_additive, run_regret_substitutable
+from repro.core.accounting import addon_total_utility, subston_total_utility
+from repro.core.addon import run_addon
+from repro.core.subston import run_subston
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    as_tuple,
+    average_trials,
+    cost_grid,
+)
+from repro.utils.rng import RngLike
+from repro.workloads.scenarios import additive_single_slot_game, substitutable_game
+
+__all__ = [
+    "Fig2AdditiveConfig",
+    "Fig2SubstitutiveConfig",
+    "run_fig2_additive",
+    "run_fig2_substitutive",
+]
+
+#: Paper cost grids: 0.03..2.91 for 6 users, 0.12..11.64 for 24 users.
+SMALL_GRID = cost_grid(0.03, 2.91, 0.06)
+LARGE_GRID = cost_grid(0.12, 11.64, 0.24)
+
+
+@dataclass(frozen=True)
+class Fig2AdditiveConfig:
+    """Setup for panels (a)/(b); defaults reproduce panel (a)."""
+
+    users: int = 6
+    slots: int = 12
+    costs: tuple = field(default=SMALL_GRID)
+    trials: int = 400
+    seed: int = 2012
+
+    @classmethod
+    def small(cls, **overrides) -> "Fig2AdditiveConfig":
+        """Panel (a): 6 users on the small cost grid."""
+        return cls(**overrides)
+
+    @classmethod
+    def large(cls, **overrides) -> "Fig2AdditiveConfig":
+        """Panel (b): 24 users on a 4x cost grid."""
+        defaults = dict(users=24, costs=LARGE_GRID)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+def run_fig2_additive(
+    config: Fig2AdditiveConfig = Fig2AdditiveConfig(),
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Reproduce Figure 2(a)/(b)."""
+
+    def trial(generator: np.random.Generator) -> np.ndarray:
+        bids = additive_single_slot_game(generator, config.users, config.slots)
+        rows = []
+        for cost in config.costs:
+            addon = run_addon(cost, bids, horizon=config.slots)
+            regret = run_regret_additive(cost, bids, horizon=config.slots)
+            rows.append(
+                (
+                    addon_total_utility(addon, bids),
+                    regret.total_utility,
+                    regret.cloud_balance,
+                )
+            )
+        return np.asarray(rows)
+
+    mean, std = average_trials(trial, config.trials, config.seed if rng is None else rng)
+    x = as_tuple(config.costs)
+    return ExperimentResult(
+        experiment=f"fig2-additive-{config.users}users",
+        x_label="optimization cost",
+        y_label="amount of money",
+        series=(
+            Series("AddOn Utility", x, as_tuple(mean[:, 0]), as_tuple(std[:, 0])),
+            Series("Regret Utility", x, as_tuple(mean[:, 1]), as_tuple(std[:, 1])),
+            Series("Regret Balance", x, as_tuple(mean[:, 2]), as_tuple(std[:, 2])),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Fig2SubstitutiveConfig:
+    """Setup for panels (c)/(d); defaults reproduce panel (c)."""
+
+    users: int = 6
+    slots: int = 12
+    optimizations: int = 12
+    choose: int = 3
+    mean_costs: tuple = field(default=SMALL_GRID)
+    trials: int = 200
+    seed: int = 2012
+
+    @classmethod
+    def small(cls, **overrides) -> "Fig2SubstitutiveConfig":
+        """Panel (c): 6 users."""
+        return cls(**overrides)
+
+    @classmethod
+    def large(cls, **overrides) -> "Fig2SubstitutiveConfig":
+        """Panel (d): 24 users on a 4x grid of mean costs."""
+        defaults = dict(users=24, mean_costs=LARGE_GRID)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+def run_fig2_substitutive(
+    config: Fig2SubstitutiveConfig = Fig2SubstitutiveConfig(),
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Reproduce Figure 2(c)/(d).
+
+    Within a trial the per-optimization cost *shape* is drawn once (one
+    U[0,1) draw per optimization) and rescaled by ``2c`` along the x-axis,
+    mirroring the paper's "vary the cost keeping user values constant".
+    """
+
+    def trial(generator: np.random.Generator) -> np.ndarray:
+        bids = substitutable_game(
+            generator,
+            config.users,
+            config.slots,
+            config.optimizations,
+            config.choose,
+        )
+        unit_costs = generator.uniform(0.0, 1.0, size=config.optimizations)
+        rows = []
+        for mean_cost in config.mean_costs:
+            costs = {
+                j: max(2.0 * mean_cost * unit_costs[j], 1e-9)
+                for j in range(config.optimizations)
+            }
+            subston = run_subston(costs, bids, horizon=config.slots)
+            regret = run_regret_substitutable(costs, bids, horizon=config.slots)
+            rows.append(
+                (
+                    subston_total_utility(subston, bids),
+                    regret.total_utility,
+                    regret.cloud_balance,
+                )
+            )
+        return np.asarray(rows)
+
+    mean, std = average_trials(trial, config.trials, config.seed if rng is None else rng)
+    x = as_tuple(config.mean_costs)
+    return ExperimentResult(
+        experiment=f"fig2-substitutive-{config.users}users",
+        x_label="mean optimization cost",
+        y_label="amount of money",
+        series=(
+            Series("SubstOn Utility", x, as_tuple(mean[:, 0]), as_tuple(std[:, 0])),
+            Series("Regret Utility", x, as_tuple(mean[:, 1]), as_tuple(std[:, 1])),
+            Series("Regret Balance", x, as_tuple(mean[:, 2]), as_tuple(std[:, 2])),
+        ),
+    )

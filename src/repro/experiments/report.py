@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harnesses print each figure's series as an aligned table —
+the textual equivalent of the paper's plots — so a run's output can be
+compared against EXPERIMENTS.md at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["format_result", "format_summary"]
+
+
+def format_result(
+    result: ExperimentResult,
+    max_rows: int | None = None,
+    width: int = 16,
+) -> str:
+    """Render every series of ``result`` as one aligned text table.
+
+    ``max_rows`` thins long cost grids by keeping evenly spaced rows (first
+    and last always included).
+    """
+    xs = result.series[0].x
+    indices = list(range(len(xs)))
+    if max_rows is not None and len(indices) > max_rows:
+        stride = (len(indices) - 1) / (max_rows - 1)
+        indices = sorted({int(round(k * stride)) for k in range(max_rows)})
+
+    header_cells = [result.x_label[:width].ljust(width)]
+    header_cells += [s.name[:width].ljust(width) for s in result.series]
+    lines = [
+        f"== {result.experiment} ==",
+        f"   y: {result.y_label}",
+        " | ".join(header_cells),
+        "-+-".join("-" * width for _ in header_cells),
+    ]
+    for idx in indices:
+        cells = [f"{xs[idx]:.4g}".ljust(width)]
+        for s in result.series:
+            if s.x != xs and idx >= len(s.y):
+                cells.append("".ljust(width))
+                continue
+            cells.append(f"{s.y[idx]:+.4f}".ljust(width))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_summary(result: ExperimentResult) -> str:
+    """One line per series: min / mean / max over the grid."""
+    lines = [f"== {result.experiment} summary =="]
+    for s in result.series:
+        ys = s.y
+        lines.append(
+            f"  {s.name:<24} min {min(ys):+.4f}  mean {sum(ys)/len(ys):+.4f}  "
+            f"max {max(ys):+.4f}"
+        )
+    return "\n".join(lines)

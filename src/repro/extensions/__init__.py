@@ -1,0 +1,31 @@
+"""Extensions beyond the paper's core mechanisms.
+
+* :mod:`~repro.extensions.multi_period` — Section 5 describes the pricing
+  period ``T`` ("e.g., a month"): the fixed cost covers implementation plus
+  maintenance for one period, after which the cost is *recomputed* and all
+  interested users must purchase again. The paper evaluates a single
+  period; this module implements the chained-period service it describes,
+  with build costs charged once and maintenance-only costs afterwards.
+* :mod:`~repro.extensions.tiers` — Section 3 explicitly excludes
+  continuous optimizations (degree of replication); this module offers the
+  nearest discrete relaxation: replication *tiers* priced through
+  SubstOff's general bid-matrix form. Best-effort: the paper's
+  truthfulness proof covers equal-value substitute sets, not graded tiers,
+  and the module documents where that matters.
+"""
+
+from repro.extensions.multi_period import (
+    MultiPeriodOutcome,
+    PeriodSpec,
+    run_multi_period_addon,
+)
+from repro.extensions.tiers import TierSpec, TieredOutcome, run_tiered_game
+
+__all__ = [
+    "PeriodSpec",
+    "MultiPeriodOutcome",
+    "run_multi_period_addon",
+    "TierSpec",
+    "TieredOutcome",
+    "run_tiered_game",
+]

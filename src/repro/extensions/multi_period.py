@@ -1,0 +1,138 @@
+"""Chained pricing periods (the paper's Section 5 service model).
+
+Each period runs one independent AddOn game — that is what keeps
+truthfulness and cost-recovery intact per period (users cannot bid across
+period boundaries, and nothing carries over except the physical artifact).
+What changes across periods is the *cost*: the first period a game
+implements the optimization it charges ``build_cost + maintenance_cost``;
+every later period recomputes the price as ``maintenance_cost`` only (the
+index already exists — only storage/update upkeep must be recovered). If a
+period ends with nobody paying maintenance, the optimization is dropped
+and the next interested period pays the build cost again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bids.additive import AdditiveBid
+from repro.core.accounting import addon_total_utility
+from repro.core.addon import run_addon
+from repro.core.outcome import AddOnOutcome, UserId
+from repro.errors import GameConfigError
+
+__all__ = ["PeriodSpec", "MultiPeriodOutcome", "run_multi_period_addon"]
+
+
+@dataclass(frozen=True)
+class PeriodSpec:
+    """One pricing period: its slot horizon and the two cost components."""
+
+    horizon: int
+    build_cost: float
+    maintenance_cost: float
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise GameConfigError(f"horizon must be >= 1, got {self.horizon}")
+        if self.build_cost <= 0:
+            raise GameConfigError(
+                f"build cost must be positive, got {self.build_cost}"
+            )
+        if self.maintenance_cost <= 0:
+            raise GameConfigError(
+                f"maintenance cost must be positive, got {self.maintenance_cost}"
+            )
+
+    def total_cost(self, already_built: bool) -> float:
+        """The period's recomputed cost ``C_j``."""
+        if already_built:
+            return self.maintenance_cost
+        return self.build_cost + self.maintenance_cost
+
+
+@dataclass(frozen=True)
+class MultiPeriodOutcome:
+    """Per-period outcomes plus cross-period bookkeeping."""
+
+    outcomes: tuple
+    charged_costs: tuple
+    built_in: tuple
+
+    @property
+    def periods(self) -> int:
+        """Number of periods run."""
+        return len(self.outcomes)
+
+    def outcome(self, period: int) -> AddOnOutcome:
+        """One period's AddOn outcome (0-indexed)."""
+        return self.outcomes[period]
+
+    @property
+    def total_payment(self) -> float:
+        """Collected across all periods."""
+        return sum(o.total_payment for o in self.outcomes)
+
+    @property
+    def total_cost(self) -> float:
+        """Costs the cloud actually incurred across all periods."""
+        return sum(
+            cost
+            for cost, outcome in zip(self.charged_costs, self.outcomes)
+            if outcome.implemented
+        )
+
+    @property
+    def cloud_balance(self) -> float:
+        """Payments minus incurred costs; per-period AddOn keeps it >= 0."""
+        return self.total_payment - self.total_cost
+
+    def total_utility(
+        self, true_bids_per_period: Sequence[Mapping[UserId, AdditiveBid]]
+    ) -> float:
+        """Summed social utility against per-period true values."""
+        return sum(
+            addon_total_utility(outcome, truth)
+            for outcome, truth in zip(self.outcomes, true_bids_per_period)
+        )
+
+
+def run_multi_period_addon(
+    periods: Sequence[PeriodSpec],
+    bids_per_period: Sequence[Mapping[UserId, AdditiveBid]],
+) -> MultiPeriodOutcome:
+    """Run the chained-period service for one optimization.
+
+    ``bids_per_period[k]`` holds the bids placed during period ``k`` (slot
+    numbers are local to the period, ``1..periods[k].horizon``). The
+    optimization's built/dropped state threads through: a period keeps the
+    artifact alive only if its own game implements (i.e. someone pays the
+    recomputed cost).
+    """
+    if len(periods) != len(bids_per_period):
+        raise GameConfigError(
+            f"{len(periods)} periods but {len(bids_per_period)} bid profiles"
+        )
+    outcomes = []
+    charged = []
+    built_in = []
+    already_built = False
+    for spec, bids in zip(periods, bids_per_period):
+        for user, bid in bids.items():
+            if bid.end > spec.horizon:
+                raise GameConfigError(
+                    f"user {user!r} bids past the period horizon {spec.horizon}"
+                )
+        cost = spec.total_cost(already_built)
+        outcome = run_addon(cost, bids, horizon=spec.horizon)
+        outcomes.append(outcome)
+        charged.append(cost)
+        built_in.append(outcome.implemented)
+        # Kept alive only while some period's users pay for it.
+        already_built = outcome.implemented
+    return MultiPeriodOutcome(
+        outcomes=tuple(outcomes),
+        charged_costs=tuple(charged),
+        built_in=tuple(built_in),
+    )

@@ -1,0 +1,12 @@
+"""Small shared utilities: seeded RNG plumbing and numeric helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.numeric import close, isclose_or_greater, weighted_mean
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "close",
+    "isclose_or_greater",
+    "weighted_mean",
+]

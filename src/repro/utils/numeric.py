@@ -1,0 +1,64 @@
+"""Tiny numeric helpers shared across mechanisms and tests.
+
+Mechanism fixed points compare bids against evenly-divided cost shares, so a
+consistent absolute/relative tolerance matters: the same epsilon is used by
+the mechanisms (boundary "bid equals share" cases) and by the property
+tests that assert cost recovery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Absolute tolerance used for price/bid boundary comparisons.
+ABS_TOL = 1e-9
+#: Relative tolerance used for price/bid boundary comparisons.
+REL_TOL = 1e-9
+
+__all__ = [
+    "ABS_TOL",
+    "REL_TOL",
+    "close",
+    "isclose_or_greater",
+    "weighted_mean",
+    "is_positive_finite_or_inf",
+]
+
+
+def is_positive_finite_or_inf(value: float) -> bool:
+    """True for a strictly positive non-NaN number.
+
+    ``cost <= 0`` guards silently wave NaN through (every comparison with
+    NaN is false), so cost validation goes through this predicate instead.
+    Infinity is allowed — the mechanisms use it internally as a sentinel
+    for already-implemented optimizations.
+    """
+    return value > 0 and not math.isnan(value)
+
+
+def close(a: float, b: float) -> bool:
+    """True when ``a`` and ``b`` are equal up to the library tolerance."""
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def isclose_or_greater(a: float, b: float) -> bool:
+    """True when ``a >= b`` up to tolerance.
+
+    Mechanism 1 keeps a user serviced when ``p <= b_ij``; floating-point
+    noise from repeated division must not evict a user whose bid equals the
+    share exactly in real arithmetic.
+    """
+    return a > b or close(a, b)
+
+
+def weighted_mean(values: Sequence[float], weights: Iterable[float]) -> float:
+    """Weighted mean; raises ``ValueError`` on empty or zero-weight input."""
+    total_w = 0.0
+    total = 0.0
+    for v, w in zip(values, weights, strict=True):
+        total += v * w
+        total_w += w
+    if total_w == 0.0:
+        raise ValueError("weights sum to zero")
+    return total / total_w

@@ -1,0 +1,42 @@
+"""Synthetic workload generators for the paper's simulated experiments.
+
+Sections 7.3-7.6 share a few building blocks: per-user values drawn
+uniformly from [0, 1), arrival slots drawn uniformly or with early/late
+exponential skew, substitute sets drawn uniformly from the optimization
+pool, and per-optimization costs drawn uniformly from [0, 2c] around a mean
+cost ``c``. Each building block lives here; :mod:`repro.workloads.scenarios`
+assembles them into complete games.
+"""
+
+from repro.workloads.arrivals import (
+    early_exponential_slots,
+    late_exponential_slots,
+    uniform_slots,
+)
+from repro.workloads.values import uniform_values
+from repro.workloads.substitutes import sample_substitute_sets, sample_costs
+from repro.workloads.scenarios import (
+    additive_duration_game,
+    additive_single_slot_game,
+    substitutable_game,
+)
+from repro.workloads.traces import (
+    Arrival,
+    generate_additive_trace,
+    replay_additive_trace,
+)
+
+__all__ = [
+    "uniform_slots",
+    "early_exponential_slots",
+    "late_exponential_slots",
+    "uniform_values",
+    "sample_substitute_sets",
+    "sample_costs",
+    "additive_single_slot_game",
+    "additive_duration_game",
+    "substitutable_game",
+    "Arrival",
+    "generate_additive_trace",
+    "replay_additive_trace",
+]

@@ -1,0 +1,58 @@
+"""Arrival-slot distributions (Sections 7.3 and 7.5).
+
+The collaboration experiments draw each user's single service slot
+uniformly from ``1..z``; the skew experiment adds *early* arrivals
+(exponential with mean 1.28 — datasets that go stale) and *late* arrivals
+(``z - t`` with ``t`` exponential with mean 1.2 — datasets that become
+popular). Samples are clamped into ``[1, z]``; the paper's footnote 8 notes
+the clamp never triggered for them in 1000 runs at these means.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GameConfigError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["uniform_slots", "early_exponential_slots", "late_exponential_slots"]
+
+
+def _check(users: int, slots: int) -> None:
+    if users < 0:
+        raise GameConfigError(f"user count must be >= 0, got {users}")
+    if slots < 1:
+        raise GameConfigError(f"slot count must be >= 1, got {slots}")
+
+
+def uniform_slots(rng: RngLike, users: int, slots: int) -> np.ndarray:
+    """One arrival slot per user, uniform over ``1..slots``."""
+    _check(users, slots)
+    generator = ensure_rng(rng)
+    return generator.integers(1, slots + 1, size=users)
+
+
+def early_exponential_slots(
+    rng: RngLike, users: int, slots: int, mean: float = 1.28
+) -> np.ndarray:
+    """Early-skewed arrivals: ``ceil(Exp(mean))`` clamped into ``[1, slots]``."""
+    _check(users, slots)
+    if mean <= 0:
+        raise GameConfigError(f"mean must be positive, got {mean}")
+    generator = ensure_rng(rng)
+    samples = generator.exponential(mean, size=users)
+    return np.clip(np.ceil(samples).astype(int), 1, slots)
+
+
+def late_exponential_slots(
+    rng: RngLike, users: int, slots: int, mean: float = 1.2
+) -> np.ndarray:
+    """Late-skewed arrivals: ``slots - Exp(mean)`` clamped into ``[1, slots]``."""
+    _check(users, slots)
+    if mean <= 0:
+        raise GameConfigError(f"mean must be positive, got {mean}")
+    generator = ensure_rng(rng)
+    samples = generator.exponential(mean, size=users)
+    return np.clip(np.floor(slots - samples).astype(int) + 1, 1, slots)

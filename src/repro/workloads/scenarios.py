@@ -1,0 +1,107 @@
+"""Complete game builders for the simulated experiments (Sections 7.3-7.6)."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.bids.additive import AdditiveBid
+from repro.bids.substitutive import SubstitutableBid
+from repro.errors import GameConfigError
+from repro.workloads.arrivals import (
+    early_exponential_slots,
+    late_exponential_slots,
+    uniform_slots,
+)
+from repro.workloads.substitutes import sample_substitute_sets
+from repro.workloads.values import uniform_values
+
+__all__ = [
+    "additive_single_slot_game",
+    "additive_duration_game",
+    "substitutable_game",
+    "ARRIVALS",
+]
+
+#: Named arrival distributions used by the skew experiment (Section 7.5).
+ARRIVALS: Mapping[str, Callable] = {
+    "uniform": uniform_slots,
+    "early": early_exponential_slots,
+    "late": late_exponential_slots,
+}
+
+
+def additive_single_slot_game(
+    rng: np.random.Generator,
+    users: int,
+    slots: int,
+    arrival: str = "uniform",
+) -> dict[int, AdditiveBid]:
+    """One single-slot bid per user: slot from ``arrival``, value ~ U[0,1).
+
+    This is the workload of Sections 7.3.1 and 7.5: each user values a
+    single optimization during one service slot.
+    """
+    if arrival not in ARRIVALS:
+        raise GameConfigError(
+            f"unknown arrival distribution {arrival!r}; pick one of {sorted(ARRIVALS)}"
+        )
+    starts = ARRIVALS[arrival](rng, users, slots)
+    values = uniform_values(rng, users)
+    return {
+        i: AdditiveBid.single_slot(int(starts[i]), float(values[i]))
+        for i in range(users)
+    }
+
+
+def additive_duration_game(
+    rng: np.random.Generator,
+    users: int,
+    slots: int,
+    duration: int,
+) -> dict[int, AdditiveBid]:
+    """Multi-slot bids for Section 7.4: value split equally over ``duration``.
+
+    ``s_i`` is uniform over ``1..slots`` and the bid covers
+    ``[s_i, s_i + duration - 1]``; the caller should use a horizon of
+    ``slots + duration - 1`` so every bid fits (DESIGN.md choice 6).
+    """
+    if duration < 1:
+        raise GameConfigError(f"duration must be >= 1, got {duration}")
+    starts = uniform_slots(rng, users, slots)
+    values = uniform_values(rng, users)
+    return {
+        i: AdditiveBid.over(
+            int(starts[i]), [float(values[i]) / duration] * duration
+        )
+        for i in range(users)
+    }
+
+
+def substitutable_game(
+    rng: np.random.Generator,
+    users: int,
+    slots: int,
+    optimizations: int,
+    choose: int,
+    arrival: str = "uniform",
+) -> dict[int, SubstitutableBid]:
+    """Single-slot substitutable bids for Sections 7.3.2 and 7.6.
+
+    Each user draws a ``choose``-of-``optimizations`` substitute set, a
+    uniform arrival slot, and a U[0,1) value.
+    """
+    if arrival not in ARRIVALS:
+        raise GameConfigError(
+            f"unknown arrival distribution {arrival!r}; pick one of {sorted(ARRIVALS)}"
+        )
+    starts = ARRIVALS[arrival](rng, users, slots)
+    values = uniform_values(rng, users)
+    subsets = sample_substitute_sets(rng, users, optimizations, choose)
+    return {
+        i: SubstitutableBid.single_slot(
+            int(starts[i]), float(values[i]), subsets[i]
+        )
+        for i in range(users)
+    }

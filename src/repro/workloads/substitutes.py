@@ -1,0 +1,55 @@
+"""Substitute-set and cost sampling for Sections 7.3.2 and 7.6.
+
+Each user picks ``k`` optimizations uniformly at random from the pool of
+``n`` as her substitute set; per-optimization costs are drawn uniformly
+from ``[0, 2c]`` so that ``c`` is the mean cost ("not all substitutes are
+equally expensive").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameConfigError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["sample_substitute_sets", "sample_costs"]
+
+
+def sample_substitute_sets(
+    rng: RngLike, users: int, optimizations: int, choose: int
+) -> list[frozenset]:
+    """Draw one ``choose``-element substitute set per user."""
+    if users < 0:
+        raise GameConfigError(f"user count must be >= 0, got {users}")
+    if optimizations < 1:
+        raise GameConfigError(f"need at least one optimization, got {optimizations}")
+    if not 1 <= choose <= optimizations:
+        raise GameConfigError(
+            f"substitute-set size {choose} must be in [1, {optimizations}]"
+        )
+    generator = ensure_rng(rng)
+    return [
+        frozenset(
+            int(j)
+            for j in generator.choice(optimizations, size=choose, replace=False)
+        )
+        for _ in range(users)
+    ]
+
+
+def sample_costs(
+    rng: RngLike, optimizations: int, mean_cost: float
+) -> dict[int, float]:
+    """Draw per-optimization costs uniformly from ``[0, 2 * mean_cost]``.
+
+    Costs are floored at a tiny positive epsilon — the mechanisms require
+    strictly positive costs, and a literal 0 draw has measure zero anyway.
+    """
+    if optimizations < 1:
+        raise GameConfigError(f"need at least one optimization, got {optimizations}")
+    if mean_cost <= 0:
+        raise GameConfigError(f"mean cost must be positive, got {mean_cost}")
+    generator = ensure_rng(rng)
+    draws = generator.uniform(0.0, 2.0 * mean_cost, size=optimizations)
+    return {j: max(float(c), 1e-12) for j, c in enumerate(draws)}

@@ -1,0 +1,25 @@
+"""Per-user value distributions for the simulated experiments.
+
+All of Sections 7.3-7.6 draw user values uniformly from [0, 1) while the
+optimization cost varies along the x-axis, keeping the cost-to-value ratio
+the controlled variable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameConfigError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["uniform_values"]
+
+
+def uniform_values(rng: RngLike, users: int, high: float = 1.0) -> np.ndarray:
+    """One value per user, uniform over ``[0, high)``."""
+    if users < 0:
+        raise GameConfigError(f"user count must be >= 0, got {users}")
+    if high <= 0:
+        raise GameConfigError(f"high must be positive, got {high}")
+    generator = ensure_rng(rng)
+    return generator.uniform(0.0, high, size=users)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.astro import UniverseConfig, UseCaseConfig, build_use_case
+
+
+@pytest.fixture(scope="session")
+def small_use_case():
+    """A scaled-down astronomy use case shared across test modules.
+
+    600 particles / 8 snapshots builds in about a second and exercises the
+    same calibration, pricing, and savings machinery as the full-size one.
+    """
+    return build_use_case(
+        UseCaseConfig(
+            universe=UniverseConfig(
+                particles=600, halos=10, snapshots=8, min_halo_members=6
+            ),
+            halos_per_group=2,
+        )
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for AddOff (offline additive mechanism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MechanismError, run_addoff
+from repro.core import accounting
+
+
+@pytest.fixture()
+def game():
+    costs = {"idx": 100.0, "view": 60.0, "replica": 500.0}
+    bids = {
+        "idx": {1: 60.0, 2: 60.0, 3: 10.0},
+        "view": {1: 20.0, 2: 25.0, 3: 30.0},
+        "replica": {1: 100.0, 2: 100.0},
+    }
+    return costs, bids
+
+
+class TestOutcome:
+    def test_independent_per_optimization(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        assert outcome.serviced("idx") == frozenset({1, 2})
+        assert outcome.serviced("view") == frozenset({1, 2, 3})
+        assert outcome.serviced("replica") == frozenset()
+        assert outcome.implemented == frozenset({"idx", "view"})
+
+    def test_grants(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        assert (1, "idx") in outcome.grants
+        assert (3, "idx") not in outcome.grants
+        assert (3, "view") in outcome.grants
+
+    def test_payments_sum_per_user(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        assert outcome.payment(1) == pytest.approx(50.0 + 20.0)
+        assert outcome.payment(3) == pytest.approx(20.0)
+        assert outcome.payment_for(2, "idx") == pytest.approx(50.0)
+
+    def test_cost_recovery(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        assert outcome.total_payment == pytest.approx(outcome.total_cost)
+        assert outcome.total_cost == pytest.approx(160.0)
+
+    def test_total_utility_truthful(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        # Value: idx 60+60, view 20+25+30; cost 160.
+        assert accounting.addoff_total_utility(outcome, bids) == pytest.approx(35.0)
+
+    def test_user_utility(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        # User 1: values 60 + 20, pays 50 + 20.
+        assert accounting.addoff_user_utility(outcome, 1, bids) == pytest.approx(10.0)
+        # User 3: value 30 on view, pays 20.
+        assert accounting.addoff_user_utility(outcome, 3, bids) == pytest.approx(10.0)
+
+
+class TestEdges:
+    def test_optimization_without_bids(self):
+        outcome = run_addoff({"a": 10.0}, {})
+        assert outcome.implemented == frozenset()
+        assert outcome.total_payment == 0.0
+
+    def test_unknown_optimization_in_bids_rejected(self):
+        with pytest.raises(MechanismError):
+            run_addoff({"a": 10.0}, {"b": {1: 5.0}})
+
+    def test_empty_game(self):
+        outcome = run_addoff({}, {})
+        assert outcome.implemented == frozenset()
+        assert outcome.total_cost == 0.0
+
+    def test_missing_user_defaults_to_no_bid(self, game):
+        costs, bids = game
+        outcome = run_addoff(costs, bids)
+        # User 3 never bid on replica: pays nothing there.
+        assert outcome.payment_for(3, "replica") == 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for AddOn (Mechanism 2) beyond the paper's worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AdditiveBid, MechanismError, RevisableBid, run_addon
+from repro.core import accounting
+
+
+class TestBasics:
+    def test_never_affordable(self):
+        bids = {1: AdditiveBid.over(1, [1.0, 1.0]), 2: AdditiveBid.single_slot(2, 3.0)}
+        outcome = run_addon(100.0, bids)
+        assert not outcome.implemented
+        assert outcome.total_payment == 0.0
+        assert accounting.addon_total_utility(outcome, bids) == 0.0
+
+    def test_single_user_covers_cost(self):
+        bids = {1: AdditiveBid.over(1, [60.0, 60.0])}
+        outcome = run_addon(100.0, bids)
+        assert outcome.implemented_at == 1
+        assert outcome.payment(1) == pytest.approx(100.0)
+        assert accounting.addon_user_utility(outcome, 1, bids[1]) == pytest.approx(20.0)
+
+    def test_residual_triggers_late_implementation(self):
+        # Alone, user 1's residual never covers 100; with user 2 at t=2 the
+        # combined residuals do (50 + 70 against shares of 50).
+        bids = {
+            1: AdditiveBid.over(1, [30.0, 50.0]),
+            2: AdditiveBid.over(2, [70.0]),
+        }
+        outcome = run_addon(100.0, bids)
+        assert outcome.implemented_at == 2
+        assert outcome.cumulative(1) == frozenset()
+        assert outcome.cumulative(2) == frozenset({1, 2})
+        assert outcome.payment(1) == pytest.approx(50.0)
+        assert outcome.payment(2) == pytest.approx(50.0)
+
+    def test_value_before_implementation_is_lost(self):
+        bids = {
+            1: AdditiveBid.over(1, [30.0, 50.0]),
+            2: AdditiveBid.over(2, [70.0]),
+        }
+        outcome = run_addon(100.0, bids)
+        # User 1 is serviced only at slot 2: realized 50, not 80.
+        assert accounting.addon_realized_value(outcome, 1, bids[1]) == pytest.approx(50.0)
+
+    def test_price_decreases_as_users_join(self):
+        bids = {
+            1: AdditiveBid.single_slot(1, 100.0),
+            2: AdditiveBid.single_slot(2, 50.0),
+            3: AdditiveBid.single_slot(3, 40.0),
+        }
+        outcome = run_addon(100.0, bids, horizon=3)
+        prices = outcome.price_by_slot
+        assert prices[1] == pytest.approx(100.0)
+        assert prices[2] == pytest.approx(50.0)
+        assert prices[3] == pytest.approx(100.0 / 3.0)
+        # Each user pays the share current at her own departure slot.
+        assert outcome.payment(1) == pytest.approx(100.0)
+        assert outcome.payment(2) == pytest.approx(50.0)
+        assert outcome.payment(3) == pytest.approx(100.0 / 3.0)
+
+    def test_departed_users_stay_in_cumulative_set(self):
+        bids = {
+            1: AdditiveBid.over(1, [100.0]),
+            2: AdditiveBid.over(2, [60.0]),
+        }
+        outcome = run_addon(100.0, bids)
+        assert 1 in outcome.cumulative(2)
+        assert 1 not in outcome.serviced(2)  # no longer active
+
+    def test_horizon_defaults_to_last_departure(self):
+        bids = {1: AdditiveBid.over(2, [5.0, 5.0, 5.0])}
+        outcome = run_addon(10.0, bids)
+        assert outcome.horizon == 4
+
+    def test_explicit_horizon_beyond_departures(self):
+        bids = {1: AdditiveBid.over(1, [20.0])}
+        outcome = run_addon(10.0, bids, horizon=5)
+        assert outcome.serviced(1) == frozenset({1})
+        assert outcome.serviced(3) == frozenset()
+        assert outcome.payment(1) == pytest.approx(10.0)
+
+    def test_empty_game(self):
+        outcome = run_addon(10.0, {}, horizon=3)
+        assert not outcome.implemented
+        assert outcome.total_cost == 0.0
+
+    def test_invalid_cost(self):
+        with pytest.raises(MechanismError):
+            run_addon(0.0, {1: AdditiveBid.single_slot(1, 5.0)})
+
+
+class TestRevisions:
+    def test_upward_revision_can_trigger_implementation(self):
+        bid = RevisableBid(AdditiveBid.over(1, [30.0, 30.0]))
+        outcome_before = run_addon(100.0, {1: bid}, horizon=2)
+        assert not outcome_before.implemented
+        bid.revise(2, {2: 80.0})
+        outcome = run_addon(100.0, {1: bid}, horizon=2)
+        # As of slot 1 the cloud still sees [30, 30]: no implementation; the
+        # slot-2 view has residual 80 < 100 — still unaffordable.
+        assert not outcome.implemented
+        bid.revise(2, {2: 120.0})
+        outcome = run_addon(100.0, {1: bid}, horizon=2)
+        assert outcome.implemented_at == 2
+        assert outcome.payment(1) == pytest.approx(100.0)
+
+    def test_extension_delays_payment(self):
+        bid = RevisableBid(AdditiveBid.over(1, [120.0]))
+        bid.revise(1, {2: 10.0})  # extends e_i to 2 before slot 1 closes
+        outcome = run_addon(100.0, {1: bid}, horizon=2)
+        assert outcome.implemented_at == 1
+        # She leaves at t=2 now; payment recorded then.
+        assert outcome.payment(1) == pytest.approx(100.0)
+        assert outcome.serviced(2) == frozenset({1})
+
+    def test_early_declaration_is_pruned_until_interval_starts(self):
+        # Declared at slot 1, but s_i = 2: Mechanism 2 prunes users with
+        # t < s_i, so implementation waits for slot 2.
+        bid = RevisableBid(AdditiveBid.over(2, [200.0]), declared_at=1)
+        outcome = run_addon(100.0, {1: bid}, horizon=2)
+        assert outcome.implemented_at == 2
+        assert outcome.payment(1) == pytest.approx(100.0)
+
+
+class TestAccountingAgainstLies:
+    def test_time_shift_lie_loses_value(self):
+        """Declaring a later interval than the truth forfeits early value."""
+        truth = AdditiveBid.over(1, [50.0, 50.0])
+        declared = AdditiveBid.over(2, [50.0])
+        outcome = run_addon(80.0, {1: declared, 2: AdditiveBid.over(1, [90.0, 0.0])})
+        realized = accounting.addon_realized_value(outcome, 1, truth)
+        # She is serviced at slot 2 only: realizes 50 instead of 100.
+        assert realized == pytest.approx(50.0)

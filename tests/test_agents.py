@@ -1,0 +1,203 @@
+"""Tests for the strategic agents: truth vs the paper's manipulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AdditiveBid, GameConfigError, SubstitutableBid, run_addon, run_subston
+from repro.agents import (
+    OverBidder,
+    SetLiar,
+    SybilSplitter,
+    TimeShifter,
+    TruthfulAdditive,
+    TruthfulSubstitutable,
+    UnderBidder,
+)
+
+
+def play_additive(cost, agents, horizon):
+    """Run AddOn on whatever the agents declare; return utilities by agent."""
+    bids = {}
+    for agent in agents:
+        bids.update(agent.declarations())
+    outcome = run_addon(cost, bids, horizon=horizon)
+    return {agent.user: agent.utility(outcome) for agent in agents}
+
+
+class TestDeclarations:
+    TRUTH = AdditiveBid.over(1, [10.0, 20.0])
+
+    def test_truthful(self):
+        agent = TruthfulAdditive("u", self.TRUTH)
+        assert agent.declarations() == {"u": self.TRUTH}
+
+    def test_underbidder_scales_down(self):
+        declared = UnderBidder("u", self.TRUTH, factor=0.5).declarations()["u"]
+        assert declared.schedule.values == (5.0, 10.0)
+
+    def test_overbidder_scales_up(self):
+        declared = OverBidder("u", self.TRUTH, factor=2.0).declarations()["u"]
+        assert declared.schedule.values == (20.0, 40.0)
+
+    def test_time_shifter_hides_prefix(self):
+        declared = TimeShifter("u", self.TRUTH, delay=1).declarations()["u"]
+        assert declared.start == 2
+        assert declared.schedule.values == (20.0,)
+
+    def test_sybil_identities(self):
+        declared = SybilSplitter("u", self.TRUTH, identities=3).declarations()
+        assert set(declared) == {"u#1", "u#2", "u#3"}
+
+    def test_set_liar(self):
+        truth = SubstitutableBid.single_slot(1, 5.0, {"a"})
+        declared = SetLiar("u", truth, {"b"}).declarations()["u"]
+        assert declared.substitutes == frozenset({"b"})
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            UnderBidder("u", self.TRUTH, factor=1.0)
+        with pytest.raises(GameConfigError):
+            OverBidder("u", self.TRUTH, factor=0.9)
+        with pytest.raises(GameConfigError):
+            TimeShifter("u", self.TRUTH, delay=2)
+        with pytest.raises(GameConfigError):
+            SybilSplitter("u", self.TRUTH, identities=1)
+
+
+class TestStrategiesAgainstAddOn:
+    """No-future games: every manipulation does at most as well as truth."""
+
+    COST = 100.0
+    OTHERS = [
+        TruthfulAdditive("o1", AdditiveBid.over(1, [60.0])),
+        TruthfulAdditive("o2", AdditiveBid.over(1, [45.0, 15.0])),
+    ]
+    TRUTH = AdditiveBid.over(1, [30.0, 25.0])
+
+    def baseline(self):
+        agents = self.OTHERS + [TruthfulAdditive("me", self.TRUTH)]
+        return play_additive(self.COST, agents, horizon=2)["me"]
+
+    def test_truthful_baseline_positive(self):
+        # Shares of 33.3 fit all three: utility 55 - 33.3 > 0.
+        assert self.baseline() == pytest.approx(55.0 - 100.0 / 3.0)
+
+    @pytest.mark.parametrize("factor", [0.1, 0.4, 0.6])
+    def test_underbidding_never_beats_truth(self, factor):
+        agents = self.OTHERS + [UnderBidder("me", self.TRUTH, factor=factor)]
+        utility = play_additive(self.COST, agents, horizon=2)["me"]
+        assert utility <= self.baseline() + 1e-9
+
+    @pytest.mark.parametrize("factor", [1.5, 3.0, 10.0])
+    def test_overbidding_never_beats_truth(self, factor):
+        agents = self.OTHERS + [OverBidder("me", self.TRUTH, factor=factor)]
+        utility = play_additive(self.COST, agents, horizon=2)["me"]
+        assert utility <= self.baseline() + 1e-9
+
+    def test_time_shifting_never_beats_truth(self):
+        agents = self.OTHERS + [TimeShifter("me", self.TRUTH, delay=1)]
+        utility = play_additive(self.COST, agents, horizon=2)["me"]
+        assert utility <= self.baseline() + 1e-9
+
+    def test_free_riding_blocked(self):
+        """Example 2 as an agent play: hiding slot-1 value wins nothing."""
+        others = [TruthfulAdditive("rich", AdditiveBid.over(1, [101.0]))]
+        truth = AdditiveBid.over(1, [26.0, 26.0])
+        honest = play_additive(
+            100.0, others + [TruthfulAdditive("me", truth)], horizon=2
+        )["me"]
+        shifted = play_additive(
+            100.0, others + [TimeShifter("me", truth, delay=1)], horizon=2
+        )["me"]
+        assert honest == pytest.approx(2.0)
+        assert shifted == pytest.approx(0.0)
+
+
+class TestSybilPlays:
+    def test_alice_gains_but_no_one_loses(self):
+        """Section 5.2's Alice example via agents."""
+        cost = 101.0
+        honest_agents = [
+            TruthfulAdditive(f"u{k}", AdditiveBid.single_slot(1, 1.0))
+            for k in range(99)
+        ]
+        alice_truth = AdditiveBid.single_slot(1, 101.0)
+
+        solo = honest_agents + [TruthfulAdditive("alice", alice_truth)]
+        solo_utils = play_additive(cost, solo, horizon=1)
+        assert solo_utils["alice"] == pytest.approx(0.0)
+
+        sybil = honest_agents + [SybilSplitter("alice", alice_truth, identities=2)]
+        sybil_utils = play_additive(cost, sybil, horizon=1)
+        assert sybil_utils["alice"] == pytest.approx(99.0)
+        # Proposition 2: no honest user is worse off.
+        for k in range(99):
+            assert sybil_utils[f"u{k}"] >= solo_utils[f"u{k}"] - 1e-9
+
+
+class TestSubstitutableAgents:
+    def test_set_lie_can_only_hurt(self):
+        """Example 7 as an agent play."""
+        costs = {1: 60.0, 2: 180.0, 3: 100.0}
+        agents = [
+            TruthfulSubstitutable(1, SubstitutableBid.single_slot(1, 100.0, {1, 2})),
+            TruthfulSubstitutable(2, SubstitutableBid.single_slot(1, 101.0, {3})),
+            TruthfulSubstitutable(4, SubstitutableBid.single_slot(1, 70.0, {2})),
+        ]
+        truth_3 = SubstitutableBid.single_slot(1, 60.0, {1, 2, 3})
+
+        def play(agent_3):
+            bids = {}
+            for agent in agents + [agent_3]:
+                bids.update(agent.declarations())
+            outcome = run_subston(costs, bids, horizon=1)
+            return agent_3.utility(outcome)
+
+        honest = play(TruthfulSubstitutable(3, truth_3))
+        lied = play(SetLiar(3, truth_3, {2, 3}))
+        assert honest == pytest.approx(30.0)
+        assert lied < honest
+
+
+class TestSubstitutableSybil:
+    """Section 6's dummy-user example through the agent API."""
+
+    COSTS = {1: 6.0, 2: 5.0}
+
+    def play(self, agents):
+        from repro import run_subston
+
+        bids = {}
+        for agent in agents:
+            bids.update(agent.declarations())
+        outcome = run_subston(self.COSTS, bids, horizon=1)
+        return outcome, {agent.user: agent.utility(outcome) for agent in agents}
+
+    def test_sybil_steers_outcome_and_hurts_user_3(self):
+        from repro.agents import SubstitutableSybil
+
+        truth_1 = SubstitutableBid.single_slot(1, 5.0, {1})
+        agent_2 = TruthfulSubstitutable(2, SubstitutableBid.single_slot(1, 2.51, {1, 2}))
+        agent_3 = TruthfulSubstitutable(3, SubstitutableBid.single_slot(1, 7.0, {2}))
+
+        honest = [TruthfulSubstitutable(1, truth_1), agent_2, agent_3]
+        _, honest_utils = self.play(honest)
+        assert honest_utils[3] == pytest.approx(4.5)
+        assert honest_utils[1] == pytest.approx(0.0)  # opt 1 never built
+
+        sybil = [SubstitutableSybil(1, truth_1, identities=2), agent_2, agent_3]
+        outcome, sybil_utils = self.play(sybil)
+        # Optimization 1 now wins phase 1 at share 2; user 1 nets 5 - 4 = 1
+        # while user 3 is left covering optimization 2 alone: 7 - 5 = 2.
+        assert outcome.grants["1#1"] == 1
+        assert sybil_utils[1] == pytest.approx(1.0)
+        assert sybil_utils[3] == pytest.approx(2.0)
+        assert sybil_utils[3] < honest_utils[3]
+
+    def test_validation(self):
+        from repro.agents import SubstitutableSybil
+
+        truth = SubstitutableBid.single_slot(1, 5.0, {1})
+        with pytest.raises(GameConfigError):
+            SubstitutableSybil(1, truth, identities=1)

@@ -1,0 +1,218 @@
+"""Tests for the astronomy substrate: simulator, halo finder, use case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.astro import (
+    Ec2Pricing,
+    UniverseConfig,
+    UniverseSimulator,
+    friends_of_friends,
+)
+from repro.errors import GameConfigError
+
+
+class TestFriendsOfFriends:
+    def test_two_clear_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.5, size=(40, 3)) + np.array([10.0, 10, 10])
+        b = rng.normal(0.0, 0.5, size=(30, 3)) + np.array([40.0, 40, 40])
+        positions = np.vstack([a, b])
+        labels = friends_of_friends(positions, linking_length=2.0, min_members=5)
+        assert set(labels) == {0, 1}
+        # Label 0 is the bigger cluster.
+        assert np.sum(labels == 0) == 40
+        assert np.sum(labels == 1) == 30
+
+    def test_isolated_points_unclustered(self):
+        positions = np.array([[0.0, 0, 0], [100.0, 0, 0], [0.0, 100, 0]])
+        labels = friends_of_friends(positions, linking_length=1.0, min_members=2)
+        assert list(labels) == [-1, -1, -1]
+
+    def test_min_members_threshold(self):
+        positions = np.array([[0.0, 0, 0], [0.5, 0, 0], [1.0, 0, 0]])
+        labels = friends_of_friends(positions, linking_length=0.8, min_members=4)
+        assert list(labels) == [-1, -1, -1]
+        labels = friends_of_friends(positions, linking_length=0.8, min_members=3)
+        assert list(labels) == [0, 0, 0]
+
+    def test_chain_merging_across_cells(self):
+        # A chain of points, each within linking length of the next, spans
+        # several grid cells but forms one cluster.
+        positions = np.array([[float(i) * 0.9, 0.0, 0.0] for i in range(10)])
+        labels = friends_of_friends(positions, linking_length=1.0, min_members=2)
+        assert set(labels) == {0}
+
+    def test_empty_input(self):
+        assert len(friends_of_friends(np.empty((0, 3)), 1.0)) == 0
+
+    def test_invalid_parameters(self):
+        positions = np.zeros((2, 3))
+        with pytest.raises(GameConfigError):
+            friends_of_friends(positions, linking_length=0.0)
+        with pytest.raises(GameConfigError):
+            friends_of_friends(positions, linking_length=1.0, min_members=0)
+
+
+SMALL_UNIVERSE = UniverseConfig(
+    particles=500, halos=10, snapshots=6, min_halo_members=6
+)
+
+
+class TestSimulator:
+    def test_snapshot_count_and_shapes(self):
+        snapshots = UniverseSimulator(SMALL_UNIVERSE, rng=1).run()
+        assert len(snapshots) == 6
+        for s in snapshots:
+            assert len(s) == 500
+            assert s.positions.shape == (500, 3)
+
+    def test_halos_detected(self):
+        snapshots = UniverseSimulator(SMALL_UNIVERSE, rng=1).run()
+        final = snapshots[-1]
+        assert final.clustered_fraction() > 0.5
+        assert final.halo.max() >= 1  # at least two halos
+
+    def test_detected_halos_align_with_truth(self):
+        """Most particles sharing a detected halo share a true halo."""
+        snapshots = UniverseSimulator(SMALL_UNIVERSE, rng=1).run()
+        final = snapshots[-1]
+        agreements = 0
+        total = 0
+        for label in set(final.halo[final.halo >= 0]):
+            mask = final.halo == label
+            truths = final.true_halo[mask]
+            values, counts = np.unique(truths, return_counts=True)
+            agreements += counts.max()
+            total += counts.sum()
+        assert agreements / total > 0.9
+
+    def test_deterministic_given_seed(self):
+        a = UniverseSimulator(SMALL_UNIVERSE, rng=7).run()
+        b = UniverseSimulator(SMALL_UNIVERSE, rng=7).run()
+        assert np.array_equal(a[-1].halo, b[-1].halo)
+        assert np.array_equal(a[-1].positions, b[-1].positions)
+
+    def test_mergers_reduce_live_halos(self):
+        cfg = UniverseConfig(
+            particles=500, halos=12, snapshots=12, merge_probability=1.0,
+            merge_distance=1e9, min_halo_members=6,
+        )
+        snapshots = UniverseSimulator(cfg, rng=3).run()
+        first_truth = len(set(snapshots[0].true_halo[snapshots[0].true_halo >= 0]))
+        last_truth = len(set(snapshots[-1].true_halo[snapshots[-1].true_halo >= 0]))
+        assert last_truth < first_truth
+
+    def test_table_conversion(self):
+        snapshots = UniverseSimulator(SMALL_UNIVERSE, rng=1).run()
+        table = snapshots[0].to_table()
+        assert len(table) == 500
+        assert table.schema.row_width == 72
+        assert table.name == "snap_01"
+
+    def test_config_validation(self):
+        with pytest.raises(GameConfigError):
+            UniverseConfig(particles=5, halos=10)
+
+
+class TestPricing:
+    def test_compute_dollars(self):
+        pricing = Ec2Pricing(hourly_rate=0.25)
+        assert pricing.compute_dollars(60.0) == pytest.approx(0.25)
+        # The paper's anchor: 44 minutes ~ 18 cents.
+        assert pricing.compute_dollars(44.0) == pytest.approx(0.1833, abs=1e-3)
+
+    def test_mean_view_cost_normalization(self):
+        pricing = Ec2Pricing().with_mean_view_cost([100, 200, 300], 2.31)
+        costs = [pricing.view_dollars(s) for s in (100, 200, 300)]
+        assert sum(costs) / 3 == pytest.approx(2.31)
+        assert costs[2] == pytest.approx(3 * costs[0])
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            Ec2Pricing(hourly_rate=0.0)
+        with pytest.raises(GameConfigError):
+            Ec2Pricing().with_mean_view_cost([], 2.31)
+
+
+class TestUseCase:
+    """Runs against the shared session fixture from conftest.py."""
+
+    def test_six_workloads_with_strides(self, small_use_case):
+        strides = [w.stride for w in small_use_case.workloads]
+        assert strides == [1, 2, 4, 1, 2, 4]
+
+    def test_halo_groups_disjoint(self, small_use_case):
+        g1 = set(small_use_case.workloads[0].final_halos)
+        g2 = set(small_use_case.workloads[3].final_halos)
+        assert g1 and g2
+        assert not (g1 & g2)
+
+    def test_calibrated_runtime(self, small_use_case):
+        assert small_use_case.runtimes_min[0] == pytest.approx(81.0)
+        # Strided workloads are cheaper.
+        assert small_use_case.runtimes_min[1] < small_use_case.runtimes_min[0]
+        assert small_use_case.runtimes_min[2] < small_use_case.runtimes_min[1]
+
+    def test_view_costs_mean_normalized(self, small_use_case):
+        costs = list(small_use_case.view_costs.values())
+        assert sum(costs) / len(costs) == pytest.approx(2.31)
+
+    def test_final_view_most_valuable(self, small_use_case):
+        uc = small_use_case
+        final_view = uc.view_names[-1]
+        for user in range(6):
+            final_saving = uc.savings_min.get((user, final_view), 0.0)
+            others = [
+                uc.savings_min.get((user, v), 0.0) for v in uc.view_names[:-1]
+            ]
+            assert final_saving > max(others)
+
+    def test_savings_do_not_exceed_runtime(self, small_use_case):
+        uc = small_use_case
+        for user in range(6):
+            total_saving = sum(
+                uc.savings_min.get((user, v), 0.0) for v in uc.view_names
+            )
+            assert total_saving < uc.runtimes_min[user]
+
+    def test_strided_user_untouched_views_worthless(self, small_use_case):
+        uc = small_use_case
+        # User 2 (stride 4, 8 snapshots) touches snapshots 8 and 4 only.
+        touched = {t for t in uc.workloads[2].snapshot_tables(uc.table_names)}
+        for table, view in zip(uc.table_names, uc.view_names):
+            saving = uc.savings_min.get((2, view), 0.0)
+            if table in touched:
+                assert saving > 0
+            else:
+                assert saving == 0.0
+
+    def test_analytic_savings_match_actual_execution(self, small_use_case):
+        """The what-if identity: measured = baseline - sum(per-view savings)."""
+        uc = small_use_case
+        baseline = uc.run_workload_minutes(0, with_views=())
+        assert baseline == pytest.approx(uc.runtimes_min[0], rel=1e-9)
+        with_all = uc.run_workload_minutes(0, with_views=uc.view_names)
+        analytic = uc.runtimes_min[0] - sum(
+            uc.savings_min.get((0, v), 0.0) for v in uc.view_names
+        )
+        assert with_all == pytest.approx(analytic, rel=1e-6)
+
+    def test_single_view_savings_match(self, small_use_case):
+        uc = small_use_case
+        final_view = uc.view_names[-1]
+        with_one = uc.run_workload_minutes(0, with_views=[final_view])
+        expected = uc.runtimes_min[0] - uc.savings_min[(0, final_view)]
+        assert with_one == pytest.approx(expected, rel=1e-6)
+        # Leave the catalog clean for other tests.
+        uc.run_workload_minutes(0, with_views=())
+
+    def test_values_priced_at_hourly_rate(self, small_use_case):
+        uc = small_use_case
+        final_view = uc.view_names[-1]
+        minutes = uc.savings_min[(0, final_view)]
+        assert uc.value_dollars(0, final_view) == pytest.approx(
+            minutes / 60.0 * uc.pricing.hourly_rate
+        )

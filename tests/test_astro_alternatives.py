@@ -1,0 +1,77 @@
+"""Tests for the view-vs-index substitutable game built from the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_substoff
+from repro.astro.alternatives import build_index_or_view_game
+from repro.errors import GameConfigError
+
+
+class TestGameConstruction:
+    def test_two_optimizations(self, small_use_case):
+        game = build_index_or_view_game(small_use_case)
+        assert set(game.costs) == {game.view_id, game.index_id}
+        assert all(c > 0 for c in game.costs.values())
+
+    def test_defaults_to_final_snapshot(self, small_use_case):
+        game = build_index_or_view_game(small_use_case)
+        assert game.table_name == small_use_case.final_table
+
+    def test_values_scale_with_executions(self, small_use_case):
+        one = build_index_or_view_game(small_use_case, executions=1)
+        many = build_index_or_view_game(small_use_case, executions=50)
+        for user in one.values:
+            assert many.values[user] == pytest.approx(50 * one.values[user])
+
+    def test_bids_are_substitutable_rows(self, small_use_case):
+        game = build_index_or_view_game(small_use_case)
+        for user, row in game.bids.items():
+            assert set(row) == set(game.costs)
+            assert len({round(v, 12) for v in row.values()}) == 1
+
+    def test_conservative_value(self, small_use_case):
+        game = build_index_or_view_game(small_use_case, executions=1)
+        for user in game.values:
+            conservative = min(
+                game.view_saving_min[user], game.index_saving_min[user]
+            )
+            expected = small_use_case.pricing.compute_dollars(conservative)
+            assert game.values[user] == pytest.approx(expected)
+
+    def test_every_touching_user_present(self, small_use_case):
+        game = build_index_or_view_game(small_use_case)
+        # All six astronomers touch the final snapshot.
+        assert set(game.values) == set(range(6))
+
+    def test_other_snapshot(self, small_use_case):
+        table = small_use_case.table_names[0]
+        game = build_index_or_view_game(small_use_case, snapshot_table=table)
+        assert game.table_name == table
+        # Only stride-1 users touch every snapshot; stride 2/4 users might
+        # miss the oldest one, so the participant set can shrink.
+        assert set(game.values) <= set(range(6))
+
+    def test_validation(self, small_use_case):
+        with pytest.raises(GameConfigError):
+            build_index_or_view_game(small_use_case, executions=0)
+        with pytest.raises(GameConfigError):
+            build_index_or_view_game(small_use_case, snapshot_table="snap_99")
+
+
+class TestGamePlays:
+    def test_substoff_builds_at_most_one(self, small_use_case):
+        game = build_index_or_view_game(small_use_case, executions=60)
+        outcome = run_substoff(game.costs, game.bids)
+        # Pure substitutes with identical bidder sets: one build suffices.
+        assert len(outcome.implemented) <= 1
+        assert outcome.total_payment == pytest.approx(outcome.total_cost)
+
+    def test_unaffordable_at_tiny_usage(self, small_use_case):
+        game = build_index_or_view_game(small_use_case, executions=1)
+        outcome = run_substoff(game.costs, game.bids)
+        game60 = build_index_or_view_game(small_use_case, executions=60)
+        outcome60 = run_substoff(game60.costs, game60.bids)
+        # More usage can only help implementation.
+        assert len(outcome.implemented) <= len(outcome60.implemented)

@@ -1,0 +1,111 @@
+"""Tests for halo environment classification (Section 2's second query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryError
+from repro.astro.environment import (
+    HaloSummary,
+    classify_environment,
+    halo_summaries,
+)
+from repro.db import Catalog, CostMeter, Schema, Table
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    table = Table(
+        "snap_01",
+        Schema.of(
+            pid="int", x="float", y="float", z="float",
+            vx="float", vy="float", vz="float", mass="float", halo="int",
+        ),
+    )
+    # Halo 0: 3 particles around (0,0,0); halo 1: 2 around (4,0,0);
+    # halo 2: 2 around (50,50,50); one unclustered particle.
+    rows = [
+        (1, 0.0, 0.0, 0.0, 0, 0, 0, 2.0, 0),
+        (2, 1.0, 0.0, 0.0, 0, 0, 0, 2.0, 0),
+        (3, -1.0, 0.0, 0.0, 0, 0, 0, 2.0, 0),
+        (4, 4.0, 1.0, 0.0, 0, 0, 0, 1.0, 1),
+        (5, 4.0, -1.0, 0.0, 0, 0, 0, 1.0, 1),
+        (6, 50.0, 50.0, 50.0, 0, 0, 0, 5.0, 2),
+        (7, 50.0, 50.0, 51.0, 0, 0, 0, 5.0, 2),
+        (8, 99.0, 99.0, 99.0, 0, 0, 0, 1.0, -1),
+    ]
+    table.extend(
+        [
+            (pid, x, y, z, float(vx), float(vy), float(vz), m, h)
+            for pid, x, y, z, vx, vy, vz, m, h in rows
+        ]
+    )
+    cat.create_table(table)
+    return cat
+
+
+class TestHaloSummaries:
+    def test_counts_and_masses(self, catalog):
+        summaries = halo_summaries(catalog, "snap_01")
+        assert set(summaries) == {0, 1, 2}  # no -1 group
+        assert summaries[0].members == 3
+        assert summaries[0].mass == pytest.approx(6.0)
+        assert summaries[2].mass == pytest.approx(10.0)
+
+    def test_centers(self, catalog):
+        summaries = halo_summaries(catalog, "snap_01")
+        assert summaries[0].center == pytest.approx((0.0, 0.0, 0.0))
+        assert summaries[1].center == pytest.approx((4.0, 0.0, 0.0))
+        assert summaries[2].center == pytest.approx((50.0, 50.0, 50.5))
+
+    def test_meter_charged(self, catalog):
+        meter = CostMeter()
+        halo_summaries(catalog, "snap_01", meter)
+        assert meter.scan_bytes > 0
+        assert meter.rows_emitted > 0
+
+
+class TestEnvironment:
+    def test_classification(self, catalog):
+        summaries = halo_summaries(catalog, "snap_01")
+        labels = classify_environment(summaries, radius=10.0, rich_threshold=1)
+        # Halos 0 and 1 are 4 apart: rich; halo 2 is far away: isolated.
+        assert labels[0] == "rich"
+        assert labels[1] == "rich"
+        assert labels[2] == "isolated"
+
+    def test_threshold(self, catalog):
+        summaries = halo_summaries(catalog, "snap_01")
+        labels = classify_environment(summaries, radius=10.0, rich_threshold=2)
+        # Needs >= 2 neighbors now: nobody qualifies.
+        assert set(labels.values()) == {"isolated"}
+
+    def test_radius_controls_neighborhood(self, catalog):
+        summaries = halo_summaries(catalog, "snap_01")
+        labels = classify_environment(summaries, radius=100.0, rich_threshold=2)
+        assert labels[0] == "rich"
+
+    def test_validation(self):
+        summary = HaloSummary(0, 1, 1.0, (0.0, 0.0, 0.0))
+        with pytest.raises(QueryError):
+            classify_environment({0: summary}, radius=0.0)
+        with pytest.raises(QueryError):
+            classify_environment({0: summary}, radius=1.0, rich_threshold=0)
+
+    def test_empty(self):
+        assert classify_environment({}, radius=1.0) == {}
+
+    def test_on_simulated_universe(self):
+        from repro.astro import UniverseConfig, UniverseSimulator
+
+        snapshots = UniverseSimulator(
+            UniverseConfig(particles=500, halos=10, snapshots=3, min_halo_members=6),
+            rng=1,
+        ).run()
+        catalog = Catalog()
+        catalog.create_table(snapshots[-1].to_table())
+        summaries = halo_summaries(catalog, snapshots[-1].table_name)
+        assert len(summaries) >= 2
+        labels = classify_environment(summaries, radius=40.0)
+        assert set(labels.values()) <= {"rich", "isolated"}

@@ -1,0 +1,89 @@
+"""Tests for the naive negative-example mechanisms (Examples 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AdditiveBid, MechanismError
+from repro.baseline.naive import run_naive_online_shapley, run_naive_pay_your_bid
+from repro.core import accounting
+
+
+class TestPayYourBid:
+    def test_cost_recovering(self):
+        result = run_naive_pay_your_bid(100.0, {1: 60.0, 2: 50.0})
+        assert result.implemented
+        assert result.revenue == pytest.approx(110.0)
+
+    def test_not_implemented_below_cost(self):
+        result = run_naive_pay_your_bid(100.0, {1: 60.0, 2: 30.0})
+        assert not result.implemented
+
+    def test_underbidding_pays_off(self):
+        """Example 1's flaw: shading the bid keeps service, lowers payment."""
+        truth = {1: 60.0, 2: 50.0}
+        honest = run_naive_pay_your_bid(100.0, truth)
+        honest_utility = 60.0 - honest.payment(1)
+
+        shaded = run_naive_pay_your_bid(100.0, {1: 50.0, 2: 50.0})
+        shaded_utility = 60.0 - shaded.payment(1)
+        assert 1 in shaded.serviced
+        assert shaded_utility > honest_utility
+
+    def test_validation(self):
+        with pytest.raises(MechanismError):
+            run_naive_pay_your_bid(0.0, {1: 1.0})
+        with pytest.raises(MechanismError):
+            run_naive_pay_your_bid(1.0, {1: -1.0})
+
+
+class TestNaiveOnlineShapley:
+    def test_example_2_free_ride(self):
+        """Hiding slot-1 value free-rides under naive, not under AddOn."""
+        from repro import run_addon
+
+        cost = 100.0
+        truth_2 = AdditiveBid.over(1, [26.0, 26.0])
+        hiding = {
+            1: AdditiveBid.over(1, [101.0]),
+            2: AdditiveBid.over(2, [26.0]),
+        }
+        naive = run_naive_online_shapley(cost, hiding)
+        # User 1 pays everything at t=1; user 2 rides free at t=2.
+        assert naive.payment(1) == pytest.approx(100.0)
+        assert naive.payment(2) == pytest.approx(0.0)
+        assert 2 in naive.serviced_by_slot[2]
+        utility = accounting.addon_user_utility(naive, 2, truth_2)
+        assert utility == pytest.approx(26.0)
+
+        addon = run_addon(cost, hiding)
+        assert 2 not in addon.cumulative(2)
+
+    def test_truthful_play_splits_cost(self):
+        cost = 100.0
+        bids = {
+            1: AdditiveBid.over(1, [101.0]),
+            2: AdditiveBid.over(1, [26.0, 26.0]),
+        }
+        naive = run_naive_online_shapley(cost, bids)
+        assert naive.payment(1) == pytest.approx(50.0)
+        assert naive.payment(2) == pytest.approx(50.0)
+
+    def test_never_implemented(self):
+        naive = run_naive_online_shapley(100.0, {1: AdditiveBid.over(1, [5.0])})
+        assert not naive.implemented
+        assert naive.total_payment == 0.0
+
+    def test_cost_recovery_still_holds(self):
+        # The naive scheme recovers cost (once) — its flaw is truthfulness.
+        bids = {
+            1: AdditiveBid.over(1, [50.0, 10.0]),
+            2: AdditiveBid.over(1, [50.0, 0.0]),
+            3: AdditiveBid.over(2, [90.0]),
+        }
+        naive = run_naive_online_shapley(100.0, bids)
+        assert naive.implemented_at == 1
+        assert naive.total_payment == pytest.approx(100.0)
+        # User 3 arrives after implementation and rides for free.
+        assert 3 in naive.serviced_by_slot[2]
+        assert naive.payment(3) == 0.0

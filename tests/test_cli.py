@@ -1,0 +1,57 @@
+"""Tests for the figure-regeneration CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_fig1_flags(self):
+        args = build_parser().parse_args(["fig1", "--values", "engine", "--samples", "7"])
+        assert args.values == "engine"
+        assert args.samples == 7
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(["fig2a", "--trials", "9", "--seed", "3"])
+        assert args.trials == 9
+        assert args.seed == 3
+
+
+class TestExecution:
+    def test_fig2a_prints_table(self, capsys):
+        assert main(["fig2a", "--trials", "3", "--rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "AddOn Utility" in out
+        assert "Regret Balance" in out
+
+    def test_summary_mode(self, capsys):
+        assert main(["fig3a", "--trials", "2", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["fig5a", "--trials", "2", "--out", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.txt"))
+        assert len(files) == 1
+        assert "SubstOn Utility" in files[0].read_text()
+
+    def test_fig1_paper_mode(self, capsys):
+        assert main(["fig1", "--samples", "3", "--rows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline Cost" in out

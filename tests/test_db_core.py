@@ -1,0 +1,122 @@
+"""Unit tests for the mini database engine: schema, tables, expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SchemaError
+from repro.db import Col, Column, Const, Eq, Ge, In, Not, Or, And, Lt, Schema, Table
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        schema = Schema.of(pid="int", x="float", name="str")
+        assert schema.names == ("pid", "x", "name")
+        assert len(schema) == 3
+
+    def test_row_width(self):
+        schema = Schema.of(pid="int", x="float", name="str")
+        assert schema.row_width == 8 + 8 + 24
+
+    def test_position(self):
+        schema = Schema.of(a="int", b="int")
+        assert schema.position("b") == 1
+        with pytest.raises(SchemaError):
+            schema.position("zzz")
+
+    def test_contains(self):
+        schema = Schema.of(a="int")
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_project(self):
+        schema = Schema.of(a="int", b="float", c="str")
+        sub = schema.project(["c", "a"])
+        assert sub.names == ("c", "a")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", "int"), Column("a", "float")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("a", "blob")
+
+    def test_validate_row_coerces_int_to_float(self):
+        schema = Schema.of(x="float")
+        assert schema.validate_row((3,)) == (3.0,)
+
+    def test_validate_row_rejects_wrong_arity(self):
+        schema = Schema.of(a="int", b="int")
+        with pytest.raises(SchemaError):
+            schema.validate_row((1,))
+
+    def test_validate_row_rejects_wrong_type(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(SchemaError):
+            schema.validate_row(("hello",))
+        with pytest.raises(SchemaError):
+            schema.validate_row((True,))
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        table = Table("t", Schema.of(a="int"))
+        rid = table.insert((1,))
+        assert rid == 0
+        assert len(table) == 1
+
+    def test_extend_and_rows(self):
+        table = Table("t", Schema.of(a="int", b="float"))
+        table.extend([(1, 1.0), (2, 2.0)])
+        assert list(table.rows()) == [(1, 1.0), (2, 2.0)]
+
+    def test_column_values(self):
+        table = Table("t", Schema.of(a="int", b="int"))
+        table.extend([(1, 10), (2, 20)])
+        assert table.column_values("b") == [10, 20]
+
+    def test_byte_size(self):
+        table = Table("t", Schema.of(a="int", b="int"))
+        table.extend([(1, 2)] * 5)
+        assert table.byte_size == 5 * 16
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", Schema.of(a="int"))
+
+
+class TestExpressions:
+    SCHEMA = Schema.of(a="int", b="float", s="str")
+    ROW = (3, 1.5, "x")
+
+    def check(self, expr, expected):
+        assert expr.compile_(self.SCHEMA)(self.ROW) == expected
+
+    def test_col_const(self):
+        self.check(Col("a"), 3)
+        self.check(Const(42), 42)
+
+    def test_comparisons(self):
+        self.check(Eq(Col("a"), Const(3)), True)
+        self.check(Eq(Col("a"), Const(4)), False)
+        self.check(Lt(Col("b"), Const(2.0)), True)
+        self.check(Ge(Col("a"), Const(3)), True)
+
+    def test_in(self):
+        self.check(In(Col("a"), {1, 2, 3}), True)
+        self.check(In(Col("a"), {4}), False)
+
+    def test_boolean_combinators(self):
+        self.check(And(Eq(Col("a"), Const(3)), Eq(Col("s"), Const("x"))), True)
+        self.check(Or(Eq(Col("a"), Const(9)), Eq(Col("s"), Const("x"))), True)
+        self.check(Not(Eq(Col("a"), Const(3))), False)
+
+    def test_compile_binds_positions_once(self):
+        predicate = Eq(Col("a"), Const(3)).compile_(self.SCHEMA)
+        assert predicate((3, 0.0, "")) is True
+        assert predicate((4, 0.0, "")) is False

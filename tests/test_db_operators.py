@@ -1,0 +1,235 @@
+"""Unit tests for physical operators, indexes, views, and cost metering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryError
+from repro.db import (
+    Catalog,
+    Col,
+    Const,
+    CostMeter,
+    CostModel,
+    Eq,
+    Filter,
+    GroupCount,
+    HashIndex,
+    HashJoin,
+    In,
+    IndexLookup,
+    MaterializedView,
+    Project,
+    Schema,
+    SeqScan,
+    SortedIndex,
+    Table,
+)
+
+
+@pytest.fixture()
+def people():
+    table = Table("people", Schema.of(pid="int", age="int", team="int"))
+    table.extend([(1, 30, 0), (2, 25, 0), (3, 41, 1), (4, 25, 2), (5, 30, 1)])
+    return table
+
+
+class TestScanFilterProject:
+    def test_seqscan_charges_bytes(self, people):
+        meter = CostMeter()
+        rows = SeqScan(people).materialize(meter)
+        assert len(rows) == 5
+        assert meter.scan_bytes == 5 * 24
+        assert meter.counters["scan:people"] == 1.0
+
+    def test_filter(self, people):
+        meter = CostMeter()
+        plan = Filter(SeqScan(people), Eq(Col("age"), Const(25)))
+        rows = plan.materialize(meter)
+        assert {r[0] for r in rows} == {2, 4}
+        assert meter.rows_emitted == 2
+
+    def test_filter_in(self, people):
+        meter = CostMeter()
+        plan = Filter(SeqScan(people), In(Col("pid"), {1, 5}))
+        assert len(plan.materialize(meter)) == 2
+
+    def test_project(self, people):
+        meter = CostMeter()
+        plan = Project(SeqScan(people), ["age"])
+        rows = plan.materialize(meter)
+        assert rows == [(30,), (25,), (41,), (25,), (30,)]
+        assert plan.schema.names == ("age",)
+
+    def test_project_requires_columns(self, people):
+        with pytest.raises(QueryError):
+            Project(SeqScan(people), [])
+
+    def test_projection_does_not_reduce_scan_bytes(self, people):
+        """Row-store semantics: scanning is charged at full row width."""
+        meter = CostMeter()
+        Project(SeqScan(people), ["pid"]).materialize(meter)
+        assert meter.scan_bytes == 5 * people.schema.row_width
+
+
+class TestJoinAndGroup:
+    def test_hash_join(self, people):
+        teams = Table("teams", Schema.of(tid="int", tname="str"))
+        teams.extend([(0, "red"), (1, "blue"), (2, "green")])
+        meter = CostMeter()
+        plan = HashJoin(SeqScan(people), SeqScan(teams), "team", "tid")
+        rows = plan.materialize(meter)
+        assert len(rows) == 5
+        names = {r[0]: r[-1] for r in rows}
+        assert names[1] == "red"
+        assert names[3] == "blue"
+        assert plan.schema.names == ("pid", "age", "team", "tname")
+        assert meter.probe_count == 5
+
+    def test_join_key_dropped_from_right(self, people):
+        teams = Table("teams", Schema.of(tid="int", tname="str"))
+        teams.extend([(0, "red")])
+        plan = HashJoin(SeqScan(people), SeqScan(teams), "team", "tid")
+        assert "tid" not in plan.schema.names
+
+    def test_group_count(self, people):
+        meter = CostMeter()
+        plan = GroupCount(SeqScan(people), "age")
+        counts = dict(plan.materialize(meter))
+        assert counts == {30: 2, 25: 2, 41: 1}
+        assert plan.schema.names == ("age", "count")
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self, people):
+        meter = CostMeter()
+        index = HashIndex(people, "age", meter)
+        assert meter.build_bytes == 5 * 24
+        rows = list(index.lookup(25, meter))
+        assert {r[0] for r in rows} == {2, 4}
+        assert list(index.lookup(99, meter)) == []
+
+    def test_hash_index_contains(self, people):
+        index = HashIndex(people, "pid")
+        meter = CostMeter()
+        assert index.contains(3, meter)
+        assert not index.contains(30, meter)
+        assert meter.probe_count == 2
+
+    def test_index_lookup_operator(self, people):
+        index = HashIndex(people, "pid")
+        meter = CostMeter()
+        rows = IndexLookup(index, [1, 3, 99]).materialize(meter)
+        assert [r[0] for r in rows] == [1, 3]
+        assert meter.probe_count == 3
+
+    def test_sorted_index_range(self, people):
+        index = SortedIndex(people, "age")
+        meter = CostMeter()
+        rows = list(index.range(25, 30, meter))
+        assert sorted(r[0] for r in rows) == [1, 2, 4, 5]
+        assert index.min_key() == 25
+        assert index.max_key() == 41
+
+    def test_sorted_index_open_range(self, people):
+        index = SortedIndex(people, "age")
+        meter = CostMeter()
+        assert len(list(index.range(None, None, meter))) == 5
+
+    def test_sorted_index_bad_range(self, people):
+        index = SortedIndex(people, "age")
+        with pytest.raises(QueryError):
+            list(index.range(30, 25, CostMeter()))
+
+
+class TestViewsAndCatalog:
+    def test_projection_view(self, people):
+        view = MaterializedView.projection_of("v", people, ["pid", "team"])
+        view.refresh()
+        assert len(view.table) == 5
+        assert view.table.schema.names == ("pid", "team")
+        assert view.byte_size == 5 * 16
+
+    def test_unmaterialized_view_size_raises(self, people):
+        view = MaterializedView.projection_of("v", people, ["pid"])
+        with pytest.raises(QueryError):
+            view.byte_size
+
+    def test_view_refresh_sees_new_rows(self, people):
+        view = MaterializedView.projection_of("v", people, ["pid"])
+        view.refresh()
+        people.insert((6, 50, 0))
+        view.refresh()
+        assert len(view.table) == 6
+
+    def test_catalog_round_trip(self, people):
+        catalog = Catalog()
+        catalog.create_table(people)
+        assert catalog.table("people") is people
+        assert catalog.table_names == ["people"]
+        with pytest.raises(QueryError):
+            catalog.table("nope")
+
+    def test_catalog_rejects_duplicates(self, people):
+        catalog = Catalog()
+        catalog.create_table(people)
+        with pytest.raises(Exception):
+            catalog.create_table(Table("people", people.schema))
+
+    def test_catalog_views(self, people):
+        catalog = Catalog()
+        catalog.create_table(people)
+        catalog.create_view(MaterializedView.projection_of("v", people, ["pid"]))
+        assert catalog.has_view("v")
+        assert catalog.view("v").is_materialized
+        catalog.drop_view("v")
+        assert not catalog.has_view("v")
+
+    def test_catalog_indexes_cached(self, people):
+        catalog = Catalog()
+        catalog.create_table(people)
+        first = catalog.create_hash_index("people", "pid")
+        second = catalog.create_hash_index("people", "pid")
+        assert first is second
+        assert catalog.hash_index("people", "age") is None
+
+    def test_drop_table_drops_indexes(self, people):
+        catalog = Catalog()
+        catalog.create_table(people)
+        catalog.create_hash_index("people", "pid")
+        catalog.drop_table("people")
+        assert catalog.hash_index("people", "pid") is None
+
+
+class TestCostModel:
+    def test_units_weighting(self):
+        meter = CostMeter()
+        meter.charge_scan(10, 8)
+        meter.charge_probe(2)
+        meter.charge_build(5, 8)
+        meter.emit(3)
+        model = CostModel()
+        expected = 80 * 1.0 + 2 * 32.0 + 40 * 2.0 + 3 * 4.0
+        assert model.units(meter) == pytest.approx(expected)
+
+    def test_calibration(self):
+        meter = CostMeter()
+        meter.charge_scan(1000, 8)
+        model = CostModel().calibrated(60.0, meter)
+        assert model.seconds(meter) == pytest.approx(60.0)
+        assert model.minutes(meter) == pytest.approx(1.0)
+
+    def test_calibration_requires_work(self):
+        with pytest.raises(ValueError):
+            CostModel().calibrated(60.0, CostMeter())
+
+    def test_meter_merge_and_reset(self):
+        a, b = CostMeter(), CostMeter()
+        a.charge_scan(1, 8)
+        b.charge_probe(3)
+        b.bump("x", 2.0)
+        a.merge(b)
+        assert a.probe_count == 3
+        assert a.counters["x"] == 2.0
+        a.reset()
+        assert a.scan_bytes == 0 and a.probe_count == 0 and a.counters == {}

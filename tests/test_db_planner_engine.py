@@ -1,0 +1,142 @@
+"""Tests for the planner's view selection and the query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Catalog, CostMeter, MaterializedView, QueryEngine, Schema, Table
+from repro.db.planner import (
+    histogram_plan,
+    members_plan,
+    view_name_for,
+    what_if_scan_bytes,
+)
+
+
+def make_snapshot(catalog: Catalog, name: str, assignment: dict) -> Table:
+    """A snapshot table with the astronomy schema from {pid: halo}."""
+    table = Table(
+        name,
+        Schema.of(
+            pid="int", x="float", y="float", z="float",
+            vx="float", vy="float", vz="float", mass="float", halo="int",
+        ),
+    )
+    for pid, halo in assignment.items():
+        table.insert((pid, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, halo))
+    return catalog.create_table(table)
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    # Snapshot 2 (newest): halo 0 = {1,2,3}, halo 1 = {4,5}, unclustered 6.
+    make_snapshot(cat, "snap_02", {1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: -1})
+    # Snapshot 1: halo 7 = {1,2,4}, halo 8 = {3,5}, unclustered 6.
+    make_snapshot(cat, "snap_01", {1: 7, 2: 7, 4: 7, 3: 8, 5: 8, 6: -1})
+    return cat
+
+
+class TestPlanner:
+    def test_members_uses_base_without_view(self, catalog):
+        choice = members_plan(catalog, "snap_02", 0)
+        assert choice.source == "base"
+        rows = choice.plan.materialize(CostMeter())
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_members_uses_view_when_present(self, catalog):
+        base = catalog.table("snap_02")
+        catalog.create_view(
+            MaterializedView.projection_of(
+                view_name_for("snap_02"), base, ["pid", "halo"]
+            )
+        )
+        choice = members_plan(catalog, "snap_02", 0)
+        assert choice.source == "view"
+        rows = choice.plan.materialize(CostMeter())
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_view_and_base_agree(self, catalog):
+        base_rows = histogram_plan(catalog, "snap_01", {1, 2, 3}).plan.materialize(
+            CostMeter()
+        )
+        catalog.create_view(
+            MaterializedView.projection_of(
+                view_name_for("snap_01"), catalog.table("snap_01"), ["pid", "halo"]
+            )
+        )
+        view_choice = histogram_plan(catalog, "snap_01", {1, 2, 3})
+        assert view_choice.source == "view"
+        assert sorted(view_choice.plan.materialize(CostMeter())) == sorted(base_rows)
+
+    def test_view_scan_is_cheaper(self, catalog):
+        before = CostMeter()
+        members_plan(catalog, "snap_02", 0).plan.materialize(before)
+        catalog.create_view(
+            MaterializedView.projection_of(
+                view_name_for("snap_02"), catalog.table("snap_02"), ["pid", "halo"]
+            )
+        )
+        after = CostMeter()
+        members_plan(catalog, "snap_02", 0).plan.materialize(after)
+        assert after.scan_bytes < before.scan_bytes
+
+    def test_what_if_estimates(self, catalog):
+        without, with_view = what_if_scan_bytes(catalog, "snap_02")
+        assert without == 6 * 72
+        assert with_view == 6 * 16
+        assert with_view < without
+
+
+class TestQueryEngine:
+    def test_halo_members(self, catalog):
+        engine = QueryEngine(catalog)
+        result = engine.halo_members("snap_02", 1)
+        assert sorted(r[0] for r in result.rows) == [4, 5]
+
+    def test_progenitor_histogram(self, catalog):
+        engine = QueryEngine(catalog)
+        result = engine.progenitor_histogram("snap_01", {1, 2, 3})
+        assert dict(result.rows) == {7: 2, 8: 1}
+
+    def test_top_contributor(self, catalog):
+        engine = QueryEngine(catalog)
+        # Halo 0 of snap_02 = {1,2,3}: two land in 7, one in 8.
+        top, meter = engine.top_contributor("snap_02", 0, "snap_01")
+        assert top == 7
+        assert meter.scan_bytes > 0
+
+    def test_top_contributor_excludes_unclustered(self, catalog):
+        engine = QueryEngine(catalog)
+        # A halo of only unclustered particles yields no progenitor.
+        make_snapshot(catalog, "snap_03", {6: 4})
+        top, _ = engine.top_contributor("snap_03", 4, "snap_01")
+        assert top is None
+
+    def test_top_contributor_tie_breaks_to_smaller_label(self, catalog):
+        engine = QueryEngine(catalog)
+        # Halo 1 of snap_02 = {4,5}: one lands in 7, one in 8 -> tie -> 7.
+        top, _ = engine.top_contributor("snap_02", 1, "snap_01")
+        assert top == 7
+
+    def test_halo_chain(self, catalog):
+        engine = QueryEngine(catalog)
+        chain, meter = engine.halo_chain(["snap_02", "snap_01"], 0)
+        assert chain == [0, 7]
+
+    def test_halo_chain_requires_tables(self, catalog):
+        engine = QueryEngine(catalog)
+        with pytest.raises(Exception):
+            engine.halo_chain([], 0)
+
+    def test_contributors_to(self, catalog):
+        engine = QueryEngine(catalog)
+        contributors, _ = engine.contributors_to("snap_02", 0, ["snap_01"])
+        assert contributors == {"snap_01": 7}
+
+    def test_scalar_helper(self, catalog):
+        engine = QueryEngine(catalog)
+        result = engine.halo_members("snap_02", 99)  # no such halo
+        assert result.rows == []
+        with pytest.raises(Exception):
+            result.scalar()

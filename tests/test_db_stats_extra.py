@@ -1,0 +1,199 @@
+"""Tests for table statistics, the extra operators, and index-aware plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryError
+from repro.db import Catalog, CostMeter, Schema, SeqScan, Table
+from repro.db.extra_operators import (
+    Distinct,
+    GroupAggregate,
+    Limit,
+    Sort,
+    top_k,
+)
+from repro.db.planner import histogram_plan, members_plan, what_if_index_units
+from repro.db.stats import analyze
+
+
+@pytest.fixture()
+def halos_table():
+    table = Table("snap_01", Schema.of(
+        pid="int", x="float", y="float", z="float",
+        vx="float", vy="float", vz="float", mass="float", halo="int",
+    ))
+    for pid in range(60):
+        halo = pid % 3 if pid < 45 else -1
+        table.insert((pid, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, float(pid), halo))
+    return table
+
+
+class TestAnalyze:
+    def test_row_count_and_width(self, halos_table):
+        stats = analyze(halos_table)
+        assert stats.row_count == 60
+        assert stats.row_width == 72
+        assert stats.estimated_scan_bytes() == 60 * 72
+
+    def test_distinct_counts(self, halos_table):
+        stats = analyze(halos_table)
+        assert stats.column("pid").distinct == 60
+        assert stats.column("halo").distinct == 4  # 0, 1, 2, -1
+
+    def test_min_max(self, halos_table):
+        stats = analyze(halos_table)
+        assert stats.column("mass").minimum == 0.0
+        assert stats.column("mass").maximum == 59.0
+
+    def test_eq_selectivity(self, halos_table):
+        stats = analyze(halos_table)
+        assert stats.column("halo").eq_selectivity() == pytest.approx(0.25)
+        assert stats.estimated_rows_eq("halo") == pytest.approx(15.0)
+
+    def test_range_selectivity(self, halos_table):
+        stats = analyze(halos_table)
+        mass = stats.column("mass")
+        assert mass.range_selectivity(0.0, 59.0) == pytest.approx(1.0)
+        assert mass.range_selectivity(0.0, 29.5) == pytest.approx(0.5)
+        assert mass.range_selectivity(100.0, 200.0) == 0.0
+        assert mass.range_selectivity(None, None) == pytest.approx(1.0)
+
+    def test_unknown_column(self, halos_table):
+        stats = analyze(halos_table)
+        with pytest.raises(QueryError):
+            stats.column("ghost")
+
+
+@pytest.fixture()
+def small_table():
+    table = Table("t", Schema.of(k="int", v="float"))
+    table.extend([(2, 10.0), (1, 5.0), (2, 30.0), (3, 1.0), (1, 5.0)])
+    return table
+
+
+class TestExtraOperators:
+    def test_sort_ascending_descending(self, small_table):
+        meter = CostMeter()
+        rows = Sort(SeqScan(small_table), "v").materialize(meter)
+        assert [r[1] for r in rows] == [1.0, 5.0, 5.0, 10.0, 30.0]
+        rows = Sort(SeqScan(small_table), "v", descending=True).materialize(meter)
+        assert rows[0][1] == 30.0
+        assert meter.build_bytes > 0
+
+    def test_limit(self, small_table):
+        meter = CostMeter()
+        rows = Limit(SeqScan(small_table), 2).materialize(meter)
+        assert len(rows) == 2
+        assert Limit(SeqScan(small_table), 0).materialize(meter) == []
+        with pytest.raises(QueryError):
+            Limit(SeqScan(small_table), -1)
+
+    def test_distinct(self, small_table):
+        meter = CostMeter()
+        rows = Distinct(SeqScan(small_table)).materialize(meter)
+        assert len(rows) == 4  # (1, 5.0) deduplicated
+
+    def test_top_k(self, small_table):
+        meter = CostMeter()
+        rows = top_k(SeqScan(small_table), "v", 2).materialize(meter)
+        assert [r[1] for r in rows] == [30.0, 10.0]
+
+    @pytest.mark.parametrize(
+        "aggregate,expected",
+        [
+            ("count", {1: 2, 2: 2, 3: 1}),
+            ("sum", {1: 10.0, 2: 40.0, 3: 1.0}),
+            ("min", {1: 5.0, 2: 10.0, 3: 1.0}),
+            ("max", {1: 5.0, 2: 30.0, 3: 1.0}),
+            ("avg", {1: 5.0, 2: 20.0, 3: 1.0}),
+        ],
+    )
+    def test_group_aggregate(self, small_table, aggregate, expected):
+        meter = CostMeter()
+        plan = GroupAggregate(SeqScan(small_table), "k", "v", aggregate)
+        assert dict(plan.materialize(meter)) == expected
+
+    def test_group_aggregate_schema(self, small_table):
+        plan = GroupAggregate(SeqScan(small_table), "k", "v", "sum")
+        assert plan.schema.names == ("k", "sum")
+
+    def test_unknown_aggregate(self, small_table):
+        with pytest.raises(QueryError):
+            GroupAggregate(SeqScan(small_table), "k", "v", "median")
+
+
+class TestIndexAwarePlans:
+    def test_members_plan_prefers_halo_index(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        baseline = members_plan(catalog, "snap_01", 1)
+        assert baseline.source == "base"
+        catalog.create_hash_index("snap_01", "halo")
+        indexed = members_plan(catalog, "snap_01", 1)
+        assert indexed.source == "index"
+        # Same result either way.
+        base_rows = sorted(baseline.plan.materialize(CostMeter()))
+        index_rows = sorted(indexed.plan.materialize(CostMeter()))
+        assert base_rows == index_rows
+
+    def test_members_index_is_cheaper(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        from repro.db.costmodel import CostModel
+
+        model = CostModel()
+        scan_meter = CostMeter()
+        members_plan(catalog, "snap_01", 1).plan.materialize(scan_meter)
+        catalog.create_hash_index("snap_01", "halo")
+        index_meter = CostMeter()
+        members_plan(catalog, "snap_01", 1).plan.materialize(index_meter)
+        assert model.units(index_meter) < model.units(scan_meter)
+
+    def test_histogram_plan_prefers_pid_index_for_small_sets(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        catalog.create_hash_index("snap_01", "pid")
+        pids = {0, 1, 2, 3}
+        choice = histogram_plan(catalog, "snap_01", pids)
+        assert choice.source == "index"
+        baseline = Catalog()
+        baseline.create_table(halos_table)
+        base_choice = histogram_plan(baseline, "snap_01", pids)
+        assert sorted(choice.plan.materialize(CostMeter())) == sorted(
+            base_choice.plan.materialize(CostMeter())
+        )
+
+    def test_histogram_falls_back_for_huge_probe_sets(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        catalog.create_hash_index("snap_01", "pid")
+        # Probing 60 pids costs 60 probes * 32 + emits; the narrow scan is
+        # 60 * 72 = 4320 units — still pricier, so make the probe set big
+        # relative to a *view*: with the view the scan is 60*16 = 960 < the
+        # index estimate for 60 probes (60*32 + 60*4 = 2160).
+        from repro.db import MaterializedView
+        from repro.db.planner import view_name_for
+
+        catalog.create_view(
+            MaterializedView.projection_of(
+                view_name_for("snap_01"), halos_table, ["pid", "halo"]
+            )
+        )
+        choice = histogram_plan(catalog, "snap_01", set(range(60)))
+        assert choice.source == "view"
+
+    def test_index_excludes_unclustered(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        catalog.create_hash_index("snap_01", "pid")
+        # pid 50 is unclustered (halo -1): index path must drop it.
+        choice = histogram_plan(catalog, "snap_01", {0, 50})
+        counts = dict(choice.plan.materialize(CostMeter()))
+        assert -1 not in counts
+
+    def test_what_if_index_units(self, halos_table):
+        catalog = Catalog()
+        catalog.create_table(halos_table)
+        units = what_if_index_units(catalog, "snap_01", expected_matches=10.0)
+        assert units == pytest.approx(1 * 32.0 + 10.0 * 4.0)

@@ -1,0 +1,85 @@
+"""Documentation integrity: doctests, README claims, DESIGN inventory."""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import repro
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDoctests:
+    def test_package_docstring_examples_run(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1
+
+
+class TestReadme:
+    README = (ROOT / "README.md").read_text()
+
+    def test_mentions_every_top_level_package(self):
+        import pkgutil
+
+        for module in pkgutil.iter_modules(repro.__path__):
+            if module.ispkg:
+                assert module.name in self.README, (
+                    f"README does not mention package {module.name!r}"
+                )
+
+    def test_quickstart_snippet_is_valid(self):
+        # Extract and exec the first python code block.
+        blocks = re.findall(r"```python\n(.*?)```", self.README, re.DOTALL)
+        assert blocks, "README needs at least one python example"
+        namespace: dict = {}
+        for block in blocks:
+            exec(block, namespace)  # noqa: S102 - our own documentation
+
+    def test_examples_table_matches_directory(self):
+        examples = {p.name for p in (ROOT / "examples").glob("*.py")}
+        documented = set(re.findall(r"`(\w+\.py)`", self.README))
+        assert documented <= examples
+        assert "quickstart.py" in documented
+
+
+class TestDesignDoc:
+    DESIGN = (ROOT / "DESIGN.md").read_text()
+
+    def test_every_figure_has_an_experiment_row(self):
+        for fig in ("FIG1", "FIG2A", "FIG2B", "FIG2C", "FIG2D",
+                    "FIG3A", "FIG3B", "FIG4", "FIG5A", "FIG5B"):
+            assert fig in self.DESIGN
+
+    def test_every_ablation_is_indexed(self):
+        for abl in ("ABL1", "ABL2", "ABL3", "ABL4", "ABL5"):
+            assert abl in self.DESIGN
+
+    def test_referenced_modules_exist(self):
+        import importlib
+
+        for match in set(re.findall(r"`(repro\.[a-z_.]+)`", self.DESIGN)):
+            module = match.rstrip(".")
+            # Strip a trailing `.*` wildcard.
+            module = module[:-2] if module.endswith(".*") else module
+            try:
+                importlib.import_module(module)
+            except ModuleNotFoundError as exc:
+                raise AssertionError(
+                    f"DESIGN.md references missing module {module}"
+                ) from exc
+
+
+class TestExperimentsDoc:
+    EXPERIMENTS = (ROOT / "EXPERIMENTS.md").read_text()
+
+    def test_every_benchmark_file_is_referenced(self):
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert path.name in self.EXPERIMENTS, (
+                f"EXPERIMENTS.md does not reference {path.name}"
+            )
+
+    def test_paper_vs_measured_columns(self):
+        assert "| Paper claim | Measured |" in self.EXPERIMENTS

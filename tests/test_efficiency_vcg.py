@@ -1,0 +1,190 @@
+"""Tests for the efficient-outcome search and the VCG baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MechanismError, run_addoff, run_substoff
+from repro.baseline.vcg import run_vcg_additive
+from repro.core import accounting
+from repro.core.efficiency import (
+    efficiency_loss,
+    efficient_additive,
+    efficient_substitutable,
+)
+
+values = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+class TestEfficientAdditive:
+    def test_implements_when_values_cover_cost(self):
+        outcome = efficient_additive(
+            {"a": 100.0, "b": 100.0},
+            {"a": {1: 60.0, 2: 50.0}, "b": {1: 40.0, 2: 30.0}},
+        )
+        assert outcome.implemented == frozenset({"a"})
+        assert outcome.welfare == pytest.approx(10.0)
+        assert outcome.serviced("a") == frozenset({1, 2})
+
+    def test_grants_every_positive_value_user(self):
+        # Even a 1-cent user is granted under the efficient outcome — the
+        # whole point: Shapley excludes her to recover cost.
+        outcome = efficient_additive(
+            {"a": 10.0}, {"a": {1: 50.0, 2: 0.01, 3: 0.0}}
+        )
+        assert (2, "a") in outcome.grants
+        assert (3, "a") not in outcome.grants
+
+    def test_boundary_exact_cover(self):
+        outcome = efficient_additive({"a": 10.0}, {"a": {1: 10.0}})
+        assert outcome.implemented == frozenset({"a"})
+        assert outcome.welfare == pytest.approx(0.0)
+
+    def test_invalid_cost(self):
+        with pytest.raises(MechanismError):
+            efficient_additive({"a": 0.0}, {})
+
+    @given(
+        cost=st.floats(0.5, 100.0, allow_nan=False),
+        bids=st.dictionaries(st.integers(0, 8), values, max_size=8),
+    )
+    @settings(max_examples=200)
+    def test_dominates_addoff_welfare(self, cost, bids):
+        """Shapley's welfare never exceeds the efficient optimum."""
+        addoff = run_addoff({"a": cost}, {"a": bids})
+        achieved = accounting.addoff_total_utility(addoff, {"a": bids})
+        optimum = efficient_additive({"a": cost}, {"a": bids}).welfare
+        assert achieved <= optimum + 1e-6
+        assert efficiency_loss(achieved, optimum) >= -1e-9
+
+
+class TestEfficientSubstitutable:
+    def test_small_game(self):
+        # Example 5's game: optimum builds {1, 3}: value 100+101+60 - 160.
+        costs = {1: 60.0, 2: 180.0, 3: 100.0}
+        bids = {
+            1: {1: 100.0, 2: 100.0},
+            2: {3: 101.0},
+            3: {1: 60.0, 2: 60.0, 3: 60.0},
+            4: {2: 70.0},
+        }
+        outcome = efficient_substitutable(costs, bids)
+        assert outcome.implemented == frozenset({1, 3})
+        assert outcome.welfare == pytest.approx(100.0 + 101.0 + 60.0 - 160.0)
+        assert outcome.assignment[2] == 3
+
+    def test_prefers_cheaper_cover(self):
+        costs = {"x": 5.0, "y": 50.0}
+        bids = {1: {"x": 10.0, "y": 10.0}, 2: {"x": 10.0, "y": 10.0}}
+        outcome = efficient_substitutable(costs, bids)
+        assert outcome.implemented == frozenset({"x"})
+
+    def test_empty_optimum(self):
+        outcome = efficient_substitutable({"x": 100.0}, {1: {"x": 5.0}})
+        assert outcome.implemented == frozenset()
+        assert outcome.welfare == 0.0
+        assert outcome.assignment == {}
+
+    def test_pool_size_cap(self):
+        costs = {j: 1.0 for j in range(25)}
+        with pytest.raises(MechanismError):
+            efficient_substitutable(costs, {})
+
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_dominates_substoff_welfare(self, data):
+        n_opts = data.draw(st.integers(1, 4))
+        costs = {
+            j: data.draw(st.floats(0.5, 40.0, allow_nan=False))
+            for j in range(n_opts)
+        }
+        n_users = data.draw(st.integers(0, 6))
+        bids = {}
+        for i in range(n_users):
+            subs = data.draw(
+                st.sets(st.integers(0, n_opts - 1), min_size=1, max_size=n_opts)
+            )
+            value = data.draw(values)
+            bids[i] = {j: value for j in subs}
+        substoff = run_substoff(costs, bids)
+        achieved = accounting.substoff_total_utility(substoff, bids)
+        optimum = efficient_substitutable(costs, bids).welfare
+        assert achieved <= optimum + 1e-6
+
+
+class TestEfficiencyLoss:
+    def test_zero_loss_at_optimum(self):
+        assert efficiency_loss(10.0, 10.0) == 0.0
+
+    def test_full_loss_at_zero(self):
+        assert efficiency_loss(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_zero_optimum(self):
+        assert efficiency_loss(0.0, 0.0) == 0.0
+
+    def test_negative_achieved_clamps_to_over_one(self):
+        assert efficiency_loss(-5.0, 10.0) == pytest.approx(1.5)
+
+    def test_negative_optimum_rejected(self):
+        with pytest.raises(MechanismError):
+            efficiency_loss(0.0, -1.0)
+
+
+class TestVcg:
+    def test_efficient_and_pivotal(self):
+        costs = {"a": 100.0}
+        bids = {"a": {1: 60.0, 2: 50.0, 3: 40.0}}
+        outcome = run_vcg_additive(costs, bids)
+        assert outcome.implemented == frozenset({"a"})
+        # Pivotal payments: p_1 = max(0, 100-90) = 10, p_2 = 0, p_3 = 0.
+        assert outcome.payment(1) == pytest.approx(10.0)
+        assert outcome.payment(2) == pytest.approx(0.0)
+        assert outcome.payment(3) == pytest.approx(0.0)
+        assert outcome.deficit == pytest.approx(90.0)
+
+    def test_no_deficit_only_when_each_user_is_pivotal_for_everything(self):
+        outcome = run_vcg_additive({"a": 10.0}, {"a": {1: 10.0}})
+        assert outcome.payment(1) == pytest.approx(10.0)
+        assert outcome.deficit == pytest.approx(0.0)
+
+    def test_welfare_is_optimal(self):
+        costs = {"a": 30.0, "b": 500.0}
+        bids = {"a": {1: 20.0, 2: 20.0}, "b": {1: 10.0}}
+        outcome = run_vcg_additive(costs, bids)
+        optimum = efficient_additive(costs, bids)
+        assert outcome.welfare == pytest.approx(optimum.welfare)
+
+    @given(
+        cost=st.floats(0.5, 100.0, allow_nan=False),
+        bids=st.dictionaries(st.integers(0, 8), values, min_size=1, max_size=8),
+        lie=values,
+    )
+    @settings(max_examples=200)
+    def test_vcg_truthful(self, cost, bids, lie):
+        """No unilateral misreport improves a VCG user's utility."""
+        target = sorted(bids, key=repr)[0]
+        truth = bids[target]
+
+        def utility(profile):
+            outcome = run_vcg_additive({"a": cost}, {"a": profile})
+            granted = (target, "a") in outcome.efficient.grants
+            value = truth if granted else 0.0
+            return value - outcome.payment(target)
+
+        honest = utility(bids)
+        deviated_bids = dict(bids)
+        deviated_bids[target] = lie
+        assert utility(deviated_bids) <= honest + 1e-6
+
+    @given(
+        cost=st.floats(0.5, 100.0, allow_nan=False),
+        bids=st.dictionaries(st.integers(0, 8), values, min_size=1, max_size=8),
+    )
+    @settings(max_examples=200)
+    def test_vcg_never_over_recovers_per_user(self, cost, bids):
+        """Each payment is at most the user's own bid (IR under truth)."""
+        outcome = run_vcg_additive({"a": cost}, {"a": bids})
+        for user, bid in bids.items():
+            assert outcome.payment(user) <= bid + 1e-6

@@ -1,0 +1,79 @@
+"""Every example script must run cleanly and print its key conclusions."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Shapley Value Mechanism outcome" in out
+    assert "everyone pays the same share: $40.00" in out
+    assert "exact recovery" in out
+
+
+def test_online_arrivals():
+    out = run_example("online_arrivals.py")
+    assert "balance $+75.00" in out
+    assert "ursula paid $100.00" in out
+    assert "wanda paid $25.00" in out
+
+
+def test_substitutable_views():
+    out = run_example("substitutable_views.py")
+    assert "build btree-on-orders.date: serves ['etl-team', 'ml-team'] at $30.00" in out
+    assert "tenant-2 granted idx-a at slot 2" in out
+    assert "cloud balance: $+0.00" in out
+
+
+def test_strategic_bidding():
+    out = run_example("strategic_bidding.py")
+    assert "truthful" in out
+    assert "worse than truth" in out
+    assert "alice utility 99.00" in out
+
+
+def test_subscription_periods():
+    out = run_example("subscription_periods.py")
+    assert "offered at $20 -> built/kept" in out
+    assert "balance $+0.00" in out
+    assert "replicas-2x" in out
+
+
+@pytest.mark.slow
+def test_astronomy_collaboration():
+    out = run_example("astronomy_collaboration.py")
+    assert "81.0 min" in out
+    assert "most valuable optimization" in out
+    assert "cloud recovers" in out
+
+
+@pytest.mark.slow
+def test_index_or_view():
+    out = run_example("index_or_view.py")
+    assert "two interchangeable optimizations" in out
+    assert "SubstOff outcome" in out
+    assert "cover builds" in out

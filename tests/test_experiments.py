@@ -1,0 +1,298 @@
+"""Integration tests: every figure driver runs and matches the paper's shape.
+
+Reduced trial counts keep these fast; the benchmark harnesses run the
+paper-scale versions. Shape assertions encode the qualitative claims of
+Section 7 (the quantities the paper derives from its figures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameConfigError
+from repro.experiments import (
+    Fig1Config,
+    Fig2AdditiveConfig,
+    Fig2SubstitutiveConfig,
+    Fig3aConfig,
+    Fig3bConfig,
+    Fig4Config,
+    Fig5Config,
+    Series,
+    format_result,
+    format_summary,
+    run_fig1_astronomy,
+    run_fig2_additive,
+    run_fig2_substitutive,
+    run_fig3a_slot_count,
+    run_fig3b_duration,
+    run_fig4_skew,
+    run_fig5_selectivity,
+)
+from repro.experiments.common import average_trials, cost_grid
+
+
+class TestCommon:
+    def test_series_validation(self):
+        with pytest.raises(GameConfigError):
+            Series("s", (1, 2), (1.0,))
+        with pytest.raises(GameConfigError):
+            Series("s", (1,), (1.0,), std=(0.0, 0.0))
+
+    def test_series_accessors(self):
+        s = Series("s", (1, 2, 3), (10.0, 20.0, 30.0))
+        assert s.at(2) == 20.0
+        assert s.mean() == pytest.approx(20.0)
+
+    def test_result_get(self):
+        from repro.experiments import ExperimentResult
+
+        s = Series("a", (1,), (0.0,))
+        result = ExperimentResult("e", "x", "y", (s,))
+        assert result.get("a") is s
+        assert result.names == ["a"]
+        with pytest.raises(KeyError):
+            result.get("zzz")
+
+    def test_cost_grid(self):
+        grid = cost_grid(0.03, 0.15, 0.06)
+        assert grid == (0.03, 0.09, 0.15)
+        with pytest.raises(GameConfigError):
+            cost_grid(0.0, 1.0, 0.0)
+
+    def test_average_trials_deterministic(self):
+        trial = lambda rng: np.array([rng.uniform(), 1.0])
+        mean_a, std_a = average_trials(trial, 10, 42)
+        mean_b, _ = average_trials(trial, 10, 42)
+        assert np.allclose(mean_a, mean_b)
+        assert mean_a[1] == pytest.approx(1.0)
+        assert std_a[1] == pytest.approx(0.0)
+
+    def test_average_trials_validation(self):
+        with pytest.raises(GameConfigError):
+            average_trials(lambda rng: np.zeros(1), 0, 1)
+
+
+FAST_GRID = cost_grid(0.05, 2.45, 0.4)
+
+
+class TestFig2Additive:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2_additive(
+            Fig2AdditiveConfig(costs=FAST_GRID, trials=120, seed=7)
+        )
+
+    def test_series_names(self, result):
+        assert result.names == ["AddOn Utility", "Regret Utility", "Regret Balance"]
+
+    def test_addon_never_negative(self, result):
+        assert min(result.get("AddOn Utility").y) >= -1e-9
+
+    def test_regret_goes_negative_at_high_cost(self, result):
+        regret = result.get("Regret Utility").y
+        assert regret[-1] < 0
+        balance = result.get("Regret Balance").y
+        assert balance[-1] < 0
+
+    def test_addon_beats_regret_in_small_collaborations(self, result):
+        addon = result.get("AddOn Utility")
+        regret = result.get("Regret Utility")
+        assert all(a >= r - 1e-9 for a, r in zip(addon.y, regret.y))
+
+    def test_utilities_decrease_with_cost(self, result):
+        addon = result.get("AddOn Utility").y
+        assert addon[0] > addon[-1]
+
+
+class TestFig2Substitutive:
+    def test_subston_beats_regret_and_stays_positive(self):
+        result = run_fig2_substitutive(
+            Fig2SubstitutiveConfig(mean_costs=FAST_GRID, trials=40, seed=7)
+        )
+        subston = result.get("SubstOn Utility").y
+        regret = result.get("Regret Utility").y
+        assert min(subston) >= -1e-9
+        assert sum(subston) > sum(regret)
+
+    def test_large_collaboration_scales_utility(self):
+        small = run_fig2_substitutive(
+            Fig2SubstitutiveConfig(mean_costs=(0.2,), trials=40, seed=7)
+        )
+        large = run_fig2_substitutive(
+            Fig2SubstitutiveConfig.large(mean_costs=(0.2,), trials=40, seed=7)
+        )
+        assert large.get("SubstOn Utility").y[0] > small.get("SubstOn Utility").y[0]
+
+
+class TestFig3:
+    def test_gap_grows_with_overlap(self):
+        result = run_fig3a_slot_count(
+            Fig3aConfig(slot_counts=(2, 12), costs=FAST_GRID, trials=150, seed=7)
+        )
+        gap = result.get("AddOn minus Regret")
+        # Fewer slots -> more overlap -> bigger AddOn advantage.
+        assert gap.at(2) > gap.at(12)
+        assert gap.at(12) > 0
+
+    def test_gap_grows_with_duration(self):
+        result = run_fig3b_duration(
+            Fig3bConfig(durations=(1, 8), costs=FAST_GRID, trials=150, seed=7)
+        )
+        gap = result.get("AddOn minus Regret")
+        assert gap.at(8) > gap.at(1) - 0.05  # allow trial noise on a weak trend
+        assert gap.at(1) > 0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4_skew(
+            Fig4Config(costs=cost_grid(0.05, 1.65, 0.4), trials=150, seed=7)
+        )
+
+    def test_six_series(self, result):
+        assert len(result.series) == 6
+        assert "Early-AddOn" in result.names
+
+    def test_early_addon_is_the_reference(self, result):
+        early = result.get("Early-AddOn").y
+        assert all(v == pytest.approx(1.0) for v in early)
+
+    def test_addon_improves_with_skew(self, result):
+        # At the highest cost, uniform arrivals are the worst for AddOn.
+        uniform = result.get("Uniform-AddOn").y[-1]
+        assert uniform < 1.0
+
+    def test_regret_worsens_with_early_skew(self, result):
+        early_regret = result.get("Early-Regret").y[-1]
+        uniform_regret = result.get("Uniform-Regret").y[-1]
+        assert early_regret < uniform_regret
+
+
+class TestFig5:
+    def test_selectivity_lowers_utility(self):
+        grid = (0.4,)
+        low = run_fig5_selectivity(
+            Fig5Config(mean_costs=grid, trials=60, seed=7)
+        )
+        high = run_fig5_selectivity(
+            Fig5Config.high_selectivity(mean_costs=grid, trials=60, seed=7)
+        )
+        # 3-of-12 (more selective users) yields less utility than 3-of-4.
+        assert (
+            high.get("SubstOn Utility").y[0] < low.get("SubstOn Utility").y[0]
+        )
+
+    def test_subston_sustains_higher_costs_than_regret(self):
+        result = run_fig5_selectivity(
+            Fig5Config(mean_costs=FAST_GRID, trials=60, seed=7)
+        )
+        subston = result.get("SubstOn Utility")
+        regret = result.get("Regret Utility")
+        # Where does each last clear a utility of 1.0?
+        subston_reach = max(
+            (x for x, y in zip(subston.x, subston.y) if y >= 1.0), default=0.0
+        )
+        regret_reach = max(
+            (x for x, y in zip(regret.x, regret.y) if y >= 1.0), default=0.0
+        )
+        assert subston_reach > regret_reach
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1_astronomy(
+            Fig1Config(values="paper", samples=40, executions=(1, 30, 60, 90), seed=7)
+        )
+
+    def test_series(self, result):
+        assert result.names == [
+            "Baseline Cost",
+            "AddOn Utility",
+            "Regret Utility",
+            "Regret Balance",
+        ]
+
+    def test_baseline_linear_in_executions(self, result):
+        base = result.get("Baseline Cost")
+        assert base.at(60) == pytest.approx(2 * base.at(30), rel=1e-6)
+
+    def test_addon_positive_and_above_regret(self, result):
+        addon = result.get("AddOn Utility").y
+        regret = result.get("Regret Utility").y
+        assert min(addon) >= -1e-9
+        assert addon[-1] > regret[-1]
+
+    def test_addon_within_published_band_at_high_usage(self, result):
+        addon = result.get("AddOn Utility")
+        base = result.get("Baseline Cost")
+        ratio = addon.at(90) / base.at(90)
+        # The paper reports 28%-47% of baseline; allow a generous band
+        # around it for our reconstruction of their (internally
+        # inconsistent) value table.
+        assert 0.2 < ratio < 0.8
+
+    def test_exhaustive_tiny_combo_space(self):
+        # 2 quarters -> 3 intervals -> 3^6 = 729 combos; keep x tiny.
+        result = run_fig1_astronomy(
+            Fig1Config(
+                values="paper", samples=None, quarters=2,
+                slots_per_quarter=1, executions=(30,),
+            )
+        )
+        assert result.get("Baseline Cost").y[0] > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(GameConfigError):
+            Fig1Config(values="guesswork")
+        with pytest.raises(GameConfigError):
+            Fig1Config(quarters=0)
+
+    def test_engine_values_mode_on_small_use_case(self):
+        from repro.astro import UniverseConfig, UseCaseConfig, build_use_case
+
+        use_case = build_use_case(
+            UseCaseConfig(
+                universe=UniverseConfig(
+                    particles=600, halos=10, snapshots=8, min_halo_members=6
+                ),
+                halos_per_group=2,
+            )
+        )
+        result = run_fig1_astronomy(
+            Fig1Config(values="engine", samples=20, executions=(30, 90), seed=7),
+            use_case=use_case,
+        )
+        addon = result.get("AddOn Utility")
+        assert min(addon.y) >= -1e-9
+        assert addon.at(90) > 0
+        # The engine values are self-consistent: utility below baseline.
+        assert addon.at(90) < result.get("Baseline Cost").at(90)
+
+
+class TestReporting:
+    def test_format_result_contains_series(self):
+        result = run_fig2_additive(
+            Fig2AdditiveConfig(costs=(0.1, 0.5), trials=5, seed=1)
+        )
+        text = format_result(result)
+        assert "AddOn Utility" in text
+        assert "0.5" in text
+
+    def test_format_result_thins_rows(self):
+        result = run_fig2_additive(
+            Fig2AdditiveConfig(costs=tuple(cost_grid(0.1, 2.0, 0.1)), trials=2, seed=1)
+        )
+        text = format_result(result, max_rows=5)
+        data_lines = [l for l in text.splitlines() if l.startswith(("0", "1", "2"))]
+        assert len(data_lines) <= 6
+
+    def test_format_summary(self):
+        result = run_fig2_additive(
+            Fig2AdditiveConfig(costs=(0.1, 0.5), trials=5, seed=1)
+        )
+        text = format_summary(result)
+        assert "mean" in text and "Regret Balance" in text

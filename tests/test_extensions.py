@@ -1,0 +1,202 @@
+"""Tests for the multi-period and tiered-optimization extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AdditiveBid, GameConfigError
+from repro.extensions import (
+    PeriodSpec,
+    TierSpec,
+    run_multi_period_addon,
+    run_tiered_game,
+)
+
+
+class TestPeriodSpec:
+    def test_cost_recomputation(self):
+        spec = PeriodSpec(horizon=4, build_cost=90.0, maintenance_cost=10.0)
+        assert spec.total_cost(already_built=False) == pytest.approx(100.0)
+        assert spec.total_cost(already_built=True) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            PeriodSpec(horizon=0, build_cost=1.0, maintenance_cost=1.0)
+        with pytest.raises(GameConfigError):
+            PeriodSpec(horizon=1, build_cost=0.0, maintenance_cost=1.0)
+        with pytest.raises(GameConfigError):
+            PeriodSpec(horizon=1, build_cost=1.0, maintenance_cost=0.0)
+
+
+class TestMultiPeriod:
+    SPECS = [
+        PeriodSpec(horizon=2, build_cost=90.0, maintenance_cost=10.0),
+        PeriodSpec(horizon=2, build_cost=90.0, maintenance_cost=10.0),
+        PeriodSpec(horizon=2, build_cost=90.0, maintenance_cost=10.0),
+    ]
+
+    def test_maintenance_only_after_build(self):
+        bids = [
+            {1: AdditiveBid.over(1, [120.0, 0.0])},   # funds the build
+            {2: AdditiveBid.over(1, [15.0, 0.0])},    # only maintenance due
+            {},
+        ]
+        result = run_multi_period_addon(self.SPECS, bids)
+        # Period 2 still offers maintenance-only (period 1 kept it alive),
+        # but with no takers the artifact is dropped.
+        assert result.charged_costs == (100.0, 10.0, 10.0)
+        assert result.built_in == (True, True, False)
+        assert result.outcome(0).payment(1) == pytest.approx(100.0)
+        assert result.outcome(1).payment(2) == pytest.approx(10.0)
+
+    def test_drop_and_rebuild(self):
+        bids = [
+            {1: AdditiveBid.over(1, [120.0, 0.0])},
+            {},                                        # nobody pays: dropped
+            {3: AdditiveBid.over(1, [120.0, 0.0])},    # must fund a rebuild
+        ]
+        result = run_multi_period_addon(self.SPECS, bids)
+        # Period 1 offers maintenance-only but nobody pays -> dropped, so
+        # period 2 must fund a full rebuild.
+        assert result.charged_costs == (100.0, 10.0, 100.0)
+        assert result.built_in == (True, False, True)
+        assert result.outcome(2).payment(3) == pytest.approx(100.0)
+
+    def test_maintenance_unaffordable_drops(self):
+        bids = [
+            {1: AdditiveBid.over(1, [120.0, 0.0])},
+            {2: AdditiveBid.over(1, [5.0, 0.0])},  # below maintenance 10
+            {3: AdditiveBid.over(1, [120.0, 0.0])},
+        ]
+        result = run_multi_period_addon(self.SPECS, bids)
+        assert result.built_in == (True, False, True)
+        assert result.charged_costs[2] == pytest.approx(100.0)
+
+    def test_balance_never_negative(self):
+        bids = [
+            {1: AdditiveBid.over(1, [120.0, 0.0]), 2: AdditiveBid.over(2, [30.0])},
+            {2: AdditiveBid.over(1, [8.0, 8.0])},
+            {},
+        ]
+        result = run_multi_period_addon(self.SPECS, bids)
+        assert result.cloud_balance >= -1e-9
+        assert result.total_payment >= result.total_cost - 1e-9
+
+    def test_total_utility(self):
+        bids = [
+            {1: AdditiveBid.over(1, [120.0, 0.0])},
+            {2: AdditiveBid.over(1, [15.0, 0.0])},
+            {},
+        ]
+        result = run_multi_period_addon(self.SPECS, bids)
+        utility = result.total_utility(bids)
+        # Period 0: 120 - 100; period 1: 15 - 10.
+        assert utility == pytest.approx(25.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GameConfigError):
+            run_multi_period_addon(self.SPECS, [{}])
+
+    def test_bid_past_horizon_rejected(self):
+        with pytest.raises(GameConfigError):
+            run_multi_period_addon(
+                self.SPECS[:1], [{1: AdditiveBid.over(1, [1.0, 1.0, 1.0])}]
+            )
+
+    @settings(max_examples=80)
+    @given(data=st.data())
+    def test_random_chains_recover_costs(self, data):
+        values = st.floats(0.0, 60.0, allow_nan=False)
+        n_periods = data.draw(st.integers(1, 4))
+        specs = [
+            PeriodSpec(
+                horizon=2,
+                build_cost=data.draw(st.floats(1.0, 80.0, allow_nan=False)),
+                maintenance_cost=data.draw(st.floats(0.5, 20.0, allow_nan=False)),
+            )
+            for _ in range(n_periods)
+        ]
+        bids = []
+        for _ in range(n_periods):
+            users = data.draw(st.integers(0, 4))
+            bids.append(
+                {
+                    k: AdditiveBid.over(1, [data.draw(values), data.draw(values)])
+                    for k in range(users)
+                }
+            )
+        # Build costs can differ across periods; recompute per the chain.
+        result = run_multi_period_addon(specs, bids)
+        assert result.cloud_balance >= -1e-9
+
+
+class TestTiers:
+    TIERS = [
+        TierSpec("repl-1x", 1, 30.0),
+        TierSpec("repl-2x", 2, 70.0),
+        TierSpec("repl-3x", 3, 150.0),
+    ]
+
+    def test_low_tier_wins_on_share(self):
+        values = {
+            1: {"repl-1x": 20.0, "repl-2x": 28.0, "repl-3x": 30.0},
+            2: {"repl-1x": 20.0, "repl-2x": 28.0, "repl-3x": 30.0},
+        }
+        result = run_tiered_game(self.TIERS, values)
+        # Shares: 15 vs 35 vs 75 — everyone lands on 1x.
+        assert result.outcome.implemented == ("repl-1x",)
+        assert result.tier_of(1).level == 1
+        assert result.payment(1) == pytest.approx(15.0)
+
+    def test_rich_users_fund_higher_tier(self):
+        values = {
+            1: {"repl-3x": 80.0},
+            2: {"repl-3x": 80.0},
+            3: {"repl-1x": 31.0},
+        }
+        result = run_tiered_game(self.TIERS, values)
+        # Phase 1 picks the minimum share: repl-1x at 30 beats repl-3x at 75.
+        assert result.implemented_levels == (1, 3)
+        assert result.tier_of(3).level == 1
+        assert result.tier_of(1).level == 3
+
+    def test_one_tier_per_user(self):
+        values = {
+            1: {"repl-1x": 100.0, "repl-2x": 100.0, "repl-3x": 100.0},
+        }
+        result = run_tiered_game(self.TIERS, values)
+        assert len(result.outcome.implemented) == 1
+        assert result.tier_of(1) is not None
+
+    def test_cost_recovery(self):
+        values = {
+            1: {"repl-2x": 40.0},
+            2: {"repl-2x": 40.0},
+            3: {"repl-1x": 35.0},
+        }
+        result = run_tiered_game(self.TIERS, values)
+        assert result.outcome.total_payment == pytest.approx(
+            result.outcome.total_cost
+        )
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(GameConfigError):
+            run_tiered_game(self.TIERS, {1: {"repl-9x": 5.0}})
+
+    def test_duplicate_tier_ids_rejected(self):
+        tiers = [TierSpec("a", 1, 1.0), TierSpec("a", 2, 2.0)]
+        with pytest.raises(GameConfigError):
+            run_tiered_game(tiers, {})
+
+    def test_spec_validation(self):
+        with pytest.raises(GameConfigError):
+            TierSpec("a", 0, 1.0)
+        with pytest.raises(GameConfigError):
+            TierSpec("a", 1, 0.0)
+
+    def test_mapping_input(self):
+        tiers = {t.tier_id: t for t in self.TIERS}
+        result = run_tiered_game(tiers, {1: {"repl-1x": 31.0}})
+        assert result.implemented_levels == (1,)

@@ -1,0 +1,168 @@
+"""Failure injection: malformed and adversarial inputs across the APIs.
+
+Production-quality behavior under bad input means *loud, typed errors* —
+never a silently wrong price. Every public entry point is poked with the
+kinds of garbage a real integration would eventually send it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    AdditiveBid,
+    BidError,
+    GameConfigError,
+    MechanismError,
+    ReproError,
+    SubstitutableBid,
+    run_addoff,
+    run_addon,
+    run_shapley,
+    run_substoff,
+    run_subston,
+)
+from repro.baseline import optimal_price, run_regret_additive
+from repro.baseline.regret import run_regret_substitutable
+from repro.core.online import AddOnState, SubstOnState
+
+
+class TestMechanismInputs:
+    @pytest.mark.parametrize("cost", [0.0, -1.0, -math.inf])
+    def test_bad_costs_rejected_everywhere(self, cost):
+        with pytest.raises(MechanismError):
+            run_shapley(cost, {1: 1.0})
+        with pytest.raises(MechanismError):
+            run_addon(cost, {1: AdditiveBid.single_slot(1, 1.0)})
+        with pytest.raises(MechanismError):
+            run_regret_additive(cost, {1: AdditiveBid.single_slot(1, 1.0)})
+
+    def test_nan_cost_rejected(self):
+        # NaN comparisons are silently false; the guard must catch it.
+        with pytest.raises(MechanismError):
+            run_shapley(math.nan, {1: 1.0})
+
+    def test_negative_bid_rejected_in_matrix(self):
+        with pytest.raises(MechanismError):
+            run_substoff({1: 5.0}, {1: {1: -2.0}})
+
+    def test_zero_cost_optimization_in_pool(self):
+        with pytest.raises(MechanismError):
+            run_subston(
+                {1: 5.0, 2: 0.0},
+                {1: SubstitutableBid.single_slot(1, 3.0, {1})},
+            )
+
+    def test_all_errors_share_a_root(self):
+        for exc in (MechanismError, BidError, GameConfigError):
+            assert issubclass(exc, ReproError)
+
+
+class TestStateMachineMisuse:
+    def test_addon_state_rejects_non_advancing_slots(self):
+        state = AddOnState(10.0)
+        state.step(1, {1: 20.0})
+        with pytest.raises(MechanismError):
+            state.step(1, {1: 20.0})
+        with pytest.raises(MechanismError):
+            state.step(0, {1: 20.0})
+
+    def test_addon_state_allows_slot_gaps(self):
+        state = AddOnState(10.0)
+        state.step(1, {1: 0.0})
+        state.step(5, {1: 20.0})  # skipping slots is legal (idle games)
+        assert state.implemented_at == 5
+
+    def test_subston_state_rejects_unknown_optimization(self):
+        state = SubstOnState({1: 5.0})
+        with pytest.raises(MechanismError):
+            state.step(1, {1: {"ghost": 3.0}})
+
+    def test_subston_state_rejects_non_advancing_slots(self):
+        state = SubstOnState({1: 5.0})
+        state.step(1, {})
+        with pytest.raises(MechanismError):
+            state.step(1, {})
+
+
+class TestBidEdgeCases:
+    def test_huge_values_do_not_overflow(self):
+        result = run_shapley(1e12, {1: 1e15, 2: 1e15})
+        assert result.price == pytest.approx(5e11)
+
+    def test_tiny_costs_and_values(self):
+        result = run_shapley(1e-9, {1: 1e-9})
+        assert result.implemented
+
+    def test_mixed_user_id_types(self):
+        result = run_shapley(10.0, {1: 20.0, "a": 20.0, (2, "b"): 20.0})
+        assert len(result.serviced) == 3
+
+    def test_addon_bid_entirely_outside_horizon(self):
+        bids = {1: AdditiveBid.over(5, [100.0])}
+        outcome = run_addon(10.0, bids, horizon=3)
+        assert not outcome.implemented
+        # She never reaches her departure slot within the horizon: the
+        # period ended before her interval, so no payment was recorded.
+        assert outcome.payments == {}
+
+    def test_zero_value_slots_are_legal(self):
+        bids = {1: AdditiveBid.over(1, [0.0, 0.0, 30.0])}
+        outcome = run_addon(10.0, bids)
+        assert outcome.implemented_at == 1  # residual 30 covers from slot 1
+
+    def test_substitutable_with_every_optimization(self):
+        costs = {j: 10.0 for j in range(5)}
+        bids = {1: SubstitutableBid.single_slot(1, 50.0, set(range(5)))}
+        outcome = run_subston(costs, bids)
+        assert len(outcome.implemented_at) == 1
+
+
+class TestRegretEdgeCases:
+    def test_zero_horizon(self):
+        outcome = run_regret_additive(5.0, {}, horizon=0)
+        assert not outcome.implemented
+        assert outcome.regret_trace == (0.0,)
+
+    def test_threshold_crossing_at_last_slot_wastes_cost(self):
+        # Regret crosses exactly at the final slot: implemented, nothing
+        # left to sell -> pure loss. This is the paper's core Regret flaw.
+        bids = {1: AdditiveBid.over(1, [5.0, 5.0])}
+        outcome = run_regret_additive(10.0, bids, horizon=2)
+        assert not outcome.implemented  # R(2) = 5 < 10: never crosses
+        bids = {1: AdditiveBid.over(1, [10.0, 5.0])}
+        outcome = run_regret_additive(10.0, bids, horizon=2)
+        assert outcome.implemented_at == 2
+        assert outcome.serviced == frozenset()
+        assert outcome.cloud_balance == pytest.approx(-10.0)
+
+    def test_substitutable_empty_pool_games(self):
+        outcome = run_regret_substitutable({}, {}, horizon=2)
+        assert outcome.total_cost == 0.0
+
+    def test_pricing_rejects_bad_cost(self):
+        with pytest.raises(ValueError):
+            optimal_price(-1.0, [1.0])
+
+    def test_pricing_ignores_negative_residuals(self):
+        # Defensive: negative residuals cannot occur from bids, but the
+        # price search must not crash or count them.
+        decision = optimal_price(10.0, [-5.0, 20.0])
+        assert decision.payers == 1
+        assert decision.price == pytest.approx(10.0)
+
+
+class TestAddOffEdgeCases:
+    def test_duplicate_user_across_optimizations_is_fine(self):
+        outcome = run_addoff(
+            {"a": 10.0, "b": 10.0},
+            {"a": {1: 10.0}, "b": {1: 10.0}},
+        )
+        assert outcome.payment(1) == pytest.approx(20.0)
+
+    def test_infinite_bid_in_offline_game(self):
+        # Infinite bids are an internal device but must stay harmless.
+        outcome = run_addoff({"a": 10.0}, {"a": {1: math.inf}})
+        assert outcome.payment(1) == pytest.approx(10.0)

@@ -1,0 +1,77 @@
+"""Group strategyproofness probes.
+
+The Shapley Value Mechanism is a Moulin mechanism with cross-monotonic
+cost shares, which makes it *group* strategyproof: no coalition can
+misreport so that every member is weakly better off and someone strictly
+better (Moulin & Shenker 2001). These hypothesis probes check the claim on
+random games and coalitions, plus the cross-monotonicity of the shares
+themselves.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_shapley
+
+TOL = 1e-9
+
+values = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+games = st.dictionaries(st.integers(0, 7), values, min_size=2, max_size=8)
+costs = st.floats(min_value=0.5, max_value=120.0, allow_nan=False)
+
+
+def _utility(user, truth, result) -> float:
+    return truth - result.payment(user) if user in result.serviced else 0.0
+
+
+class TestGroupStrategyproofness:
+    @settings(max_examples=300)
+    @given(cost=costs, bids=games, data=st.data())
+    def test_no_coalition_weakly_gains_with_strict_winner(self, cost, bids, data):
+        users = sorted(bids, key=repr)
+        coalition = data.draw(
+            st.sets(st.sampled_from(users), min_size=1, max_size=len(users))
+        )
+        deviated = dict(bids)
+        for member in coalition:
+            deviated[member] = data.draw(values)
+
+        honest = run_shapley(cost, bids)
+        lied = run_shapley(cost, deviated)
+
+        gains = [
+            _utility(m, bids[m], lied) - _utility(m, bids[m], honest)
+            for m in coalition
+        ]
+        all_weakly_better = all(g >= -TOL for g in gains)
+        someone_strictly_better = any(g > 1e-6 for g in gains)
+        assert not (all_weakly_better and someone_strictly_better), (
+            f"coalition {sorted(coalition, key=repr)} profitably deviated: {gains}"
+        )
+
+    @settings(max_examples=300)
+    @given(cost=costs, bids=games, data=st.data())
+    def test_cross_monotonicity_of_shares(self, cost, bids, data):
+        """Dropping users never lowers the survivors' Shapley share."""
+        users = sorted(bids, key=repr)
+        dropped = data.draw(
+            st.sets(st.sampled_from(users), min_size=1, max_size=len(users) - 1)
+        )
+        sub_bids = {u: b for u, b in bids.items() if u not in dropped}
+
+        full = run_shapley(cost, bids)
+        sub = run_shapley(cost, sub_bids)
+        if full.implemented and sub.implemented:
+            assert sub.price >= full.price - TOL
+
+    @settings(max_examples=200)
+    @given(cost=costs, bids=games)
+    def test_shares_depend_only_on_serviced_count(self, cost, bids):
+        """The serviced set's shares equal cost / |S| — anonymity."""
+        result = run_shapley(cost, bids)
+        if result.implemented:
+            expected = cost / len(result.serviced)
+            for user in result.serviced:
+                assert abs(result.payment(user) - expected) < 1e-6

@@ -1,0 +1,125 @@
+"""Tests for the general Moulin mechanism (Section 8's framing)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MechanismError, run_shapley
+from repro.core.moulin import equal_shares, run_moulin, weighted_shares
+
+values = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+costs = st.floats(min_value=0.5, max_value=120.0, allow_nan=False)
+bid_maps = st.dictionaries(st.integers(0, 7), values, min_size=1, max_size=8)
+
+
+class TestEqualSharesRecoverShapley:
+    @settings(max_examples=200)
+    @given(cost=costs, bids=bid_maps)
+    def test_equivalence(self, cost, bids):
+        moulin = run_moulin(equal_shares(cost), bids)
+        shapley = run_shapley(cost, bids)
+        assert moulin.serviced == shapley.serviced
+        for user in moulin.serviced:
+            assert moulin.payment(user) == pytest.approx(shapley.payment(user))
+
+
+class TestWeightedShares:
+    def test_heavy_user_pays_more(self):
+        share_fn = weighted_shares(90.0, {1: 2.0, 2: 1.0})
+        result = run_moulin(share_fn, {1: 100.0, 2: 100.0})
+        assert result.payment(1) == pytest.approx(60.0)
+        assert result.payment(2) == pytest.approx(30.0)
+
+    def test_eviction_reflows_shares(self):
+        # User 2's 25 < her weighted share 30; after eviction user 1 owes
+        # everything.
+        share_fn = weighted_shares(90.0, {1: 2.0, 2: 1.0})
+        result = run_moulin(share_fn, {1: 95.0, 2: 25.0})
+        assert result.serviced == frozenset({1})
+        assert result.payment(1) == pytest.approx(90.0)
+
+    def test_collapse(self):
+        share_fn = weighted_shares(90.0, {1: 2.0, 2: 1.0})
+        result = run_moulin(share_fn, {1: 80.0, 2: 25.0})
+        assert not result.implemented
+
+    def test_infinite_bid_forced(self):
+        share_fn = weighted_shares(90.0, {1: 1.0, 2: 1.0})
+        result = run_moulin(share_fn, {1: math.inf, 2: 1.0})
+        assert result.serviced == frozenset({1})
+
+    def test_validation(self):
+        with pytest.raises(MechanismError):
+            weighted_shares(0.0, {1: 1.0})
+        with pytest.raises(MechanismError):
+            weighted_shares(10.0, {1: 0.0})
+        with pytest.raises(MechanismError):
+            equal_shares(math.nan)
+        with pytest.raises(MechanismError):
+            run_moulin(equal_shares(10.0), {1: -1.0})
+
+    def test_non_convergent_share_fn_detected(self):
+        # A pathological share that grows with |S| (anti-cross-monotonic
+        # enough to oscillate forever at the limit check).
+        calls = {"n": 0}
+
+        def bad_share(user, serviced):
+            calls["n"] += 1
+            return 1.0 if calls["n"] % 2 else 100.0
+
+        with pytest.raises(MechanismError):
+            run_moulin(bad_share, {k: 50.0 for k in range(3)}, max_rounds=2)
+
+
+class TestMoulinProperties:
+    @settings(max_examples=200)
+    @given(cost=costs, bids=bid_maps, data=st.data())
+    def test_weighted_budget_balance(self, cost, bids, data):
+        weights = {
+            user: data.draw(st.floats(0.1, 5.0, allow_nan=False)) for user in bids
+        }
+        result = run_moulin(weighted_shares(cost, weights), bids)
+        if result.implemented:
+            assert result.revenue == pytest.approx(cost)
+
+    @settings(max_examples=200)
+    @given(cost=costs, bids=bid_maps, data=st.data())
+    def test_weighted_shares_cross_monotonic(self, cost, bids, data):
+        """Built-in share families satisfy the Moulin precondition."""
+        weights = {
+            user: data.draw(st.floats(0.1, 5.0, allow_nan=False)) for user in bids
+        }
+        share_fn = weighted_shares(cost, weights)
+        users = list(bids)
+        subset = frozenset(
+            data.draw(st.sets(st.sampled_from(users), min_size=1))
+        )
+        superset = frozenset(users)
+        for user in subset:
+            assert share_fn(user, subset) >= share_fn(user, superset) - 1e-9
+
+    @settings(max_examples=200)
+    @given(cost=costs, bids=bid_maps, lie=values, data=st.data())
+    def test_weighted_moulin_truthful(self, cost, bids, lie, data):
+        """No unilateral value lie improves utility under weighted shares."""
+        weights = {
+            user: data.draw(st.floats(0.1, 5.0, allow_nan=False)) for user in bids
+        }
+        share_fn = weighted_shares(cost, weights)
+        target = sorted(bids, key=repr)[0]
+        truth = bids[target]
+
+        def utility(profile):
+            result = run_moulin(share_fn, profile)
+            if target not in result.serviced:
+                return 0.0
+            return truth - result.payment(target)
+
+        honest = utility(bids)
+        deviated = dict(bids)
+        deviated[target] = lie
+        assert utility(deviated) <= honest + 1e-6

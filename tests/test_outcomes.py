@@ -1,0 +1,93 @@
+"""Coverage of the outcome containers' accessors and invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AdditiveBid,
+    SubstitutableBid,
+    run_addoff,
+    run_addon,
+    run_shapley,
+    run_substoff,
+    run_subston,
+)
+
+
+class TestShapleyResultAccessors:
+    def test_revenue_and_payment_defaults(self):
+        result = run_shapley(10.0, {1: 10.0, 2: 3.0})
+        assert result.revenue == pytest.approx(10.0)
+        assert result.payment(2) == 0.0
+        assert result.payment("ghost") == 0.0
+        assert result.implemented
+
+
+class TestAddOffOutcomeAccessors:
+    def test_grants_and_totals(self):
+        outcome = run_addoff(
+            {"a": 10.0, "b": 99.0},
+            {"a": {1: 6.0, 2: 6.0}, "b": {1: 5.0}},
+        )
+        assert outcome.grants == frozenset({(1, "a"), (2, "a")})
+        assert outcome.implemented == frozenset({"a"})
+        assert outcome.total_cost == pytest.approx(10.0)
+        assert outcome.total_payment == pytest.approx(10.0)
+        assert outcome.payment_for(1, "b") == 0.0
+
+
+class TestAddOnOutcomeAccessors:
+    @pytest.fixture()
+    def outcome(self):
+        return run_addon(
+            10.0,
+            {
+                1: AdditiveBid.over(1, [12.0]),
+                2: AdditiveBid.over(2, [8.0]),
+            },
+        )
+
+    def test_slot_indexing(self, outcome):
+        assert outcome.serviced(0) == frozenset()
+        assert outcome.serviced(1) == frozenset({1})
+        assert outcome.cumulative(2) == frozenset({1, 2})
+        # User 1 departed after slot 1 but stays in the cumulative set.
+        assert outcome.serviced(2) == frozenset({2})
+
+    def test_totals(self, outcome):
+        assert outcome.total_cost == pytest.approx(10.0)
+        assert outcome.total_payment == pytest.approx(10.0 + 5.0)
+        assert outcome.implemented
+
+    def test_unimplemented_total_cost_zero(self):
+        outcome = run_addon(100.0, {1: AdditiveBid.over(1, [1.0])})
+        assert outcome.total_cost == 0.0
+        assert not outcome.implemented
+
+
+class TestSubstOutcomeAccessors:
+    def test_substoff_serviced_and_shares(self):
+        outcome = run_substoff(
+            {"a": 10.0, "b": 10.0},
+            {1: {"a": 12.0}, 2: {"b": 4.0}},
+        )
+        assert outcome.serviced("a") == frozenset({1})
+        assert outcome.serviced("b") == frozenset()
+        assert outcome.shares == {"a": pytest.approx(10.0)}
+        assert outcome.total_cost == pytest.approx(10.0)
+
+    def test_subston_serviced_time_filtered(self):
+        outcome = run_subston(
+            {"a": 10.0},
+            {
+                1: SubstitutableBid.over(1, [12.0, 0.0], {"a"}),
+                2: SubstitutableBid.over(2, [6.0], {"a"}),
+            },
+        )
+        assert outcome.serviced("a", 1) == frozenset({1})
+        assert outcome.serviced("a", 2) == frozenset({1, 2})
+        assert outcome.payment("ghost") == 0.0
+        assert outcome.total_cost == pytest.approx(10.0)
+        assert outcome.shares_by_slot[1] == {"a": pytest.approx(10.0)}
+        assert outcome.shares_by_slot[2] == {"a": pytest.approx(5.0)}

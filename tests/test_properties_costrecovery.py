@@ -1,0 +1,269 @@
+"""Property-based tests: cost recovery and structural invariants.
+
+The paper proves all four mechanisms cost-recovering; these tests check the
+property on randomly generated games, plus the structural invariants the
+proofs lean on (uniform prices, monotone cumulative sets, population
+monotonicity of the Shapley mechanism).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AdditiveBid, SubstitutableBid
+from repro import run_addoff, run_addon, run_shapley, run_substoff, run_subston
+from repro.core import accounting
+
+TOL = 1e-6
+
+user_ids = st.integers(min_value=0, max_value=11)
+values = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+costs = st.floats(min_value=0.5, max_value=120.0, allow_nan=False)
+bid_maps = st.dictionaries(user_ids, values, min_size=0, max_size=10)
+
+
+@st.composite
+def additive_online_games(draw, max_users: int = 8, max_slots: int = 6):
+    """A random online additive game: cost plus per-user slot schedules."""
+    cost = draw(costs)
+    n_users = draw(st.integers(min_value=0, max_value=max_users))
+    bids = {}
+    for i in range(n_users):
+        start = draw(st.integers(min_value=1, max_value=max_slots))
+        duration = draw(st.integers(min_value=1, max_value=max_slots - start + 1))
+        vals = draw(
+            st.lists(values, min_size=duration, max_size=duration)
+        )
+        bids[i] = AdditiveBid.over(start, vals)
+    return cost, bids
+
+
+@st.composite
+def substitutable_online_games(draw, max_users: int = 6, max_slots: int = 5):
+    """A random online substitutable game over a small optimization pool."""
+    n_opts = draw(st.integers(min_value=1, max_value=4))
+    opt_costs = {
+        j: draw(st.floats(min_value=0.5, max_value=80.0, allow_nan=False))
+        for j in range(n_opts)
+    }
+    n_users = draw(st.integers(min_value=0, max_value=max_users))
+    bids = {}
+    for i in range(n_users):
+        start = draw(st.integers(min_value=1, max_value=max_slots))
+        duration = draw(st.integers(min_value=1, max_value=max_slots - start + 1))
+        vals = draw(st.lists(values, min_size=duration, max_size=duration))
+        subs = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_opts - 1),
+                min_size=1,
+                max_size=n_opts,
+            )
+        )
+        bids[i] = SubstitutableBid.over(start, vals, subs)
+    return opt_costs, bids
+
+
+class TestShapleyInvariants:
+    @given(cost=costs, bids=bid_maps)
+    def test_revenue_matches_cost_exactly_when_implemented(self, cost, bids):
+        result = run_shapley(cost, bids)
+        if result.implemented:
+            assert abs(result.revenue - cost) < TOL
+        else:
+            assert result.revenue == 0.0
+
+    @given(cost=costs, bids=bid_maps)
+    def test_uniform_price_and_affordability(self, cost, bids):
+        result = run_shapley(cost, bids)
+        for user in result.serviced:
+            assert result.payment(user) == result.price
+            assert bids[user] >= result.price - TOL
+
+    @given(cost=costs, bids=bid_maps)
+    def test_non_serviced_pay_nothing(self, cost, bids):
+        result = run_shapley(cost, bids)
+        for user in bids:
+            if user not in result.serviced:
+                assert result.payment(user) == 0.0
+
+    @given(cost=costs, bids=bid_maps, extra=values)
+    def test_population_monotonicity(self, cost, bids, extra):
+        """Adding a bidder never evicts anyone and never raises the price."""
+        before = run_shapley(cost, bids)
+        new_user = max(bids, default=-1) + 1
+        grown = dict(bids)
+        grown[new_user] = extra
+        after = run_shapley(cost, grown)
+        assert before.serviced <= after.serviced
+        if before.implemented:
+            assert after.price <= before.price + TOL
+
+    @given(cost=costs, bids=bid_maps)
+    def test_maximality_of_serviced_set(self, cost, bids):
+        """No evicted user could afford the final price (fixed point)."""
+        result = run_shapley(cost, bids)
+        if not result.implemented:
+            return
+        for user, bid in bids.items():
+            if user not in result.serviced:
+                # Shares grow as the set shrinks, so every evicted user's bid
+                # is below the share of her eviction round <= final price.
+                assert bid < result.price + TOL
+
+
+class TestAddOffCostRecovery:
+    @given(
+        opt_costs=st.dictionaries(
+            st.integers(0, 3), st.floats(0.5, 60.0, allow_nan=False), max_size=4
+        ),
+        matrix=st.dictionaries(
+            st.integers(0, 3), bid_maps, max_size=4
+        ),
+    )
+    def test_cost_recovery(self, opt_costs, matrix):
+        matrix = {j: row for j, row in matrix.items() if j in opt_costs}
+        outcome = run_addoff(opt_costs, matrix)
+        assert outcome.total_payment >= outcome.total_cost - TOL
+
+
+class TestAddOnCostRecovery:
+    @settings(max_examples=150)
+    @given(game=additive_online_games())
+    def test_cost_recovery(self, game):
+        cost, bids = game
+        outcome = run_addon(cost, bids)
+        if outcome.implemented:
+            assert outcome.total_payment >= cost - TOL
+        else:
+            assert outcome.total_payment == 0.0
+
+    @settings(max_examples=150)
+    @given(game=additive_online_games())
+    def test_cumulative_sets_grow(self, game):
+        cost, bids = game
+        outcome = run_addon(cost, bids)
+        for t in range(1, outcome.horizon + 1):
+            assert outcome.cumulative(t - 1) <= outcome.cumulative(t)
+
+    @settings(max_examples=150)
+    @given(game=additive_online_games())
+    def test_price_never_increases_after_implementation(self, game):
+        cost, bids = game
+        outcome = run_addon(cost, bids)
+        if not outcome.implemented:
+            return
+        prices = [
+            outcome.price_by_slot[t]
+            for t in range(outcome.implemented_at, outcome.horizon + 1)
+        ]
+        for earlier, later in zip(prices, prices[1:]):
+            assert later <= earlier + TOL
+
+    @settings(max_examples=150)
+    @given(game=additive_online_games())
+    def test_every_payment_at_most_bid_total(self, game):
+        """No serviced user pays more than her declared residual at service."""
+        cost, bids = game
+        outcome = run_addon(cost, bids)
+        for user, bid in bids.items():
+            if user in outcome.cumulative(outcome.horizon):
+                # She pays the share at departure, which she could afford at
+                # the slot she was admitted; the share only falls afterwards.
+                assert outcome.payment(user) <= bid.total() + TOL
+
+    @settings(max_examples=150)
+    @given(game=additive_online_games())
+    def test_nonnegative_user_utility_under_truth(self, game):
+        """Individual rationality: truthful users never end up negative."""
+        cost, bids = game
+        outcome = run_addon(cost, bids)
+        for user, bid in bids.items():
+            utility = accounting.addon_user_utility(outcome, user, bid)
+            assert utility >= -TOL
+
+
+class TestSubstOffCostRecovery:
+    @settings(max_examples=150)
+    @given(
+        opt_costs=st.dictionaries(
+            st.integers(0, 3), st.floats(0.5, 60.0, allow_nan=False),
+            min_size=1, max_size=4,
+        ),
+        data=st.data(),
+    )
+    def test_cost_recovery_and_single_grant(self, opt_costs, data):
+        opts = list(opt_costs)
+        matrix = data.draw(
+            st.dictionaries(
+                user_ids,
+                st.dictionaries(st.sampled_from(opts), values, max_size=len(opts)),
+                max_size=8,
+            )
+        )
+        outcome = run_substoff(opt_costs, matrix)
+        assert outcome.total_payment >= outcome.total_cost - TOL
+        # Every implemented optimization is exactly paid for.
+        by_opt: dict = {}
+        for user, j in outcome.grants.items():
+            by_opt.setdefault(j, 0.0)
+            by_opt[j] += outcome.payment(user)
+        for j in outcome.implemented:
+            assert abs(by_opt.get(j, 0.0) - opt_costs[j]) < TOL
+
+    @settings(max_examples=100)
+    @given(
+        opt_costs=st.dictionaries(
+            st.integers(0, 3), st.floats(0.5, 60.0, allow_nan=False),
+            min_size=1, max_size=4,
+        ),
+        data=st.data(),
+    )
+    def test_no_duplicate_implementations(self, opt_costs, data):
+        opts = list(opt_costs)
+        matrix = data.draw(
+            st.dictionaries(
+                user_ids,
+                st.dictionaries(st.sampled_from(opts), values, max_size=len(opts)),
+                max_size=8,
+            )
+        )
+        outcome = run_substoff(opt_costs, matrix)
+        assert len(outcome.implemented) == len(set(outcome.implemented))
+
+
+class TestSubstOnCostRecovery:
+    @settings(max_examples=120)
+    @given(game=substitutable_online_games())
+    def test_cost_recovery(self, game):
+        opt_costs, bids = game
+        outcome = run_subston(opt_costs, bids)
+        assert accounting.cloud_balance(outcome) >= -TOL
+
+    @settings(max_examples=120)
+    @given(game=substitutable_online_games())
+    def test_grants_respect_substitute_sets(self, game):
+        opt_costs, bids = game
+        outcome = run_subston(opt_costs, bids)
+        for user, j in outcome.grants.items():
+            assert j in bids[user].substitutes
+
+    @settings(max_examples=120)
+    @given(game=substitutable_online_games())
+    def test_nonnegative_user_utility_under_truth(self, game):
+        opt_costs, bids = game
+        outcome = run_subston(opt_costs, bids)
+        for user, bid in bids.items():
+            utility = accounting.subston_user_utility(outcome, user, bid)
+            assert utility >= -TOL
+
+    @settings(max_examples=120)
+    @given(game=substitutable_online_games())
+    def test_grant_slot_within_interval(self, game):
+        opt_costs, bids = game
+        outcome = run_subston(opt_costs, bids)
+        for user, slot in outcome.granted_at.items():
+            assert bids[user].start <= slot <= max(bids[user].end, slot)
+            assert slot <= outcome.horizon

@@ -1,0 +1,190 @@
+"""Property-based tests for the database engine and the halo finder."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.astro.halos import friends_of_friends
+from repro.db import (
+    And,
+    Catalog,
+    Col,
+    Const,
+    CostMeter,
+    Distinct,
+    Eq,
+    Filter,
+    GroupCount,
+    HashIndex,
+    In,
+    IndexLookup,
+    MaterializedView,
+    Project,
+    Schema,
+    SeqScan,
+    Sort,
+    Table,
+    analyze,
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),   # pid-ish key
+        st.integers(min_value=-1, max_value=5),   # halo-ish group
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def make_table(rows) -> Table:
+    table = Table("t", Schema.of(k="int", g="int", v="float"))
+    table.extend(rows)
+    return table
+
+
+class TestOperatorAlgebra:
+    @given(rows=rows_strategy, a=st.integers(-1, 5), b=st.integers(0, 30))
+    @settings(max_examples=150)
+    def test_filter_composition_equals_conjunction(self, rows, a, b):
+        table = make_table(rows)
+        stacked = Filter(
+            Filter(SeqScan(table), Eq(Col("g"), Const(a))),
+            Eq(Col("k"), Const(b)),
+        ).materialize(CostMeter())
+        conjoined = Filter(
+            SeqScan(table),
+            And(Eq(Col("g"), Const(a)), Eq(Col("k"), Const(b))),
+        ).materialize(CostMeter())
+        assert stacked == conjoined
+
+    @given(rows=rows_strategy, keys=st.sets(st.integers(0, 30), max_size=10))
+    @settings(max_examples=150)
+    def test_index_lookup_equals_scan_filter(self, rows, keys):
+        table = make_table(rows)
+        index = HashIndex(table, "k")
+        via_index = sorted(
+            IndexLookup(index, sorted(keys)).materialize(CostMeter())
+        )
+        via_scan = sorted(
+            Filter(SeqScan(table), In(Col("k"), keys)).materialize(CostMeter())
+        )
+        assert via_index == via_scan
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=150)
+    def test_projection_view_equals_projected_scan(self, rows):
+        table = make_table(rows)
+        view = MaterializedView.projection_of("v", table, ["k", "g"])
+        view.refresh()
+        via_view = SeqScan(view.table).materialize(CostMeter())
+        via_scan = Project(SeqScan(table), ["k", "g"]).materialize(CostMeter())
+        assert via_view == via_scan
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=150)
+    def test_group_count_totals(self, rows):
+        table = make_table(rows)
+        counts = dict(GroupCount(SeqScan(table), "g").materialize(CostMeter()))
+        assert sum(counts.values()) == len(table)
+        for group, count in counts.items():
+            assert count == sum(1 for r in rows if r[1] == group)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=100)
+    def test_sort_is_permutation_and_ordered(self, rows):
+        table = make_table(rows)
+        ordered = Sort(SeqScan(table), "v").materialize(CostMeter())
+        assert sorted(ordered) == sorted(table.rows())
+        values = [r[2] for r in ordered]
+        assert values == sorted(values)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=100)
+    def test_distinct_idempotent(self, rows):
+        table = make_table(rows)
+        once = Distinct(SeqScan(table)).materialize(CostMeter())
+        assert len(set(once)) == len(once)
+        assert set(once) == set(table.rows())
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=100)
+    def test_analyze_consistency(self, rows):
+        table = make_table(rows)
+        stats = analyze(table)
+        assert stats.row_count == len(rows)
+        if rows:
+            assert stats.column("k").distinct == len({r[0] for r in rows})
+            assert stats.column("v").minimum == min(r[2] for r in rows)
+            assert stats.column("v").maximum == max(r[2] for r in rows)
+            assert 0 < stats.column("g").eq_selectivity() <= 1.0
+
+
+class TestFriendsOfFriendsProperties:
+    positions_strategy = st.lists(
+        st.tuples(
+            st.floats(0.0, 50.0, allow_nan=False),
+            st.floats(0.0, 50.0, allow_nan=False),
+            st.floats(0.0, 50.0, allow_nan=False),
+        ),
+        max_size=60,
+    )
+
+    @given(points=positions_strategy, link=st.floats(0.5, 5.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_labels_partition_points(self, points, link):
+        positions = np.asarray(points, dtype=float).reshape(-1, 3)
+        labels = friends_of_friends(positions, link, min_members=2)
+        assert len(labels) == len(points)
+        assert all(l >= -1 for l in labels)
+
+    @given(points=positions_strategy, link=st.floats(0.5, 3.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_linking_length_monotone_in_cluster_count(self, points, link):
+        """Growing the linking length can only merge clusters (never split)."""
+        positions = np.asarray(points, dtype=float).reshape(-1, 3)
+        small = friends_of_friends(positions, link, min_members=1)
+        large = friends_of_friends(positions, link * 2.0, min_members=1)
+        n_small = len({l for l in small.tolist() if l >= 0})
+        n_large = len({l for l in large.tolist() if l >= 0})
+        assert n_large <= n_small
+
+    @given(points=positions_strategy, link=st.floats(0.5, 3.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_friends_share_labels(self, points, link):
+        """Any two points within the linking length share a component."""
+        positions = np.asarray(points, dtype=float).reshape(-1, 3)
+        labels = friends_of_friends(positions, link, min_members=1)
+        n = len(positions)
+        for a in range(min(n, 15)):
+            for b in range(a + 1, min(n, 15)):
+                if np.linalg.norm(positions[a] - positions[b]) <= link:
+                    assert labels[a] == labels[b]
+
+    @given(points=positions_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_min_members_monotone(self, points):
+        """Raising min_members can only unlabel points."""
+        positions = np.asarray(points, dtype=float).reshape(-1, 3)
+        loose = friends_of_friends(positions, 2.0, min_members=1)
+        strict = friends_of_friends(positions, 2.0, min_members=4)
+        clustered_loose = {i for i, l in enumerate(loose.tolist()) if l >= 0}
+        clustered_strict = {i for i, l in enumerate(strict.tolist()) if l >= 0}
+        assert clustered_strict <= clustered_loose
+
+
+class TestCatalogInvariants:
+    @given(rows=rows_strategy)
+    @settings(max_examples=60)
+    def test_view_refresh_tracks_base(self, rows):
+        table = make_table(rows)
+        catalog = Catalog()
+        catalog.create_table(table)
+        view = MaterializedView.projection_of("v", table, ["k"])
+        catalog.create_view(view)
+        assert len(view.table) == len(table)
+        table.insert((99, 0, 1.0))
+        view.refresh()
+        assert len(view.table) == len(table)

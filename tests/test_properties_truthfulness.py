@@ -1,0 +1,223 @@
+"""Property-based truthfulness probes.
+
+Offline mechanisms are truthful outright: on random games, no unilateral
+misreport may beat truthful utility. Online mechanisms are truthful in the
+*model-free* sense (Proposition 1): truth maximizes the minimum utility
+over all futures, and that minimum is attained when no new bids arrive
+after the user's own — so the online probes generate games where every
+user is present from slot 1 (the no-future worst case) and assert truth
+dominates there. Example 4 of the paper (an overbid that pays off thanks
+to *particular* future arrivals) shows why the unrestricted dynamic claim
+would be false; that case is covered in test_paper_examples.py.
+
+Sybil resilience (Proposition 2): for additive mechanisms, a user splitting
+into identities never *lowers* any other user's utility.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import AdditiveBid, run_addon, run_shapley, run_substoff
+from repro.core import accounting
+
+TOL = 1e-6
+
+values = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+costs = st.floats(min_value=0.5, max_value=120.0, allow_nan=False)
+bid_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=9), values, min_size=1, max_size=8
+)
+
+
+class TestShapleyTruthfulness:
+    @settings(max_examples=300)
+    @given(cost=costs, bids=bid_maps, lie=values)
+    def test_no_unilateral_value_lie_improves_utility(self, cost, bids, lie):
+        target = sorted(bids, key=repr)[0]
+        truth = bids[target]
+
+        honest = run_shapley(cost, bids)
+        honest_utility = (
+            truth - honest.payment(target) if target in honest.serviced else 0.0
+        )
+
+        deviated_bids = dict(bids)
+        deviated_bids[target] = lie
+        deviated = run_shapley(cost, deviated_bids)
+        deviated_utility = (
+            truth - deviated.payment(target) if target in deviated.serviced else 0.0
+        )
+
+        assert deviated_utility <= honest_utility + TOL
+
+    @settings(max_examples=200)
+    @given(cost=costs, bids=bid_maps)
+    def test_truthful_utility_nonnegative(self, cost, bids):
+        result = run_shapley(cost, bids)
+        for user, bid in bids.items():
+            if user in result.serviced:
+                assert bid - result.payment(user) >= -TOL
+
+
+@st.composite
+def static_arrival_games(draw, max_users: int = 6, max_slots: int = 5):
+    """Online additive games where every user arrives at slot 1.
+
+    This is the model-free worst case: no bids arrive after anyone's own
+    declaration, so truth must dominate any unilateral deviation.
+    """
+    cost = draw(costs)
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    bids = {}
+    for i in range(n_users):
+        duration = draw(st.integers(min_value=1, max_value=max_slots))
+        vals = draw(st.lists(values, min_size=duration, max_size=duration))
+        bids[i] = AdditiveBid.over(1, vals)
+    return cost, bids
+
+
+@st.composite
+def deviations(draw, max_slots: int = 5):
+    """An arbitrary misreport: new start, duration, and values."""
+    start = draw(st.integers(min_value=1, max_value=max_slots))
+    duration = draw(st.integers(min_value=1, max_value=max_slots - start + 1))
+    vals = draw(st.lists(values, min_size=duration, max_size=duration))
+    return AdditiveBid.over(start, vals)
+
+
+class TestAddOnModelFreeTruthfulness:
+    @settings(max_examples=250)
+    @given(game=static_arrival_games(), deviation=deviations())
+    def test_truth_dominates_in_no_future_games(self, game, deviation):
+        cost, bids = game
+        target = 0
+        truth = bids[target]
+        horizon = max(max(b.end for b in bids.values()), deviation.end)
+
+        honest_outcome = run_addon(cost, bids, horizon=horizon)
+        honest_utility = accounting.addon_user_utility(honest_outcome, target, truth)
+
+        deviated_bids = dict(bids)
+        deviated_bids[target] = deviation
+        deviated_outcome = run_addon(cost, deviated_bids, horizon=horizon)
+        deviated_utility = accounting.addon_user_utility(
+            deviated_outcome, target, truth
+        )
+
+        assert deviated_utility <= honest_utility + TOL
+
+    @settings(max_examples=200)
+    @given(game=static_arrival_games(), scale=st.floats(0.0, 3.0, allow_nan=False))
+    def test_uniform_scaling_lies_never_help(self, game, scale):
+        cost, bids = game
+        target = 0
+        truth = bids[target]
+        lie = AdditiveBid.over(
+            truth.start, [v * scale for v in truth.schedule.values]
+        )
+
+        honest = run_addon(cost, bids)
+        honest_utility = accounting.addon_user_utility(honest, target, truth)
+
+        deviated_bids = dict(bids)
+        deviated_bids[target] = lie
+        horizon = max(b.end for b in bids.values())
+        deviated = run_addon(cost, deviated_bids, horizon=horizon)
+        deviated_utility = accounting.addon_user_utility(deviated, target, truth)
+
+        assert deviated_utility <= honest_utility + TOL
+
+
+class TestSubstOffTruthfulness:
+    @settings(max_examples=250)
+    @given(
+        opt_costs=st.dictionaries(
+            st.integers(0, 3), st.floats(0.5, 60.0, allow_nan=False),
+            min_size=1, max_size=4,
+        ),
+        data=st.data(),
+        lie=values,
+    )
+    def test_no_unilateral_value_lie_improves_utility(self, opt_costs, data, lie):
+        """Value lies with the substitute set held fixed never help."""
+        opts = list(opt_costs)
+        n_users = data.draw(st.integers(min_value=1, max_value=6))
+        matrix = {}
+        for i in range(n_users):
+            subs = data.draw(
+                st.sets(st.sampled_from(opts), min_size=1, max_size=len(opts))
+            )
+            value = data.draw(values)
+            matrix[i] = {j: value for j in subs}
+        target = 0
+        truth_row = matrix[target]
+        assume(truth_row)
+        true_value = next(iter(truth_row.values()))
+
+        honest = run_substoff(opt_costs, matrix)
+        honest_granted = honest.grants.get(target)
+        honest_utility = (
+            true_value - honest.payment(target) if honest_granted is not None else 0.0
+        )
+
+        deviated_matrix = dict(matrix)
+        deviated_matrix[target] = {j: lie for j in truth_row}
+        deviated = run_substoff(opt_costs, deviated_matrix)
+        deviated_granted = deviated.grants.get(target)
+        deviated_utility = (
+            true_value - deviated.payment(target)
+            if deviated_granted is not None
+            else 0.0
+        )
+
+        assert deviated_utility <= honest_utility + TOL
+
+
+class TestSybilResilience:
+    """Proposition 2: sybils under additive mechanisms never hurt others."""
+
+    @settings(max_examples=200)
+    @given(
+        cost=costs,
+        bids=bid_maps,
+        split=st.integers(min_value=2, max_value=4),
+    )
+    def test_shapley_splitting_never_hurts_others(self, cost, bids, split):
+        target = sorted(bids, key=repr)[0]
+
+        honest = run_shapley(cost, bids)
+
+        sybil_bids = {u: b for u, b in bids.items() if u != target}
+        for k in range(split):
+            sybil_bids[f"sybil-{k}"] = bids[target]
+        deviated = run_shapley(cost, sybil_bids)
+
+        # Every other user previously serviced is still serviced and pays
+        # no more than before.
+        for user in honest.serviced:
+            if user == target:
+                continue
+            assert user in deviated.serviced
+            assert deviated.payment(user) <= honest.payment(user) + TOL
+
+    @settings(max_examples=100)
+    @given(game=static_arrival_games(), split=st.integers(min_value=2, max_value=3))
+    def test_addon_splitting_never_hurts_others(self, game, split):
+        cost, bids = game
+        target = 0
+        honest = run_addon(cost, bids)
+
+        sybil_bids = {u: b for u, b in bids.items() if u != target}
+        for k in range(split):
+            sybil_bids[f"sybil-{k}"] = bids[target]
+        horizon = max(b.end for b in bids.values())
+        deviated = run_addon(cost, sybil_bids, horizon=horizon)
+
+        for user, bid in bids.items():
+            if user == target:
+                continue
+            honest_utility = accounting.addon_user_utility(honest, user, bid)
+            deviated_utility = accounting.addon_user_utility(deviated, user, bid)
+            assert deviated_utility >= honest_utility - TOL

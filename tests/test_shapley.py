@@ -1,0 +1,131 @@
+"""Unit tests for Mechanism 1 (the Shapley Value Mechanism)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import MechanismError, run_shapley
+
+
+class TestBasics:
+    def test_single_user_can_afford(self):
+        result = run_shapley(10.0, {1: 10.0})
+        assert result.serviced == frozenset({1})
+        assert result.price == pytest.approx(10.0)
+
+    def test_single_user_cannot_afford(self):
+        result = run_shapley(10.0, {1: 9.99})
+        assert not result.implemented
+        assert result.payments == {}
+
+    def test_even_split_all_afford(self):
+        result = run_shapley(90.0, {1: 30.0, 2: 40.0, 3: 50.0})
+        assert result.serviced == frozenset({1, 2, 3})
+        assert result.price == pytest.approx(30.0)
+
+    def test_no_bidders(self):
+        result = run_shapley(5.0, {})
+        assert not result.implemented
+        assert result.price == 0.0
+
+    def test_all_zero_bids(self):
+        result = run_shapley(5.0, {1: 0.0, 2: 0.0})
+        assert not result.implemented
+
+    def test_boundary_bid_exactly_share_is_kept(self):
+        # p = 50 on the second round; a bid of exactly 50 must stay.
+        result = run_shapley(100.0, {1: 50.0, 2: 50.0})
+        assert result.serviced == frozenset({1, 2})
+        assert result.price == pytest.approx(50.0)
+
+    def test_eviction_cascade(self):
+        # 4 users: p=25 evicts u4; p=33.3 evicts u3; p=50 keeps u1,u2.
+        result = run_shapley(
+            100.0, {1: 80.0, 2: 50.0, 3: 30.0, 4: 10.0}
+        )
+        assert result.serviced == frozenset({1, 2})
+        assert result.price == pytest.approx(50.0)
+        assert result.rounds >= 3
+
+    def test_full_collapse(self):
+        result = run_shapley(100.0, {1: 49.0, 2: 49.0})
+        assert not result.implemented
+
+
+class TestCostRecovery:
+    def test_revenue_equals_cost_when_implemented(self):
+        result = run_shapley(77.0, {1: 77.0, 2: 40.0, 3: 39.0})
+        assert result.implemented
+        assert result.revenue == pytest.approx(77.0)
+
+    def test_payments_uniform(self):
+        result = run_shapley(60.0, {1: 100.0, 2: 100.0, 3: 100.0})
+        assert all(p == pytest.approx(20.0) for p in result.payments.values())
+        assert len(result.payments) == 3
+
+
+class TestInfiniteBids:
+    def test_infinite_bid_always_serviced(self):
+        result = run_shapley(100.0, {1: math.inf, 2: 1.0})
+        assert 1 in result.serviced
+        assert 2 not in result.serviced
+        assert result.price == pytest.approx(100.0)
+
+    def test_infinite_bids_share_evenly(self):
+        result = run_shapley(100.0, {1: math.inf, 2: math.inf, 3: 26.0})
+        # p = 100/3 = 33.3 > 26 evicts user 3; remaining two split 50/50.
+        assert result.serviced == frozenset({1, 2})
+        assert result.price == pytest.approx(50.0)
+
+    def test_infinite_bid_pulls_in_marginal_user(self):
+        result = run_shapley(100.0, {1: math.inf, 2: 50.0})
+        assert result.serviced == frozenset({1, 2})
+        assert result.price == pytest.approx(50.0)
+
+
+class TestValidation:
+    def test_zero_cost_rejected(self):
+        with pytest.raises(MechanismError):
+            run_shapley(0.0, {1: 10.0})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(MechanismError):
+            run_shapley(-5.0, {1: 10.0})
+
+    def test_negative_bid_rejected(self):
+        with pytest.raises(MechanismError):
+            run_shapley(10.0, {1: -1.0})
+
+    def test_nan_bid_rejected(self):
+        with pytest.raises(MechanismError):
+            run_shapley(10.0, {1: math.nan})
+
+
+class TestTruthfulnessByCases:
+    """The classical argument from Section 4.1, as concrete cases."""
+
+    def test_underbid_below_share_loses_service(self):
+        truthful = run_shapley(100.0, {1: 60.0, 2: 60.0})
+        assert truthful.serviced == frozenset({1, 2})
+        lied = run_shapley(100.0, {1: 40.0, 2: 60.0})
+        assert 1 not in lied.serviced
+        # Utility drops from 60 - 50 = 10 to 0.
+        assert 60.0 - truthful.payment(1) == pytest.approx(10.0)
+        assert lied.payment(1) == 0.0
+
+    def test_underbid_above_share_changes_nothing(self):
+        truthful = run_shapley(100.0, {1: 60.0, 2: 60.0})
+        lied = run_shapley(100.0, {1: 55.0, 2: 60.0})
+        assert lied.serviced == truthful.serviced
+        assert lied.price == pytest.approx(truthful.price)
+
+    def test_overbid_can_only_buy_overpriced_service(self):
+        # Truthfully unaffordable: value 40 < share 50.
+        truthful = run_shapley(100.0, {1: 40.0, 2: 60.0})
+        assert 1 not in truthful.serviced
+        lied = run_shapley(100.0, {1: 50.0, 2: 60.0})
+        assert 1 in lied.serviced
+        # She pays 50 for a true value of 40: utility -10 < 0.
+        assert 40.0 - lied.payment(1) == pytest.approx(-10.0)

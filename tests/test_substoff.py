@@ -1,0 +1,154 @@
+"""Unit tests for SubstOff (Mechanism 3) beyond the paper's examples."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import MechanismError, run_substoff
+from repro.core import accounting
+
+
+class TestPhases:
+    def test_single_phase(self):
+        outcome = run_substoff({1: 10.0}, {1: {1: 10.0}})
+        assert outcome.implemented == (1,)
+        assert outcome.grants == {1: 1}
+        assert outcome.payments == {1: pytest.approx(10.0)}
+
+    def test_nothing_feasible(self):
+        outcome = run_substoff({1: 10.0, 2: 20.0}, {1: {1: 4.0, 2: 4.0}})
+        assert outcome.implemented == ()
+        assert outcome.grants == {}
+        assert outcome.total_payment == 0.0
+
+    def test_serviced_users_leave_later_phases(self):
+        # User 1 could afford both, but once granted the cheap one she must
+        # not subsidize the expensive one.
+        costs = {"cheap": 10.0, "dear": 30.0}
+        bids = {
+            1: {"cheap": 50.0, "dear": 50.0},
+            2: {"dear": 16.0},
+        }
+        outcome = run_substoff(costs, bids)
+        assert outcome.grants[1] == "cheap"
+        # Alone, user 2 cannot cover 30.
+        assert outcome.grants.get(2) is None
+        assert outcome.implemented == ("cheap",)
+
+    def test_second_phase_still_feasible(self):
+        costs = {"a": 10.0, "b": 12.0}
+        bids = {
+            1: {"a": 10.0},
+            2: {"b": 6.0},
+            3: {"b": 6.0},
+        }
+        outcome = run_substoff(costs, bids)
+        assert set(outcome.implemented) == {"a", "b"}
+        assert outcome.payment(2) == pytest.approx(6.0)
+
+    def test_min_share_selection(self):
+        # Both feasible; "a" share 5, "b" share 4 — "b" first, and the
+        # winner takes user 2 with it, killing "a".
+        costs = {"a": 10.0, "b": 8.0}
+        bids = {
+            1: {"a": 10.0, "b": 10.0},
+            2: {"a": 10.0, "b": 10.0},
+        }
+        outcome = run_substoff(costs, bids)
+        assert outcome.implemented == ("b",)
+        assert outcome.serviced("b") == frozenset({1, 2})
+
+    def test_each_user_granted_at_most_once(self):
+        costs = {j: 5.0 for j in range(5)}
+        bids = {i: {j: 10.0 for j in range(5)} for i in range(4)}
+        outcome = run_substoff(costs, bids)
+        assert len(outcome.grants) == 4
+        assert set(outcome.grants) == {0, 1, 2, 3}
+        # All four land on the same first optimization.
+        assert len(set(outcome.grants.values())) == 1
+
+
+class TestTieBreaks:
+    COSTS = {"a": 10.0, "b": 10.0}
+    BIDS = {1: {"a": 10.0}, 2: {"b": 10.0}}
+
+    def test_deterministic_tie_break_uses_cost_order(self):
+        outcome = run_substoff(self.COSTS, self.BIDS)
+        assert outcome.implemented[0] == "a"
+
+    def test_random_tie_break_hits_both(self):
+        seen = set()
+        for seed in range(20):
+            outcome = run_substoff(
+                self.COSTS,
+                self.BIDS,
+                rng=np.random.default_rng(seed),
+                randomize_ties=True,
+            )
+            seen.add(outcome.implemented[0])
+        assert seen == {"a", "b"}
+
+    def test_near_tie_counts_as_tie(self):
+        costs = {"a": 10.0, "b": 10.0 + 1e-13}
+        outcome = run_substoff(costs, {1: {"a": 10.0}, 2: {"b": 11.0}})
+        # Shares 10 and ~10: tie at tolerance; deterministic pick is "a".
+        assert outcome.implemented[0] == "a"
+
+
+class TestForcedBids:
+    """SubstOn drives SubstOff with infinite bids; check that path directly."""
+
+    def test_infinite_bid_forces_feasibility(self):
+        costs = {"a": 100.0}
+        bids = {1: {"a": math.inf}, 2: {"a": 50.0}}
+        outcome = run_substoff(costs, bids)
+        assert outcome.serviced("a") == frozenset({1, 2})
+        assert outcome.payment(2) == pytest.approx(50.0)
+
+    def test_infinite_bid_alone_carries_cost(self):
+        costs = {"a": 100.0}
+        bids = {1: {"a": math.inf}, 2: {"a": 30.0}}
+        outcome = run_substoff(costs, bids)
+        # 30 < 50 evicts user 2; the forced user covers the whole cost.
+        assert outcome.serviced("a") == frozenset({1})
+        assert outcome.payment(1) == pytest.approx(100.0)
+
+    def test_locked_user_cannot_join_other_optimization(self):
+        costs = {"a": 10.0, "b": 10.0}
+        bids = {
+            1: {"a": math.inf, "b": 0.0},
+            2: {"b": 6.0},
+        }
+        outcome = run_substoff(costs, bids)
+        assert outcome.grants[1] == "a"
+        assert outcome.grants.get(2) is None  # 6 < 10 alone
+
+
+class TestValidationAndAccounting:
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(MechanismError):
+            run_substoff({"a": 10.0}, {1: {"zzz": 5.0}})
+
+    def test_cost_recovery(self):
+        costs = {"a": 10.0, "b": 12.0}
+        bids = {1: {"a": 10.0}, 2: {"b": 6.0}, 3: {"b": 6.0}}
+        outcome = run_substoff(costs, bids)
+        assert outcome.total_payment == pytest.approx(outcome.total_cost)
+
+    def test_total_utility(self):
+        costs = {"a": 10.0}
+        bids = {1: {"a": 8.0}, 2: {"a": 8.0}}
+        outcome = run_substoff(costs, bids)
+        assert accounting.substoff_total_utility(outcome, bids) == pytest.approx(6.0)
+
+    def test_user_utility_with_lie_about_substitutes(self):
+        # User 2's true value is on "b" only, but she bid on "a" and won a
+        # grant she does not value: utility is -payment.
+        costs = {"a": 10.0}
+        bids = {1: {"a": 8.0}, 2: {"a": 8.0}}
+        truth = {1: {"a": 8.0}, 2: {"b": 8.0}}
+        outcome = run_substoff(costs, bids)
+        assert accounting.substoff_user_utility(outcome, 2, truth) == pytest.approx(-5.0)

@@ -1,0 +1,89 @@
+"""Tests for the shared utilities (RNG plumbing, numeric helpers)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils import close, ensure_rng, isclose_or_greater, spawn_rngs, weighted_mean
+from repro.utils.numeric import is_positive_finite_or_inf
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = ensure_rng(42).uniform()
+        b = ensure_rng(42).uniform()
+        assert a == b
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        children = spawn_rngs(1, 5)
+        assert len(children) == 5
+        draws = [c.uniform() for c in children]
+        assert len(set(draws)) == 5
+
+    def test_deterministic_given_seed(self):
+        a = [c.uniform() for c in spawn_rngs(9, 3)]
+        b = [c.uniform() for c in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestNumericHelpers:
+    def test_close(self):
+        assert close(1.0, 1.0 + 1e-12)
+        assert not close(1.0, 1.01)
+
+    def test_isclose_or_greater(self):
+        assert isclose_or_greater(2.0, 1.0)
+        assert isclose_or_greater(1.0, 1.0 + 1e-12)
+        assert not isclose_or_greater(1.0, 1.1)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_weighted_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [1.0])
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, True),
+            (1e-12, True),
+            (math.inf, True),
+            (0.0, False),
+            (-1.0, False),
+            (math.nan, False),
+        ],
+    )
+    def test_is_positive_finite_or_inf(self, value, expected):
+        assert is_positive_finite_or_inf(value) is expected

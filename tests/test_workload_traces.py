@@ -1,0 +1,73 @@
+"""Tests for trace generation and service replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AdditiveBid, GameConfigError, run_addon
+from repro.workloads.traces import (
+    Arrival,
+    generate_additive_trace,
+    replay_additive_trace,
+)
+
+
+class TestGeneration:
+    def test_shape(self):
+        trace = generate_additive_trace(0, 10, 12, ["idx", "view"])
+        assert len(trace) == 10
+        for arrival in trace:
+            assert arrival.optimization in ("idx", "view")
+            assert 1 <= arrival.bid.start <= arrival.bid.end <= 12
+
+    def test_sorted_by_start(self):
+        trace = generate_additive_trace(0, 30, 12, ["idx"])
+        starts = [a.bid.start for a in trace]
+        assert starts == sorted(starts)
+
+    def test_duration_clamped_to_horizon(self):
+        trace = generate_additive_trace(3, 50, 4, ["idx"], max_duration=10)
+        assert all(a.bid.end <= 4 for a in trace)
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            generate_additive_trace(0, 5, 12, [])
+        with pytest.raises(GameConfigError):
+            generate_additive_trace(0, 5, 12, ["idx"], max_duration=0)
+
+
+class TestReplay:
+    def test_replay_matches_batch_mechanism(self):
+        """Events through the live service == the batch AddOn run."""
+        trace = generate_additive_trace(7, 12, 8, ["idx"])
+        costs = {"idx": 0.8}
+        report = replay_additive_trace(trace, costs, horizon=8)
+
+        bids = {a.user: a.bid for a in trace}
+        batch = run_addon(0.8, bids, horizon=8)
+        for arrival in trace:
+            assert report.payments.get(arrival.user, 0.0) == pytest.approx(
+                batch.payment(arrival.user)
+            )
+        assert report.ledger.revenue == pytest.approx(batch.total_payment)
+
+    def test_replay_two_optimizations(self):
+        trace = [
+            Arrival("a", "idx", AdditiveBid.over(1, [1.0])),
+            Arrival("b", "view", AdditiveBid.over(2, [0.5])),
+        ]
+        report = replay_additive_trace(
+            trace, {"idx": 0.6, "view": 0.4}, horizon=3
+        )
+        assert report.implemented == {"idx": 1, "view": 2}
+        assert report.payments["a"] == pytest.approx(0.6)
+        assert report.payments["b"] == pytest.approx(0.4)
+
+    def test_cloud_balance_nonnegative_over_random_traces(self):
+        for seed in range(10):
+            trace = generate_additive_trace(seed, 15, 10, ["x", "y", "z"])
+            report = replay_additive_trace(
+                trace, {"x": 0.5, "y": 1.0, "z": 2.0}, horizon=10
+            )
+            assert report.cloud_balance >= -1e-9

@@ -1,0 +1,122 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameConfigError
+from repro.workloads import (
+    additive_duration_game,
+    additive_single_slot_game,
+    early_exponential_slots,
+    late_exponential_slots,
+    sample_costs,
+    sample_substitute_sets,
+    substitutable_game,
+    uniform_slots,
+)
+
+
+class TestArrivals:
+    def test_uniform_range(self):
+        slots = uniform_slots(0, 1000, 12)
+        assert slots.min() >= 1 and slots.max() <= 12
+        # All slots are hit over a big sample.
+        assert len(set(slots.tolist())) == 12
+
+    def test_early_skew(self):
+        slots = early_exponential_slots(0, 2000, 12)
+        assert slots.min() >= 1 and slots.max() <= 12
+        assert np.mean(slots) < 3.0  # clustered at the start
+
+    def test_late_skew(self):
+        slots = late_exponential_slots(0, 2000, 12)
+        assert slots.min() >= 1 and slots.max() <= 12
+        assert np.mean(slots) > 10.0  # clustered at the end
+
+    def test_zero_users(self):
+        assert len(uniform_slots(0, 0, 5)) == 0
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            uniform_slots(0, -1, 5)
+        with pytest.raises(GameConfigError):
+            uniform_slots(0, 1, 0)
+        with pytest.raises(GameConfigError):
+            early_exponential_slots(0, 1, 5, mean=0.0)
+        with pytest.raises(GameConfigError):
+            late_exponential_slots(0, 1, 5, mean=-1.0)
+
+
+class TestSubstituteSampling:
+    def test_set_sizes(self):
+        sets = sample_substitute_sets(0, 50, 12, 3)
+        assert len(sets) == 50
+        assert all(len(s) == 3 for s in sets)
+        assert all(s <= set(range(12)) for s in sets)
+
+    def test_costs_mean(self):
+        costs = sample_costs(0, 5000, mean_cost=2.0)
+        values = list(costs.values())
+        assert np.mean(values) == pytest.approx(2.0, rel=0.05)
+        assert min(values) > 0
+
+    def test_validation(self):
+        with pytest.raises(GameConfigError):
+            sample_substitute_sets(0, 5, 4, 5)
+        with pytest.raises(GameConfigError):
+            sample_substitute_sets(0, 5, 0, 1)
+        with pytest.raises(GameConfigError):
+            sample_costs(0, 0, 1.0)
+        with pytest.raises(GameConfigError):
+            sample_costs(0, 3, 0.0)
+
+
+class TestScenarios:
+    def test_additive_single_slot(self):
+        rng = np.random.default_rng(0)
+        bids = additive_single_slot_game(rng, 6, 12)
+        assert len(bids) == 6
+        for bid in bids.values():
+            assert bid.start == bid.end
+            assert 1 <= bid.start <= 12
+            assert 0.0 <= bid.total() < 1.0
+
+    def test_additive_duration_splits_value(self):
+        rng = np.random.default_rng(0)
+        bids = additive_duration_game(rng, 6, 12, duration=4)
+        for bid in bids.values():
+            assert bid.end - bid.start + 1 == 4
+            values = bid.schedule.values
+            assert max(values) == pytest.approx(min(values))
+
+    def test_substitutable_game(self):
+        rng = np.random.default_rng(0)
+        bids = substitutable_game(rng, 10, 12, optimizations=12, choose=3)
+        for bid in bids.values():
+            assert len(bid.substitutes) == 3
+            assert all(0 <= j < 12 for j in bid.substitutes)
+
+    def test_arrival_option(self):
+        rng = np.random.default_rng(0)
+        bids = additive_single_slot_game(rng, 500, 12, arrival="early")
+        starts = [b.start for b in bids.values()]
+        assert np.mean(starts) < 3.0
+
+    def test_unknown_arrival_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GameConfigError):
+            additive_single_slot_game(rng, 5, 12, arrival="gaussian")
+        with pytest.raises(GameConfigError):
+            substitutable_game(rng, 5, 12, 4, 2, arrival="gaussian")
+
+    def test_duration_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GameConfigError):
+            additive_duration_game(rng, 5, 12, duration=0)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = additive_single_slot_game(np.random.default_rng(5), 6, 12)
+        b = additive_single_slot_game(np.random.default_rng(5), 6, 12)
+        assert all(a[i].schedule == b[i].schedule for i in range(6))

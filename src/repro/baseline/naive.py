@@ -22,16 +22,9 @@ from repro.bids.additive import AdditiveBid
 from repro.core.outcome import AddOnOutcome, ShapleyResult, UserId
 from repro.core.shapley import run_shapley
 from repro.errors import MechanismError
-from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
+from repro.utils.numeric import is_positive_finite
 
 __all__ = ["run_naive_pay_your_bid", "run_naive_online_shapley"]
-
-def _valid_cost(cost: float) -> bool:
-    """Strictly positive, finite, non-NaN."""
-    import math as _math
-
-    return _plain_positive(cost) and not _math.isinf(cost)
-
 
 
 def run_naive_pay_your_bid(
@@ -42,7 +35,7 @@ def run_naive_pay_your_bid(
     Returns a :class:`ShapleyResult` for interface parity (``price`` is the
     *average* payment, payments are per-user bids).
     """
-    if not _valid_cost(cost):
+    if not is_positive_finite(cost):
         raise MechanismError(f"optimization cost must be positive, got {cost}")
     for user, bid in bids.items():
         if bid < 0 or math.isnan(bid):
@@ -71,7 +64,7 @@ def run_naive_online_shapley(
     charges that slot's serviced set; afterwards everyone present is
     serviced for free.
     """
-    if not _valid_cost(cost):
+    if not is_positive_finite(cost):
         raise MechanismError(f"optimization cost must be positive, got {cost}")
     if horizon is None:
         horizon = max((b.end for b in bids.values()), default=0)

@@ -31,7 +31,7 @@ from repro.bids.additive import AdditiveBid
 from repro.bids.substitutive import SubstitutableBid
 from repro.core.outcome import OptId, UserId
 from repro.errors import MechanismError
-from repro.utils.numeric import is_positive_finite_or_inf
+from repro.utils.numeric import is_positive_finite
 
 __all__ = [
     "RegretOptOutcome",
@@ -123,7 +123,7 @@ def run_regret_additive(
     ``bids`` are the users' (trusted) value schedules; see the module
     docstring for why they should be true values.
     """
-    if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+    if not is_positive_finite(cost):
         raise MechanismError(f"optimization cost must be positive, got {cost}")
     if horizon is None:
         horizon = max((b.end for b in bids.values()), default=0)
@@ -208,7 +208,7 @@ def run_regret_substitutable(
     optimization she is locked to it and stops feeding regret to the others.
     """
     for optimization, cost in costs.items():
-        if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+        if not is_positive_finite(cost):
             raise MechanismError(
                 f"cost of {optimization!r} must be positive, got {cost}"
             )

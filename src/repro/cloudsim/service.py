@@ -7,6 +7,13 @@ catalog). Users place bids for future slots, may revise them upward, are
 granted service as soon as the mechanism admits them, and are invoiced
 their final cost-share at their departure slot. Every step is recorded in
 the event log and the billing ledger.
+
+The loop drives the incremental engine (:mod:`repro.core.online`'s
+``step_changed`` paths): bids are indexed by their entry and departure
+slots, so a slot's work is proportional to the bids whose residuals
+actually changed — users not yet arrived, already departed, or already in
+a cumulative serviced set cost nothing — instead of rebuilding the full
+bid profile for every optimization at every slot.
 """
 
 from __future__ import annotations
@@ -104,6 +111,11 @@ class CloudService:
         self._payments: dict[UserId, float] = {}
         self._granted_at: dict[tuple, int] = {}
         self._implemented: dict[OptId, int] = {}
+        # Entry/departure indexes: which bid keys become active at slot t,
+        # and which must be invoiced (and then zeroed) at slot t.
+        self._starts_at: dict[int, list] = {}
+        self._ends_at: dict[int, list] = {}
+        self._active: set = set()
 
         if mode == "additive":
             self._addon: dict[OptId, AddOnState] = {
@@ -138,7 +150,10 @@ class CloudService:
                 f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
             )
         handle = RevisableBid(bid, declared_at=self.slot + 1)
-        self._additive_bids[(user, optimization)] = handle
+        key = (user, optimization)
+        self._additive_bids[key] = handle
+        self._starts_at.setdefault(bid.start, []).append(key)
+        self._ends_at.setdefault(bid.end, []).append(key)
         self.events.record(
             BidPlaced(self.slot + 1, user, detail=f"opt={optimization!r}")
         )
@@ -149,14 +164,26 @@ class CloudService:
     ) -> None:
         """Upward revision of a previously placed bid."""
         self._require_mode("additive")
-        handle = self._additive_bids.get((user, optimization))
+        key = (user, optimization)
+        handle = self._additive_bids.get(key)
         if handle is None:
             raise GameConfigError(
                 f"user {user!r} has no bid on {optimization!r} to revise"
             )
         if any(slot > self.horizon for slot in new_values):
             raise GameConfigError("revision extends beyond the horizon")
+        old_end = handle.current.end
         handle.revise(self.slot + 1, new_values)
+        new_end = handle.current.end
+        if new_end != old_end:
+            # The departure moved: re-index the invoice slot and, if the bid
+            # had already expired, revive it for the extension.
+            departures = self._ends_at.get(old_end, [])
+            if key in departures:
+                departures.remove(key)
+            self._ends_at.setdefault(new_end, []).append(key)
+            if old_end <= self.slot:
+                self._active.add(key)
         self.events.record(
             BidRevised(self.slot + 1, user, detail=f"opt={optimization!r}")
         )
@@ -180,6 +207,8 @@ class CloudService:
                 f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
             )
         self._subst_bids[user] = bid
+        self._starts_at.setdefault(bid.start, []).append(user)
+        self._ends_at.setdefault(bid.end, []).append(user)
         self.events.record(BidPlaced(self.slot + 1, user))
 
     # -------------------------------------------------------------- loop --
@@ -223,17 +252,32 @@ class CloudService:
             )
 
     def _advance_additive(self, t: int) -> None:
-        # Gather residual bids per optimization, step every contested game.
-        by_opt: dict[OptId, dict[UserId, float]] = {}
-        for (user, optimization), handle in self._additive_bids.items():
-            view = handle.as_of(t)
-            residual = view.residual(t) if t >= view.start else 0.0
-            by_opt.setdefault(optimization, {})[user] = residual
-        for optimization, residuals in by_opt.items():
+        # Residuals change only for bids whose interval covers this slot
+        # (plus one trailing zero for bids that just expired); gather those
+        # and step every contested game incrementally.
+        self._active.update(self._starts_at.pop(t, ()))
+        changed: dict[OptId, dict[UserId, float]] = {}
+        expired = []
+        for key in self._active:
+            user, optimization = key
+            if self._addon[optimization].is_cumulative(user):
+                expired.append(key)  # forced: her residual no longer matters
+                continue
+            bid = self._additive_bids[key].current
+            if t > bid.end:
+                changed.setdefault(optimization, {})[user] = 0.0
+                expired.append(key)
+            else:
+                changed.setdefault(optimization, {})[user] = bid.residual(t)
+        self._active.difference_update(expired)
+
+        # Only games with a changed residual can change outcome: untouched
+        # profiles solve to the same serviced set and price, and the state
+        # machines accept slot gaps, so settled games cost nothing.
+        for optimization, residuals in changed.items():
             state = self._addon[optimization]
-            before = state.cumulative
-            result = state.step(t, residuals)
-            for newcomer in result.serviced - before:
+            delta = state.step_changed(t, residuals)
+            for newcomer in delta.newly_serviced:
                 self._granted_at[(newcomer, optimization)] = t
                 self.events.record(UserGranted(t, newcomer, optimization))
             if state.implemented_at == t:
@@ -244,8 +288,9 @@ class CloudService:
 
         # Invoice departures: a user pays each game's share as its bid ends.
         departed: set[UserId] = set()
-        for (user, optimization), handle in self._additive_bids.items():
-            if handle.as_of(t).end != t:
+        for key in self._ends_at.pop(t, ()):
+            user, optimization = key
+            if self._additive_bids[key].current.end != t:
                 continue
             amount = self._addon[optimization].exit_price(user)
             self._payments[user] = self._payments.get(user, 0.0) + amount
@@ -257,37 +302,39 @@ class CloudService:
             self.events.record(UserDeparted(t, user))
 
     def _advance_substitutable(self, t: int) -> None:
-        residuals: dict[UserId, dict[OptId, float]] = {}
-        for user, bid in self._subst_bids.items():
+        self._active.update(self._starts_at.pop(t, ()))
+        changed: dict[UserId, dict[OptId, float]] = {}
+        settled = []
+        for user in self._active:
             if user in self._subston.grants:
+                settled.append(user)  # locked: the engine forces her bid
                 continue
-            if t >= bid.start:
-                residual = bid.residual(t)
-                residuals[user] = {
-                    j: (residual if j in bid.substitutes else 0.0)
-                    for j in self.catalog
-                }
-            else:
-                residuals[user] = {j: 0.0 for j in self.catalog}
+            bid = self._subst_bids[user]
+            residual = bid.residual(t)
+            changed[user] = {
+                j: (residual if j in bid.substitutes else 0.0)
+                for j in self.catalog
+            }
+        self._active.difference_update(settled)
 
-        before_grants = set(self._subston.grants)
-        before_impl = set(self._subston.implemented_at)
-        self._subston.step(t, residuals)
-        for user in set(self._subston.grants) - before_grants:
-            optimization = self._subston.grants[user]
+        delta = self._subston.step_changed(t, changed)
+        for user, optimization in delta.new_grants.items():
             self._granted_at[(user, optimization)] = t
             self.events.record(UserGranted(t, user, optimization))
-        for optimization in set(self._subston.implemented_at) - before_impl:
+        for optimization in delta.new_implementations:
             cost = self.catalog.get(optimization).cost
             self._implemented[optimization] = t
             self.ledger.build_outlay(t, optimization, cost)
             self.events.record(OptimizationImplemented(t, optimization, cost))
 
-        for user, bid in self._subst_bids.items():
-            if bid.end == t:
-                amount = self._subston.exit_price(user)
-                self._payments[user] = amount
-                if amount > 0:
-                    self.ledger.invoice(t, user, amount)
-                    self.events.record(UserCharged(t, user, amount))
-                self.events.record(UserDeparted(t, user))
+        for user in self._ends_at.pop(t, ()):
+            amount = self._subston.exit_price(user)
+            self._payments[user] = amount
+            if amount > 0:
+                self.ledger.invoice(t, user, amount)
+                self.events.record(UserCharged(t, user, amount))
+            self.events.record(UserDeparted(t, user))
+            # An unserviced departure stops contributing residuals; a
+            # granted one keeps her forced bid in the denominator forever.
+            self._subston.retire(user)
+            self._active.discard(user)

@@ -10,6 +10,9 @@
   substitutable games.
 * :mod:`~repro.core.accounting` — utility / payment / balance bookkeeping
   shared by the mechanisms and the experiment drivers.
+* :mod:`~repro.core.fastshapley` — the sort-once/single-scan solver and the
+  :class:`~repro.core.fastshapley.IncrementalShapley` engine that keeps the
+  online mechanisms' per-slot work proportional to what changed.
 """
 
 from repro.core.outcome import (
@@ -19,6 +22,7 @@ from repro.core.outcome import (
     SubstOffOutcome,
     SubstOnOutcome,
 )
+from repro.core.fastshapley import IncrementalShapley
 from repro.core.moulin import equal_shares, run_moulin, weighted_shares
 from repro.core.online import AddOnState, SubstOnState
 from repro.core.shapley import run_shapley
@@ -41,6 +45,7 @@ __all__ = [
     "run_subston",
     "AddOnState",
     "SubstOnState",
+    "IncrementalShapley",
     "run_moulin",
     "equal_shares",
     "weighted_shares",

@@ -25,16 +25,9 @@ from repro.bids.revision import RevisableBid
 from repro.core.online import AddOnState
 from repro.core.outcome import AddOnOutcome, UserId
 from repro.errors import MechanismError
-from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
+from repro.utils.numeric import is_positive_finite
 
 __all__ = ["run_addon"]
-
-def _valid_cost(cost: float) -> bool:
-    """Strictly positive, finite, non-NaN."""
-    import math as _math
-
-    return _plain_positive(cost) and not _math.isinf(cost)
-
 
 BidLike = Union[AdditiveBid, RevisableBid]
 
@@ -85,7 +78,7 @@ def run_addon(
     AddOnOutcome
         Per-slot serviced/cumulative sets, price trace, and final payments.
     """
-    if not _valid_cost(cost):
+    if not is_positive_finite(cost):
         raise MechanismError(f"optimization cost must be positive, got {cost}")
     if not bids:
         horizon = horizon or 0

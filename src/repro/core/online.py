@@ -10,40 +10,70 @@ which encode the two rules that make the mechanisms work online:
   cumulative set only grows and shares only shrink;
 * in the substitutable case a granted user is additionally *locked* to her
   optimization (zero bids elsewhere) so she can never switch.
+
+Both states are backed by :class:`repro.core.fastshapley.IncrementalShapley`
+engines that keep the bid profile sorted between slots. Two entry points
+per state:
+
+* ``step(t, full_profile)`` — the compatibility path used by the batch
+  runners: the caller hands over every bid it wants considered and the
+  state diffs it against the stored profile (users present last slot but
+  omitted now are dropped, exactly as the seed recomputation treated them).
+* ``step_changed(t, changes)`` — the incremental path: only the bids that
+  actually changed are handed over, everything else persists, and the
+  returned delta carries just what changed, so a slot with ``m`` changed
+  bids costs O(m log n) instead of a full recomputation over all ``n``
+  users.
 """
 
 from __future__ import annotations
 
-import math
+from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.outcome import OptId, ShapleyResult, UserId
-from repro.core.shapley import run_shapley
-from repro.core.substoff import run_substoff
+from repro.core.fastshapley import IncrementalShapley
+from repro.core.outcome import OptId, ShapleyResult, SubstOffOutcome, UserId
 from repro.errors import MechanismError
-from repro.utils.numeric import is_positive_finite_or_inf as _plain_positive
-from repro.utils.rng import RngLike
+from repro.utils.numeric import close, is_positive_finite
+from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["AddOnState", "SubstOnState"]
+__all__ = ["AddOnState", "AddOnSlotDelta", "SubstOnState", "SubstOnSlotDelta"]
 
-def _valid_cost(cost: float) -> bool:
-    """Strictly positive, finite, non-NaN."""
-    import math as _math
 
-    return _plain_positive(cost) and not _math.isinf(cost)
+@dataclass(frozen=True)
+class AddOnSlotDelta:
+    """What one incremental AddOn slot changed.
 
+    ``newly_serviced`` holds only the users that entered the cumulative set
+    this slot, so consuming a delta is O(changes), never O(n).
+    """
+
+    slot: int
+    price: float
+    serviced_count: int
+    newly_serviced: frozenset
+
+
+@dataclass(frozen=True)
+class SubstOnSlotDelta:
+    """What one incremental SubstOn slot changed."""
+
+    slot: int
+    shares: Mapping[OptId, float]
+    new_grants: Mapping[UserId, OptId]
+    new_implementations: tuple
 
 
 class AddOnState:
     """Slot-by-slot evolution of AddOn for a single optimization."""
 
     def __init__(self, cost: float) -> None:
-        if not _valid_cost(cost):
+        if not is_positive_finite(cost):
             raise MechanismError(f"optimization cost must be positive, got {cost}")
         self.cost = cost
-        self.cumulative: frozenset = frozenset()
         self.price: float = 0.0
         self.implemented_at: int | None = None
+        self._engine = IncrementalShapley(cost)
         self._slot = 0
 
     @property
@@ -51,35 +81,95 @@ class AddOnState:
         """True once some slot's residuals covered the cost."""
         return self.implemented_at is not None
 
+    @property
+    def cumulative(self) -> frozenset:
+        """``CS_j`` — every user serviced so far (they are the forced set)."""
+        return self._engine.forced
+
+    def is_cumulative(self, user: UserId) -> bool:
+        """O(1) membership test against ``CS_j`` (no set materialization)."""
+        return self._engine.is_forced(user)
+
+    def _advance_to(self, t: int) -> None:
+        if t <= self._slot:
+            raise MechanismError(f"slots must advance; got {t} after {self._slot}")
+        self._slot = t
+
     def step(self, t: int, residual_bids: Mapping[UserId, float]) -> ShapleyResult:
-        """Advance to slot ``t`` with the given residual bids.
+        """Advance to slot ``t`` with the complete residual-bid profile.
 
         ``residual_bids`` must cover every user the caller wants considered
         (users in the cumulative set are forced regardless of their entry,
-        and may be omitted). Slots must be visited in increasing order.
+        and may be omitted; tracked users omitted here stop being
+        considered). Slots must be visited in increasing order.
         """
-        if t <= self._slot:
-            raise MechanismError(
-                f"slots must advance; got {t} after {self._slot}"
-            )
-        self._slot = t
-        bids = {user: float(bid) for user, bid in residual_bids.items()}
-        for user in self.cumulative:
-            bids[user] = math.inf
-        result = run_shapley(self.cost, bids)
-        self.cumulative = result.serviced
-        self.price = result.price
-        if self.implemented_at is None and result.serviced:
+        self._advance_to(t)
+        engine = self._engine
+        dropped = [u for u in engine.tracked() if u not in residual_bids]
+        engine.set_bids(residual_bids)
+        for user in dropped:
+            engine.set_bid(user, 0.0)
+
+        k, price, rounds = engine.solve_with_rounds()
+        if k:
+            engine.promote_serviced(price)
+            self.price = price
+        else:
+            self.price = 0.0
+        if self.implemented_at is None and k:
             self.implemented_at = t
-        return result
+        serviced = engine.forced
+        payments = {user: price for user in serviced} if k else {}
+        return ShapleyResult(serviced, self.price, payments, rounds)
+
+    def step_changed(
+        self, t: int, changed_bids: Mapping[UserId, float]
+    ) -> AddOnSlotDelta:
+        """Advance to slot ``t`` applying only the bids that changed.
+
+        Bids not mentioned persist from the previous slot. Cost is
+        O(m log n) for ``m`` entries in ``changed_bids`` (promotion into
+        the cumulative set is amortized O(1) per user over the whole game).
+        """
+        self._advance_to(t)
+        engine = self._engine
+        already_forced = {u for u in changed_bids if engine.is_forced(u)}
+        engine.set_bids(changed_bids)
+        # Explicit math.inf bids in the delta force users directly; they
+        # belong in newly_serviced alongside the promotions below.
+        forced_by_bid = {
+            u
+            for u in changed_bids
+            if u not in already_forced and engine.is_forced(u)
+        }
+        k, price = engine.solve()
+        if k:
+            newly = engine.promote_serviced(price) | forced_by_bid
+            self.price = price
+        else:
+            newly = frozenset()
+            self.price = 0.0
+        if self.implemented_at is None and k:
+            self.implemented_at = t
+        return AddOnSlotDelta(
+            slot=t, price=self.price, serviced_count=k, newly_serviced=newly
+        )
 
     def exit_price(self, user: UserId) -> float:
         """What ``user`` owes if she departs now (her current cost-share)."""
-        return self.price if user in self.cumulative else 0.0
+        return self.price if self._engine.is_forced(user) else 0.0
 
 
 class SubstOnState:
-    """Slot-by-slot evolution of SubstOn across an optimization pool."""
+    """Slot-by-slot evolution of SubstOn across an optimization pool.
+
+    One :class:`IncrementalShapley` engine per optimization holds the
+    current residual-bid column; the per-slot SubstOff phase loop solves
+    each engine (a scan over already-sorted bids) instead of rebuilding the
+    full bid matrix. Granting a user locks her permanently: she is forced
+    on her optimization's engine and removed from every other, which is
+    exactly the paper's inf-on-own / zero-elsewhere locking rule.
+    """
 
     def __init__(
         self,
@@ -88,7 +178,7 @@ class SubstOnState:
         randomize_ties: bool = False,
     ) -> None:
         for optimization, cost in costs.items():
-            if not _valid_cost(cost):
+            if not is_positive_finite(cost):
                 raise MechanismError(
                     f"cost of {optimization!r} must be positive, got {cost}"
                 )
@@ -97,49 +187,148 @@ class SubstOnState:
         self.granted_at: dict[UserId, int] = {}
         self.implemented_at: dict[OptId, int] = {}
         self.shares: dict[OptId, float] = {}
+        self._engines = {j: IncrementalShapley(c) for j, c in self.costs.items()}
+        self._known: set = set()  # unserviced users with a stored row
         self._rng = rng
         self._randomize_ties = randomize_ties
         self._slot = 0
 
+    def _advance_to(self, t: int) -> None:
+        if t <= self._slot:
+            raise MechanismError(f"slots must advance; got {t} after {self._slot}")
+        self._slot = t
+
+    def _store_row(self, user: UserId, row: Mapping[OptId, float]) -> None:
+        unknown = set(row) - set(self.costs)
+        if unknown:
+            raise MechanismError(
+                f"user {user!r} bids on unknown optimizations: "
+                f"{sorted(map(str, unknown))}"
+            )
+        for j, engine in self._engines.items():
+            engine.set_bid(user, float(row.get(j, 0.0)))
+        self._known.add(user)
+
     def step(
         self, t: int, residual_bids: Mapping[UserId, Mapping[OptId, float]]
-    ):
+    ) -> SubstOffOutcome:
         """Advance to slot ``t``; returns the slot's SubstOff outcome.
 
         ``residual_bids`` holds each unserviced user's residual value per
         optimization (zero rows for unseen users are fine and equivalent to
-        omission); granted users are forced/locked internally.
+        omission); granted users are forced/locked internally. Known
+        unserviced users omitted from the mapping stop being considered.
         """
-        if t <= self._slot:
-            raise MechanismError(f"slots must advance; got {t} after {self._slot}")
-        self._slot = t
-        matrix: dict[UserId, dict[OptId, float]] = {}
+        self._advance_to(t)
+        for user in [u for u in self._known if u not in residual_bids]:
+            self.retire(user)
         for user, row in residual_bids.items():
             if user in self.grants:
                 continue
-            unknown = set(row) - set(self.costs)
-            if unknown:
-                raise MechanismError(
-                    f"user {user!r} bids on unknown optimizations: "
-                    f"{sorted(map(str, unknown))}"
-                )
-            matrix[user] = dict(row)
-        for user, locked in self.grants.items():
-            row = {j: 0.0 for j in self.costs}
-            row[locked] = math.inf
-            matrix[user] = row
-
-        outcome = run_substoff(
-            self.costs, matrix, rng=self._rng, randomize_ties=self._randomize_ties
+            self._store_row(user, row)
+        new_grants, new_impls, slot_shares, phase_order = self._run_phases(t)
+        payments = {
+            user: slot_shares[optimization]
+            for user, optimization in self.grants.items()
+        }
+        return SubstOffOutcome(
+            costs=dict(self.costs),
+            implemented=tuple(phase_order),
+            grants=dict(self.grants),
+            payments=payments,
+            shares=dict(slot_shares),
         )
-        for user, optimization in outcome.grants.items():
-            if user not in self.grants:
-                self.grants[user] = optimization
+
+    def step_changed(
+        self, t: int, changed_rows: Mapping[UserId, Mapping[OptId, float]]
+    ) -> SubstOnSlotDelta:
+        """Advance to slot ``t`` applying only the rows that changed.
+
+        Rows not mentioned persist from the previous slot; rows for granted
+        users are ignored (they are locked). The returned delta carries the
+        new grants and implementations only, so consuming it is O(changes).
+        """
+        self._advance_to(t)
+        for user, row in changed_rows.items():
+            if user in self.grants:
+                continue
+            self._store_row(user, row)
+        new_grants, new_impls, slot_shares, _ = self._run_phases(t)
+        return SubstOnSlotDelta(
+            slot=t,
+            shares=slot_shares,
+            new_grants=new_grants,
+            new_implementations=tuple(new_impls),
+        )
+
+    def retire(self, user: UserId) -> None:
+        """Stop considering an unserviced user (her residuals reached 0).
+
+        Granted users cannot be retired — the paper keeps departed users'
+        forced bids in the denominator so later users' shares keep falling.
+        """
+        if user in self.grants:
+            return
+        for engine in self._engines.values():
+            engine.remove(user)
+        self._known.discard(user)
+
+    def _run_phases(self, t: int):
+        """The SubstOff phase loop over the persistent engines.
+
+        Each phase solves every not-yet-chosen optimization, implements the
+        feasible one with the smallest cost-share (ties broken by ``costs``
+        order, or uniformly at random when ``randomize_ties``), locks its
+        serviced users, and repeats until nothing is feasible. Matches
+        :func:`repro.core.substoff.run_substoff` decision-for-decision.
+        """
+        generator = ensure_rng(self._rng) if self._randomize_ties else None
+        chosen_this_slot: set = set()
+        phase_order: list = []
+        slot_shares: dict[OptId, float] = {}
+        new_grants: dict[UserId, OptId] = {}
+        new_impls: list = []
+
+        while True:
+            feasible: list[tuple[OptId, float]] = []
+            for j in self.costs:
+                if j in chosen_this_slot:
+                    continue
+                k, price = self._engines[j].solve()
+                if k:
+                    feasible.append((j, price))
+            if not feasible:
+                break
+
+            min_share = min(price for _, price in feasible)
+            tied = [j for j, price in feasible if close(price, min_share)]
+            if generator is not None and len(tied) > 1:
+                chosen = tied[int(generator.integers(len(tied)))]
+            else:
+                chosen = tied[0]
+            share = next(price for j, price in feasible if j == chosen)
+
+            engine = self._engines[chosen]
+            for user in engine.serviced(share):
+                if user in self.grants:
+                    continue
+                self.grants[user] = chosen
                 self.granted_at[user] = t
-            if optimization not in self.implemented_at:
-                self.implemented_at[optimization] = t
-        self.shares = dict(outcome.shares)
-        return outcome
+                self._known.discard(user)
+                new_grants[user] = chosen
+                engine.force(user)
+                for other, other_engine in self._engines.items():
+                    if other != chosen:
+                        other_engine.remove(user)
+            if chosen not in self.implemented_at:
+                self.implemented_at[chosen] = t
+                new_impls.append(chosen)
+            slot_shares[chosen] = share
+            phase_order.append(chosen)
+            chosen_this_slot.add(chosen)
+
+        self.shares = dict(slot_shares)
+        return new_grants, new_impls, slot_shares, phase_order
 
     def exit_price(self, user: UserId) -> float:
         """What ``user`` owes if she departs now."""

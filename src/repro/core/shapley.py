@@ -2,10 +2,16 @@
 
 Given one optimization with cost ``C_j`` and one bid per user, find the
 largest set ``S_j`` of users such that every member's bid covers the even
-split ``C_j / |S_j|``. Start from all users, repeatedly divide the cost
-evenly and evict users whose bid falls below the share, until the set is
-stable (or empty). Serviced users all pay the same share; everyone else
+split ``C_j / |S_j|``. Serviced users all pay the same share; everyone else
 pays nothing; an empty set means the optimization is not implemented.
+
+The paper states the mechanism as an iterative eviction loop (start from
+all users, divide the cost evenly, evict users whose bid falls below the
+share, repeat until stable). The loop's fixed point has a closed form: with
+bids sorted descending, it is the top-``k`` prefix for the largest ``k``
+with ``bid[k-1] >= C_j / k``. :mod:`repro.core.fastshapley` implements that
+sort-once, single-scan algorithm; this module is the thin public facade
+keeping the original signature.
 
 The mechanism is cost-recovering by construction (serviced payments sum to
 exactly ``C_j``) and truthful (Moulin & Shenker 2001): underbidding can only
@@ -14,12 +20,12 @@ evict you, overbidding can only leave you paying more than your value.
 
 from __future__ import annotations
 
-import math
 from typing import Mapping
 
+from repro.core.fastshapley import solve_shapley
 from repro.core.outcome import ShapleyResult, UserId
 from repro.errors import MechanismError
-from repro.utils.numeric import is_positive_finite_or_inf, isclose_or_greater
+from repro.utils.numeric import is_positive_finite
 
 __all__ = ["run_shapley"]
 
@@ -40,28 +46,13 @@ def run_shapley(cost: float, bids: Mapping[UserId, float]) -> ShapleyResult:
     -------
     ShapleyResult
         Serviced set, the common per-user price, and per-user payments.
+        ``rounds`` is the number of rounds the paper's eviction loop would
+        take on the same profile (part of the mechanism trace).
     """
-    if not is_positive_finite_or_inf(cost) or math.isinf(cost):
+    if not is_positive_finite(cost):
         raise MechanismError(f"optimization cost must be positive, got {cost}")
-    for user, bid in bids.items():
-        if bid < 0 or math.isnan(bid):
-            raise MechanismError(f"bid for user {user!r} must be >= 0, got {bid}")
-
-    # Users bidding 0 can never afford a positive share; dropping them first
-    # does not change the fixed point (the iteration removes them in round
-    # one regardless) but avoids a wasted pass.
-    serviced = {user for user, bid in bids.items() if bid > 0}
-    price = 0.0
-    rounds = 0
-    while serviced:
-        rounds += 1
-        price = cost / len(serviced)
-        keep = {user for user in serviced if isclose_or_greater(bids[user], price)}
-        if keep == serviced:
-            break
-        serviced = keep
-
+    serviced, price, rounds = solve_shapley(cost, bids)
     if not serviced:
         return ShapleyResult(frozenset(), 0.0, {}, rounds)
     payments = {user: price for user in serviced}
-    return ShapleyResult(frozenset(serviced), price, payments, rounds)
+    return ShapleyResult(serviced, price, payments, rounds)

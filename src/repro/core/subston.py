@@ -66,19 +66,18 @@ def run_subston(
     shares_by_slot: list[Mapping[OptId, float]] = [{}]
 
     for t in range(1, horizon + 1):
+        # Only users inside their declared interval can have a nonzero
+        # residual: the state machine never saw earlier users, retires
+        # departed ones, and forces/locks granted ones internally.
         matrix: dict[UserId, dict[OptId, float]] = {}
         for user, bid in bids.items():
-            if user in state.grants:
-                continue  # forced/locked internally by the state machine
-            if t >= bid.start:
-                residual = bid.residual(t)
-                row = {
-                    j: (residual if j in bid.substitutes else 0.0)
-                    for j in optimizations
-                }
-            else:
-                row = {j: 0.0 for j in optimizations}  # not yet seen
-            matrix[user] = row
+            if user in state.grants or not bid.start <= t <= bid.end:
+                continue
+            residual = bid.residual(t)
+            matrix[user] = {
+                j: (residual if j in bid.substitutes else 0.0)
+                for j in optimizations
+            }
 
         result = state.step(t, matrix)
         shares_by_slot.append(dict(result.shares))

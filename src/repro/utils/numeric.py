@@ -23,6 +23,7 @@ __all__ = [
     "isclose_or_greater",
     "weighted_mean",
     "is_positive_finite_or_inf",
+    "is_positive_finite",
 ]
 
 
@@ -35,6 +36,16 @@ def is_positive_finite_or_inf(value: float) -> bool:
     for already-implemented optimizations.
     """
     return value > 0 and not math.isnan(value)
+
+
+def is_positive_finite(value: float) -> bool:
+    """True for a strictly positive, finite, non-NaN number.
+
+    The validation every mechanism applies to an optimization cost: unlike
+    bids, a cost may not be infinite (infinity is reserved as the internal
+    already-implemented sentinel).
+    """
+    return is_positive_finite_or_inf(value) and not math.isinf(value)
 
 
 def close(a: float, b: float) -> bool:

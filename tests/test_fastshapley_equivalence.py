@@ -1,0 +1,243 @@
+"""The fast engine must be *exactly* the seed iterative implementation.
+
+The sort-once/single-scan solver (:mod:`repro.core.fastshapley`) and the
+incremental slot stepping replaced the seed's rebuild-the-set eviction
+loop. These property tests replay randomized bid profiles — including
+``math.inf`` forced bids and zero bids — through both and demand identical
+serviced sets, identical prices (bit-for-bit, both sides compute the same
+``cost / k`` division), identical payments, and identical round counts.
+
+The reference implementations below are verbatim copies of the seed
+algorithms, kept here so the library can never drift away from them
+unnoticed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_shapley
+from repro.core.online import AddOnState, SubstOnState
+from repro.core.outcome import ShapleyResult
+from repro.utils.numeric import close, isclose_or_greater
+
+# ------------------------------------------------------------- reference --
+
+
+def reference_shapley(cost: float, bids: dict) -> ShapleyResult:
+    """The seed's iterative-eviction Shapley loop, verbatim."""
+    serviced = {user for user, bid in bids.items() if bid > 0}
+    price = 0.0
+    rounds = 0
+    while serviced:
+        rounds += 1
+        price = cost / len(serviced)
+        keep = {user for user in serviced if isclose_or_greater(bids[user], price)}
+        if keep == serviced:
+            break
+        serviced = keep
+    if not serviced:
+        return ShapleyResult(frozenset(), 0.0, {}, rounds)
+    payments = {user: price for user in serviced}
+    return ShapleyResult(frozenset(serviced), price, payments, rounds)
+
+
+def reference_substoff(costs: dict, bids: dict):
+    """The seed's phase loop (deterministic ties), verbatim in substance."""
+    order = {j: k for k, j in enumerate(costs)}
+    remaining_costs = dict(costs)
+    active = {user: dict(row) for user, row in bids.items()}
+    implemented: list = []
+    grants: dict = {}
+    payments: dict = {}
+    shares: dict = {}
+    while True:
+        feasible: dict = {}
+        for optimization, cost in remaining_costs.items():
+            if math.isinf(cost):
+                continue
+            column = {
+                user: row.get(optimization, 0.0) for user, row in active.items()
+            }
+            result = reference_shapley(cost, column)
+            if result.implemented:
+                feasible[optimization] = (result.price, result.serviced)
+        if not feasible:
+            return tuple(implemented), grants, payments, shares
+        min_share = min(price for price, _ in feasible.values())
+        tied = [j for j, (price, _) in feasible.items() if close(price, min_share)]
+        chosen = min(tied, key=order.__getitem__)
+        share, serviced = feasible[chosen]
+        implemented.append(chosen)
+        shares[chosen] = share
+        for user in serviced:
+            grants[user] = chosen
+            payments[user] = share
+            active[user] = {}
+        remaining_costs[chosen] = math.inf
+
+
+# ------------------------------------------------------------ strategies --
+
+finite_bids = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+bid_values = st.one_of(finite_bids, st.just(0.0), st.just(math.inf))
+costs = st.floats(min_value=0.25, max_value=500.0, allow_nan=False)
+
+
+@st.composite
+def bid_profiles(draw, max_users=12):
+    n = draw(st.integers(0, max_users))
+    return {i: draw(bid_values) for i in range(n)}
+
+
+@st.composite
+def slot_sequences(draw, max_users=10, max_slots=6):
+    """A per-slot sequence of sparse bid updates (arrivals and revisions)."""
+    n = draw(st.integers(1, max_users))
+    slots = draw(st.integers(1, max_slots))
+    updates = []
+    for _ in range(slots):
+        changed = draw(
+            st.dictionaries(
+                st.integers(0, n - 1), bid_values, min_size=0, max_size=n
+            )
+        )
+        updates.append(changed)
+    return updates
+
+
+@st.composite
+def subst_slot_sequences(draw, max_users=8, max_opts=3, max_slots=5):
+    n_opts = draw(st.integers(1, max_opts))
+    opt_costs = {
+        f"opt{j}": draw(st.floats(0.25, 120.0, allow_nan=False))
+        for j in range(n_opts)
+    }
+    n = draw(st.integers(1, max_users))
+    slots = draw(st.integers(1, max_slots))
+    updates = []
+    for _ in range(slots):
+        rows = draw(
+            st.dictionaries(
+                st.integers(0, n - 1),
+                st.fixed_dictionaries(
+                    {j: finite_bids for j in opt_costs}
+                ),
+                min_size=0,
+                max_size=n,
+            )
+        )
+        updates.append(rows)
+    return opt_costs, updates
+
+
+# ----------------------------------------------------------------- tests --
+
+
+class TestSingleShot:
+    @settings(max_examples=300)
+    @given(cost=costs, bids=bid_profiles())
+    def test_scan_equals_iterative(self, cost, bids):
+        fast = run_shapley(cost, bids)
+        slow = reference_shapley(cost, bids)
+        assert fast.serviced == slow.serviced
+        assert fast.price == slow.price  # same division, bit-for-bit
+        assert fast.payments == slow.payments
+        assert fast.rounds == slow.rounds
+
+    def test_forced_and_zero_bids_mixed(self):
+        bids = {1: math.inf, 2: math.inf, 3: 26.0, 4: 0.0, 5: 0.0}
+        fast = run_shapley(100.0, bids)
+        slow = reference_shapley(100.0, bids)
+        assert fast == slow
+        assert fast.serviced == frozenset({1, 2})
+        assert fast.price == 50.0
+
+    def test_all_infinite(self):
+        fast = run_shapley(90.0, {i: math.inf for i in range(3)})
+        assert fast.price == 30.0
+        assert fast.serviced == frozenset(range(3))
+
+
+class TestIncrementalAddOnSlots:
+    """step_changed must track the seed per-slot full recomputation."""
+
+    @settings(max_examples=200)
+    @given(cost=costs, updates=slot_sequences())
+    def test_incremental_equals_full_replay(self, cost, updates):
+        state = AddOnState(cost)
+        current: dict = {}  # the profile a full recomputation would see
+        cumulative: frozenset = frozenset()
+        for t, changed in enumerate(updates, start=1):
+            delta = state.step_changed(t, changed)
+
+            current.update(changed)
+            replay_bids = dict(current)
+            for user in cumulative:
+                replay_bids[user] = math.inf
+            slow = reference_shapley(cost, replay_bids)
+
+            assert state.cumulative == slow.serviced or (
+                not slow.serviced and state.cumulative == cumulative
+            )
+            if slow.serviced:
+                assert delta.price == slow.price
+                assert delta.newly_serviced == slow.serviced - cumulative
+                cumulative = slow.serviced
+            else:
+                assert delta.price == 0.0
+                assert delta.newly_serviced == frozenset()
+            if cumulative:
+                assert state.exit_price(next(iter(cumulative))) == delta.price
+
+    @settings(max_examples=100)
+    @given(cost=costs, updates=slot_sequences())
+    def test_incremental_equals_compat_step(self, cost, updates):
+        """The two entry points of AddOnState agree slot for slot."""
+        incremental = AddOnState(cost)
+        full = AddOnState(cost)
+        current: dict = {}
+        for t, changed in enumerate(updates, start=1):
+            delta = incremental.step_changed(t, changed)
+            current.update(changed)
+            result = full.step(t, current)
+            assert incremental.cumulative == full.cumulative
+            assert delta.price == result.price
+            assert incremental.implemented_at == full.implemented_at
+
+
+class TestIncrementalSubstOnSlots:
+    @settings(max_examples=100)
+    @given(game=subst_slot_sequences())
+    def test_incremental_equals_reference_phases(self, game):
+        opt_costs, updates = game
+        state = SubstOnState(opt_costs)
+        current: dict = {}  # unserviced users' rows, as full replay sees them
+        grants: dict = {}
+        for t, rows in enumerate(updates, start=1):
+            delta = state.step_changed(t, rows)
+
+            for user, row in rows.items():
+                if user not in grants:
+                    current[user] = dict(row)
+            matrix = {u: dict(r) for u, r in current.items()}
+            for user, locked in grants.items():
+                row = {j: 0.0 for j in opt_costs}
+                row[locked] = math.inf
+                matrix[user] = row
+            implemented, slot_grants, payments, shares = reference_substoff(
+                opt_costs, matrix
+            )
+
+            assert dict(state.grants) == slot_grants
+            assert dict(delta.shares) == shares
+            new = {u: j for u, j in slot_grants.items() if u not in grants}
+            assert dict(delta.new_grants) == new
+            for user in new:
+                current.pop(user, None)
+            grants = slot_grants
+        for user, optimization in grants.items():
+            assert state.exit_price(user) == shares[optimization]

@@ -6,8 +6,11 @@ The package implements the paper's four cost-sharing mechanisms for shared
 database optimizations (AddOff, AddOn, SubstOff, SubstOn, all built on the
 Shapley Value Mechanism), the regret-amortization baseline it compares
 against, the astronomy use-case substrate (universe simulator, halo finder,
-merger-tree workload, mini relational engine with materialized views), and
-experiment drivers that regenerate every figure in the paper's evaluation.
+merger-tree workload, mini relational engine with materialized views), the
+fleet engine (:mod:`repro.fleet`) that batches hundreds of concurrent
+pricing games into one slot-synchronized scheduler with workload-derived
+bids, and experiment drivers that regenerate every figure in the paper's
+evaluation.
 
 Quickstart
 ----------
@@ -15,6 +18,9 @@ Quickstart
 >>> result = run_shapley(cost=100.0, bids={"ann": 60.0, "bob": 55.0, "eve": 20.0})
 >>> sorted(result.serviced), result.price
 (['ann', 'bob'], 50.0)
+
+`API.md` at the repository root documents the public surface with one
+runnable snippet per entry.
 """
 
 from repro.bids import AdditiveBid, RevisableBid, SlotValues, SubstitutableBid
@@ -40,8 +46,9 @@ from repro.errors import (
     RevisionError,
     SchemaError,
 )
+from repro.fleet import FleetBatch, FleetEngine, FleetReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -63,6 +70,10 @@ __all__ = [
     "SubstOffOutcome",
     "SubstOnOutcome",
     "accounting",
+    # fleet
+    "FleetBatch",
+    "FleetEngine",
+    "FleetReport",
     # errors
     "ReproError",
     "BidError",

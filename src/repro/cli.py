@@ -6,9 +6,13 @@ Usage (after ``pip install -e .``)::
     python -m repro fig2a --trials 200
     python -m repro fig1 --values paper --samples 100
     python -m repro all --trials 50 --out results/
+    python -m repro fleet --games 100 --users 25000 --slots 1000
 
 Each figure command prints the same series table the benchmark harness
 writes to ``benchmarks/results/`` and optionally saves it with ``--out``.
+The ``fleet`` command is not a paper figure: it races the fleet engine
+against independent per-optimization services on one synthetic workload
+(asserting identical outcomes) and prints both timings.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.experiments import (
     Fig5Config,
     format_result,
     format_summary,
+    measure_fleet_point,
     run_fig1_astronomy,
     run_fig2_additive,
     run_fig2_substitutive,
@@ -140,7 +145,47 @@ def build_parser() -> argparse.ArgumentParser:
                 help="bid-interval combinations sampled (of the 10^6)",
             )
     sub.add_parser("all", parents=[common], help="run every figure")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="race the fleet engine against independent per-game services",
+    )
+    fleet.add_argument("--games", type=int, default=100, help="concurrent games")
+    fleet.add_argument("--users", type=int, default=25_000, help="total users")
+    fleet.add_argument("--slots", type=int, default=1000, help="period horizon")
+    fleet.add_argument(
+        "--duration", type=int, default=4, help="max bid duration in slots"
+    )
+    fleet.add_argument(
+        "--mean-cost", type=float, default=30.0, help="mean per-game cost"
+    )
+    fleet.add_argument("--shards", type=int, default=8, help="fleet shard count")
+    fleet.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats (best-of)"
+    )
+    fleet.add_argument("--seed", type=int, default=2012, help="master RNG seed")
     return parser
+
+
+def _run_fleet(args) -> int:
+    print(
+        f"== fleet: {args.games} games, {args.users} users, "
+        f"{args.slots} slots (identical outcomes asserted) =="
+    )
+    services_s, fleet_s = measure_fleet_point(
+        games=args.games,
+        users=args.users,
+        slots=args.slots,
+        max_duration=args.duration,
+        mean_cost=args.mean_cost,
+        shards=args.shards,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(f"independent services  {services_s:>8.3f} s")
+    print(f"fleet engine          {fleet_s:>8.3f} s")
+    print(f"speedup               {services_s / fleet_s:>8.2f} x")
+    return 0
 
 
 def _emit(result, args) -> None:
@@ -159,7 +204,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name, (_, section, description) in FIGURES.items():
             print(f"{name:<7} Section {section:<6} {description}")
+        print("fleet   (engine)       fleet engine vs independent services")
         return 0
+    if args.command == "fleet":
+        return _run_fleet(args)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

@@ -81,6 +81,10 @@ class EventLog:
         """Append one event."""
         self._events.append(event)
 
+    def record_many(self, events) -> None:
+        """Append an iterable of events in order (bulk intake paths)."""
+        self._events.extend(events)
+
     def all(self) -> list[Event]:
         """Every event in order."""
         return list(self._events)

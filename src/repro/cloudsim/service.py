@@ -8,12 +8,15 @@ granted service as soon as the mechanism admits them, and are invoiced
 their final cost-share at their departure slot. Every step is recorded in
 the event log and the billing ledger.
 
-The loop drives the incremental engine (:mod:`repro.core.online`'s
-``step_changed`` paths): bids are indexed by their entry and departure
-slots, so a slot's work is proportional to the bids whose residuals
-actually changed — users not yet arrived, already departed, or already in
-a cumulative serviced set cost nothing — instead of rebuilding the full
-bid profile for every optimization at every slot.
+Additive mode is a thin wrapper over the fleet scheduler
+(:class:`repro.fleet.engine.FleetEngine`, sized to this one catalog): bids
+are residual-scheduled at placement into per-slot buckets, and a slot is
+one batched pass over the bids whose residuals actually changed, stepped
+through the incremental engine's gated
+:meth:`~repro.core.online.AddOnState.apply_changes` path. Substitutable
+mode drives :class:`~repro.core.online.SubstOnState` directly with
+per-slot deltas (bids indexed by entry and departure slot), since the
+cross-optimization phase loop cannot be split into independent games.
 """
 
 from __future__ import annotations
@@ -27,7 +30,6 @@ from repro.bids.substitutive import SubstitutableBid
 from repro.cloudsim.catalog import OptimizationCatalog
 from repro.cloudsim.events import (
     BidPlaced,
-    BidRevised,
     EventLog,
     OptimizationImplemented,
     UserCharged,
@@ -35,7 +37,7 @@ from repro.cloudsim.events import (
     UserGranted,
 )
 from repro.cloudsim.ledger import BillingLedger
-from repro.core.online import AddOnState, SubstOnState
+from repro.core.online import SubstOnState
 from repro.core.outcome import OptId, UserId
 from repro.errors import GameConfigError, MechanismError
 from repro.utils.rng import RngLike
@@ -105,28 +107,36 @@ class CloudService:
         self.catalog = catalog
         self.horizon = horizon
         self.mode = mode
-        self.slot = 0  # last processed slot; slot 1 is processed first
-        self.ledger = BillingLedger()
-        self.events = EventLog()
-        self._payments: dict[UserId, float] = {}
-        self._granted_at: dict[tuple, int] = {}
-        self._implemented: dict[OptId, int] = {}
-        # Entry/departure indexes: which bid keys become active at slot t,
-        # and which must be invoiced (and then zeroed) at slot t.
-        self._starts_at: dict[int, list] = {}
-        self._ends_at: dict[int, list] = {}
-        self._active: set = set()
 
         if mode == "additive":
-            self._addon: dict[OptId, AddOnState] = {
-                j: AddOnState(catalog.get(j).cost) for j in catalog
-            }
-            self._additive_bids: dict[tuple, RevisableBid] = {}
+            # Imported here to keep repro.fleet -> repro.cloudsim the only
+            # static dependency direction between the two packages.
+            from repro.fleet.engine import FleetEngine
+
+            self._fleet = FleetEngine(catalog, horizon)
+            self.ledger = self._fleet.ledger
+            self.events = self._fleet.events
         else:
+            self._slot = 0  # last processed slot; slot 1 is processed first
+            self.ledger = BillingLedger()
+            self.events = EventLog()
+            self._payments: dict[UserId, float] = {}
+            self._granted_at: dict[tuple, int] = {}
+            self._implemented: dict[OptId, int] = {}
+            # Entry/departure indexes: which bids become active at slot t,
+            # and which must be invoiced (and then zeroed) at slot t.
+            self._starts_at: dict[int, list] = {}
+            self._ends_at: dict[int, list] = {}
+            self._active: set = set()
             self._subston = SubstOnState(
                 catalog.costs, rng=rng, randomize_ties=randomize_ties
             )
             self._subst_bids: dict[UserId, SubstitutableBid] = {}
+
+    @property
+    def slot(self) -> int:
+        """Last processed slot (slot 1 is processed first)."""
+        return self._fleet.slot if self.mode == "additive" else self._slot
 
     # -------------------------------------------------------------- bids --
 
@@ -135,58 +145,14 @@ class CloudService:
     ) -> RevisableBid:
         """Declare a bid for one optimization; returns the revisable handle."""
         self._require_mode("additive")
-        if optimization not in self.catalog:
-            raise GameConfigError(f"no optimization {optimization!r} in catalog")
-        if (user, optimization) in self._additive_bids:
-            raise GameConfigError(
-                f"user {user!r} already bid on {optimization!r}; revise instead"
-            )
-        if bid.start <= self.slot:
-            raise GameConfigError(
-                f"bid for slots from {bid.start} is retroactive at slot {self.slot}"
-            )
-        if bid.end > self.horizon:
-            raise GameConfigError(
-                f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
-            )
-        handle = RevisableBid(bid, declared_at=self.slot + 1)
-        key = (user, optimization)
-        self._additive_bids[key] = handle
-        self._starts_at.setdefault(bid.start, []).append(key)
-        self._ends_at.setdefault(bid.end, []).append(key)
-        self.events.record(
-            BidPlaced(self.slot + 1, user, detail=f"opt={optimization!r}")
-        )
-        return handle
+        return self._fleet.place_bid(user, optimization, bid)
 
     def revise_additive_bid(
         self, user: UserId, optimization: OptId, new_values: Mapping[int, float]
     ) -> None:
         """Upward revision of a previously placed bid."""
         self._require_mode("additive")
-        key = (user, optimization)
-        handle = self._additive_bids.get(key)
-        if handle is None:
-            raise GameConfigError(
-                f"user {user!r} has no bid on {optimization!r} to revise"
-            )
-        if any(slot > self.horizon for slot in new_values):
-            raise GameConfigError("revision extends beyond the horizon")
-        old_end = handle.current.end
-        handle.revise(self.slot + 1, new_values)
-        new_end = handle.current.end
-        if new_end != old_end:
-            # The departure moved: re-index the invoice slot and, if the bid
-            # had already expired, revive it for the extension.
-            departures = self._ends_at.get(old_end, [])
-            if key in departures:
-                departures.remove(key)
-            self._ends_at.setdefault(new_end, []).append(key)
-            if old_end <= self.slot:
-                self._active.add(key)
-        self.events.record(
-            BidRevised(self.slot + 1, user, detail=f"opt={optimization!r}")
-        )
+        self._fleet.revise_bid(user, optimization, new_values)
 
     def place_substitutable_bid(self, user: UserId, bid: SubstitutableBid) -> None:
         """Declare a substitutable bid ``(s_i, e_i, b_i, J_i)``."""
@@ -215,14 +181,13 @@ class CloudService:
 
     def advance_slot(self) -> int:
         """Process the next slot; returns its number."""
-        if self.slot >= self.horizon:
-            raise MechanismError(f"period is over after slot {self.horizon}")
-        t = self.slot + 1
         if self.mode == "additive":
-            self._advance_additive(t)
-        else:
-            self._advance_substitutable(t)
-        self.slot = t
+            return self._fleet.advance_slot()
+        if self._slot >= self.horizon:
+            raise MechanismError(f"period is over after slot {self.horizon}")
+        t = self._slot + 1
+        self._advance_substitutable(t)
+        self._slot = t
         return t
 
     def run_to_end(self) -> ServiceReport:
@@ -233,6 +198,17 @@ class CloudService:
 
     def report(self) -> ServiceReport:
         """The current summary (complete once the period is over)."""
+        if self.mode == "additive":
+            fleet = self._fleet.report()
+            return ServiceReport(
+                horizon=self.horizon,
+                mode=self.mode,
+                ledger=fleet.ledger,
+                events=fleet.events,
+                implemented=dict(fleet.implemented),
+                granted_at=dict(fleet.granted_at),
+                payments=dict(fleet.payments),
+            )
         return ServiceReport(
             horizon=self.horizon,
             mode=self.mode,
@@ -250,56 +226,6 @@ class CloudService:
             raise GameConfigError(
                 f"service is in {self.mode!r} mode; operation needs {mode!r}"
             )
-
-    def _advance_additive(self, t: int) -> None:
-        # Residuals change only for bids whose interval covers this slot
-        # (plus one trailing zero for bids that just expired); gather those
-        # and step every contested game incrementally.
-        self._active.update(self._starts_at.pop(t, ()))
-        changed: dict[OptId, dict[UserId, float]] = {}
-        expired = []
-        for key in self._active:
-            user, optimization = key
-            if self._addon[optimization].is_cumulative(user):
-                expired.append(key)  # forced: her residual no longer matters
-                continue
-            bid = self._additive_bids[key].current
-            if t > bid.end:
-                changed.setdefault(optimization, {})[user] = 0.0
-                expired.append(key)
-            else:
-                changed.setdefault(optimization, {})[user] = bid.residual(t)
-        self._active.difference_update(expired)
-
-        # Only games with a changed residual can change outcome: untouched
-        # profiles solve to the same serviced set and price, and the state
-        # machines accept slot gaps, so settled games cost nothing.
-        for optimization, residuals in changed.items():
-            state = self._addon[optimization]
-            delta = state.step_changed(t, residuals)
-            for newcomer in delta.newly_serviced:
-                self._granted_at[(newcomer, optimization)] = t
-                self.events.record(UserGranted(t, newcomer, optimization))
-            if state.implemented_at == t:
-                cost = self.catalog.get(optimization).cost
-                self._implemented[optimization] = t
-                self.ledger.build_outlay(t, optimization, cost)
-                self.events.record(OptimizationImplemented(t, optimization, cost))
-
-        # Invoice departures: a user pays each game's share as its bid ends.
-        departed: set[UserId] = set()
-        for key in self._ends_at.pop(t, ()):
-            user, optimization = key
-            if self._additive_bids[key].current.end != t:
-                continue
-            amount = self._addon[optimization].exit_price(user)
-            self._payments[user] = self._payments.get(user, 0.0) + amount
-            if amount > 0:
-                self.ledger.invoice(t, user, amount, memo=f"opt={optimization!r}")
-                self.events.record(UserCharged(t, user, amount))
-            departed.add(user)
-        for user in departed:
-            self.events.record(UserDeparted(t, user))
 
     def _advance_substitutable(self, t: int) -> None:
         self._active.update(self._starts_at.pop(t, ()))

@@ -39,12 +39,24 @@ from repro.errors import MechanismError
 from repro.utils.numeric import close, is_positive_finite, isclose_or_greater
 
 __all__ = [
+    "GATE_SLACK",
     "IncrementalShapley",
     "largest_affordable_prefix",
     "eviction_fixed_point",
     "eviction_rounds",
     "solve_shapley",
 ]
+
+#: Slack factor of the feasibility gate: a profile is provably infeasible
+#: when its bid total is below ``cost - GATE_SLACK * (n + 1) * (cost + 1)``.
+#: The margin absorbs the keep rule's per-user tolerances (n times
+#: ``ABS_TOL + REL_TOL * price``) plus the float drift of incrementally
+#: maintained totals, with a 4x safety factor. Every copy of the gate —
+#: :meth:`IncrementalShapley.settled`, the fused
+#: :meth:`IncrementalShapley.apply_and_solve`, and the fleet scheduler's
+#: precomputed flush slots (:mod:`repro.fleet.engine`) — must use this one
+#: constant: fleet laziness is sound only while the gates agree.
+GATE_SLACK = 4e-9
 
 
 def largest_affordable_prefix(
@@ -142,7 +154,7 @@ class IncrementalShapley:
     the one-shot sort.
     """
 
-    __slots__ = ("cost", "_bids", "_forced", "_vals", "_users_at")
+    __slots__ = ("cost", "_bids", "_forced", "_vals", "_users_at", "_total")
 
     def __init__(self, cost: float) -> None:
         if not is_positive_finite(cost):
@@ -152,6 +164,7 @@ class IncrementalShapley:
         self._forced: set = set()  # users pinned into every outcome
         self._vals: list = []  # ascending sorted positive finite bids
         self._users_at: dict = {}  # bid value -> set of users at that value
+        self._total = 0.0  # running sum of _vals (for the settled gate)
 
     # ------------------------------------------------------------- updates --
 
@@ -178,6 +191,7 @@ class IncrementalShapley:
         if bid > 0:
             insort(self._vals, bid)
             self._users_at.setdefault(bid, set()).add(user)
+            self._total += bid
 
     def set_bids(self, updates: Mapping[UserId, float]) -> None:
         """Apply many bid updates, rebuilding wholesale when cheaper.
@@ -187,6 +201,17 @@ class IncrementalShapley:
         beats per-item memmoves, so a bulk delta never degrades below the
         one-shot solve.
         """
+        self.update_bids(updates)
+
+    def update_bids(self, updates: Mapping[UserId, float]) -> tuple:
+        """Apply many bid updates; returns the users newly forced by ``inf``.
+
+        Same state transition as :meth:`set_bids` (it is the implementation
+        behind it), but reports which users crossed into the forced set
+        because this batch carried an infinite bid — the online mechanisms
+        must surface those alongside promotions.
+        """
+        newly_forced: list = []
         if len(updates) > max(16, len(self._bids) // 4):
             # Validate the whole batch before touching any state, so a bad
             # entry cannot leave _bids out of sync with the sorted array.
@@ -204,15 +229,121 @@ class IncrementalShapley:
                 if math.isinf(bid):
                     self._bids.pop(user, None)
                     self._forced.add(user)
+                    newly_forced.append(user)
                     changed = True
                 elif self._bids.get(user) != bid:
                     self._bids[user] = bid
                     changed = True
             if changed:
                 self._rebuild()
-            return
+            return tuple(newly_forced)
+        forced = self._forced
         for user, bid in updates.items():
+            bid = float(bid)
+            if bid < 0 or math.isnan(bid):
+                raise MechanismError(
+                    f"bid for user {user!r} must be >= 0, got {bid}"
+                )
+            if user in forced:
+                continue
             self.set_bid(user, bid)
+            if bid == math.inf:
+                newly_forced.append(user)
+        return tuple(newly_forced)
+
+    def apply_and_solve(self, updates: Mapping[UserId, float]) -> tuple | None:
+        """Fused update + gate + solve + promote — the fleet hot path.
+
+        Applies ``updates`` like :meth:`update_bids`, then decides the slot
+        in one go. Returns ``None`` when the outcome provably did not move
+        (the serviced set is still exactly the forced set and the cached
+        price stands), else ``(k, price, newly)`` with ``newly`` the
+        non-empty frozenset of users newly pinned into the serviced set
+        (promotions plus explicit ``inf`` bids). The splice loop is inlined
+        because the fleet dispatcher crosses it hundreds of thousands of
+        times per run; the state transition is identical to
+        :meth:`set_bid` applied per entry.
+        """
+        newly_forced: list | None = None
+        bids = self._bids
+        if len(updates) > max(16, len(bids) // 4):
+            forced_batch = self.update_bids(updates)
+            if forced_batch:
+                newly_forced = list(forced_batch)
+        else:
+            forced = self._forced
+            vals = self._vals
+            users_at = self._users_at
+            total = self._total
+            inf = math.inf
+            for user, bid in updates.items():
+                bid = float(bid)
+                if bid < 0.0 or bid != bid:
+                    self._total = total
+                    raise MechanismError(
+                        f"bid for user {user!r} must be >= 0, got {bid}"
+                    )
+                if user in forced:
+                    continue
+                if bid == inf:
+                    old = bids.pop(user, None)
+                    if old is not None and old > 0.0:
+                        vals.pop(bisect_left(vals, old))
+                        at_old = users_at[old]
+                        at_old.discard(user)
+                        if not at_old:
+                            del users_at[old]
+                        total = total - old if vals else 0.0
+                    forced.add(user)
+                    if newly_forced is None:
+                        newly_forced = [user]
+                    else:
+                        newly_forced.append(user)
+                    continue
+                old = bids.get(user)
+                if old == bid:
+                    continue
+                if old is not None and old > 0.0:
+                    vals.pop(bisect_left(vals, old))
+                    at_old = users_at[old]
+                    at_old.discard(user)
+                    if not at_old:
+                        del users_at[old]
+                    total = total - old if vals else 0.0
+                bids[user] = bid
+                if bid > 0.0:
+                    insort(vals, bid)
+                    at_bid = users_at.get(bid)
+                    if at_bid is None:
+                        users_at[bid] = {user}
+                    else:
+                        at_bid.add(user)
+                    total += bid
+            self._total = total
+
+        cost = self.cost
+        vals = self._vals
+        n_forced = len(self._forced)
+        n = len(vals)
+        if not n:
+            settled = True
+        elif n_forced:
+            settled = not isclose_or_greater(vals[-1], cost / (n_forced + n))
+        else:
+            settled = self._total < cost - GATE_SLACK * (n + 1.0) * (cost + 1.0)
+        if settled:
+            if not newly_forced:
+                return None
+            return n_forced, cost / n_forced, frozenset(newly_forced)
+        k, price, _ = eviction_fixed_point(cost, vals, n_forced)
+        if not k:
+            return None  # k == 0 implies no forced users: nothing changed
+        newly = self.promote_serviced(price)
+        if newly_forced:
+            newly |= frozenset(newly_forced)
+        if not newly:
+            return None  # k == forced count: price is the cached cost / k
+        return k, price, newly
 
     def remove(self, user: UserId) -> None:
         """Forget a user entirely (including a forced one)."""
@@ -236,6 +367,9 @@ class IncrementalShapley:
         users.discard(user)
         if not users:
             del self._users_at[value]
+        # An empty array re-anchors the running sum exactly, so drift from
+        # incremental +=/-= churn cannot accumulate across games.
+        self._total = self._total - value if self._vals else 0.0
 
     def _rebuild(self) -> None:
         self._vals = sorted(v for v in self._bids.values() if v > 0)
@@ -243,6 +377,7 @@ class IncrementalShapley:
         for user, bid in self._bids.items():
             if bid > 0:
                 self._users_at.setdefault(bid, set()).add(user)
+        self._total = float(sum(self._vals))
 
     # ------------------------------------------------------------- queries --
 
@@ -286,6 +421,37 @@ class IncrementalShapley:
         """``(size, price, rounds)`` from a single fixed-point replay."""
         return eviction_fixed_point(self.cost, self._vals, len(self._forced))
 
+    def settled(self) -> bool:
+        """O(1) proof that no tracked (non-forced) user can be serviced.
+
+        When true, :meth:`solve` is guaranteed to return ``(forced,
+        cost / forced)`` for a non-empty forced set and ``(0, 0.0)``
+        otherwise, so callers may skip the solve and the promotion scan
+        entirely. Two sound rejections back the claim:
+
+        * forced set non-empty — every feasible size ``k = f + m`` with
+          ``m >= 1`` needs the top tracked bid to pass the keep rule at
+          ``cost / k >= cost / (f + n)``; ``isclose_or_greater`` is
+          monotone in its threshold, so failing at the *smallest* possible
+          share rules out every larger one exactly.
+        * forced set empty — a serviced set of size ``k`` pays ``k`` shares
+          of ``cost / k``, so the bids must sum to at least the cost (minus
+          ``k`` keep-rule tolerances); a running total short of that, with a
+          slack wide enough to absorb both the tolerances and the float
+          drift of incremental updates, proves infeasibility.
+
+        False never lies the other way — it only means the fast proof does
+        not apply and the caller must solve.
+        """
+        vals = self._vals
+        if not vals:
+            return True
+        forced = len(self._forced)
+        if forced:
+            return not isclose_or_greater(vals[-1], self.cost / (forced + len(vals)))
+        slack = GATE_SLACK * (len(vals) + 1.0) * (self.cost + 1.0)
+        return self._total < self.cost - slack
+
     def serviced(self, price: float) -> frozenset:
         """Materialize the serviced set at the given share."""
         out = set(self._forced)
@@ -316,8 +482,11 @@ class IncrementalShapley:
             users = self._users_at.pop(value)
             while vals and vals[-1] == value:
                 vals.pop()
+                self._total -= value
             for user in users:
                 del self._bids[user]
             self._forced |= users
             newly |= users
+        if not vals:
+            self._total = 0.0
         return frozenset(newly)

@@ -37,7 +37,13 @@ from repro.errors import MechanismError
 from repro.utils.numeric import close, is_positive_finite
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["AddOnState", "AddOnSlotDelta", "SubstOnState", "SubstOnSlotDelta"]
+__all__ = [
+    "AddOnState",
+    "AddOnSlotDelta",
+    "SubstOnState",
+    "SubstOnSlotDelta",
+    "step_changed_many",
+]
 
 
 @dataclass(frozen=True)
@@ -131,33 +137,76 @@ class AddOnState:
         O(m log n) for ``m`` entries in ``changed_bids`` (promotion into
         the cumulative set is amortized O(1) per user over the whole game).
         """
-        self._advance_to(t)
-        engine = self._engine
-        already_forced = {u for u in changed_bids if engine.is_forced(u)}
-        engine.set_bids(changed_bids)
-        # Explicit math.inf bids in the delta force users directly; they
-        # belong in newly_serviced alongside the promotions below.
-        forced_by_bid = {
-            u
-            for u in changed_bids
-            if u not in already_forced and engine.is_forced(u)
-        }
-        k, price = engine.solve()
-        if k:
-            newly = engine.promote_serviced(price) | forced_by_bid
-            self.price = price
-        else:
-            newly = frozenset()
-            self.price = 0.0
-        if self.implemented_at is None and k:
-            self.implemented_at = t
+        result = self.apply_changes(t, changed_bids)
+        if result is None:
+            # Provably unchanged slot: the serviced set is exactly the
+            # forced set and the price is the cached one.
+            return AddOnSlotDelta(
+                slot=t,
+                price=self.price,
+                serviced_count=self._engine.forced_count(),
+                newly_serviced=frozenset(),
+            )
+        price, serviced_count, newly = result
         return AddOnSlotDelta(
-            slot=t, price=self.price, serviced_count=k, newly_serviced=newly
+            slot=t, price=price, serviced_count=serviced_count, newly_serviced=newly
         )
+
+    def apply_changes(
+        self, t: int, changed_bids: Mapping[UserId, float]
+    ) -> tuple | None:
+        """The lean batch entry point behind :meth:`step_changed`.
+
+        Same state transition, but returns ``None`` when the slot provably
+        changed nothing (no new grants, price already cached) and a bare
+        ``(price, serviced_count, newly_serviced)`` tuple otherwise — no
+        delta object is allocated on the no-change path, which is what the
+        fleet dispatcher hammers hundreds of thousands of times per run.
+
+        The no-change proof is :meth:`IncrementalShapley.settled`: when it
+        holds, the fixed point is exactly the forced set, so the solve and
+        the promotion scan are skipped outright and a slot costs only its
+        O(m log n) bid splices. Both the gate and the solve live in the
+        engine's fused :meth:`IncrementalShapley.apply_and_solve`.
+        """
+        if t <= self._slot:
+            raise MechanismError(f"slots must advance; got {t} after {self._slot}")
+        self._slot = t
+        result = self._engine.apply_and_solve(changed_bids)
+        if result is None:
+            return None
+        k, price, newly = result  # non-None implies k >= 1 and newly != {}
+        self.price = price
+        if self.implemented_at is None:
+            self.implemented_at = t
+        return price, k, newly
 
     def exit_price(self, user: UserId) -> float:
         """What ``user`` owes if she departs now (her current cost-share)."""
-        return self.price if self._engine.is_forced(user) else 0.0
+        # Direct membership test against the engine's forced set: the fleet
+        # invoices every departure through here, so no method hops.
+        return self.price if user in self._engine._forced else 0.0
+
+
+def step_changed_many(
+    states: Mapping[OptId, AddOnState],
+    t: int,
+    changed: Mapping[OptId, Mapping[UserId, float]],
+) -> dict[OptId, AddOnSlotDelta]:
+    """Advance many independent AddOn games one slot in a single call.
+
+    The additive mechanisms are independent per optimization, so a fleet
+    slot is just each changed game stepped once; games absent from
+    ``changed`` are untouched (their states accept slot gaps). Returns one
+    :class:`AddOnSlotDelta` per stepped game, keyed like ``changed``.
+
+    This is the semantic batch API; the fleet dispatcher in
+    :mod:`repro.fleet.engine` uses the allocation-free
+    :meth:`AddOnState.apply_changes` underneath for its hot loop.
+    """
+    return {
+        j: states[j].step_changed(t, residuals) for j, residuals in changed.items()
+    }
 
 
 class SubstOnState:
@@ -294,7 +343,16 @@ class SubstOnState:
             for j in self.costs:
                 if j in chosen_this_slot:
                     continue
-                k, price = self._engines[j].solve()
+                engine = self._engines[j]
+                if engine.settled():
+                    # Fixed point is exactly the forced set: infeasible when
+                    # it is empty, and ``cost / forced`` (the same division
+                    # the solve would perform) otherwise — no scan needed.
+                    forced = engine.forced_count()
+                    if forced:
+                        feasible.append((j, engine.cost / forced))
+                    continue
+                k, price = engine.solve()
                 if k:
                     feasible.append((j, price))
             if not feasible:

@@ -31,6 +31,7 @@ from repro.db.view import MaterializedView
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter, CostModel
 from repro.db.engine import QueryEngine
+from repro.db.savings import CandidateView, SavingsEstimator
 from repro.db.stats import ColumnStats, TableStats, analyze
 
 __all__ = [
@@ -70,4 +71,6 @@ __all__ = [
     "CostMeter",
     "CostModel",
     "QueryEngine",
+    "CandidateView",
+    "SavingsEstimator",
 ]

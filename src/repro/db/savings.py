@@ -1,0 +1,127 @@
+"""What-if savings: pricing candidate physical designs against workloads.
+
+The paper derives a tenant's *value* for a shared optimization from the
+query cost it saves her. :mod:`repro.astro.usecase` does this for the
+astronomy views with a hand-derived formula; this module is the generic
+estimator behind the fleet's workload-to-bid pipeline
+(:mod:`repro.fleet.pipeline`): given a candidate narrow view over a base
+table, it prices the candidate's storage footprint and estimates the cost
+units one query pass saves, using the same :class:`~repro.db.costmodel`
+weights the execution engine charges.
+
+The per-pass saving follows the planner's access-path arithmetic
+(:func:`repro.db.planner.what_if_scan_bytes`): in a row store a projection
+does not reduce scan bytes, so a narrow materialized view saves
+``wide_bytes - view_bytes`` of sequential scan per pass, plus — when the
+view also absorbs a row filter — one filter emit per surviving row that
+the base-table fallback must still pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.catalog import Catalog
+from repro.db.costmodel import CostModel
+from repro.errors import GameConfigError, QueryError
+
+__all__ = ["CandidateView", "SavingsEstimator"]
+
+
+@dataclass(frozen=True)
+class CandidateView:
+    """A hypothetical narrow materialized view over one base table.
+
+    ``columns`` is the projection; ``keep_fraction`` the fraction of base
+    rows the view retains (1.0 for a pure projection, less when the view
+    also absorbs a filter the queries would otherwise re-apply).
+    """
+
+    name: str
+    table_name: str
+    columns: tuple
+    keep_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise GameConfigError(f"candidate {self.name!r} projects no columns")
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise GameConfigError(
+                f"keep_fraction must be in (0, 1], got {self.keep_fraction}"
+            )
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+
+class SavingsEstimator:
+    """Estimate candidate costs and per-run savings from catalog metadata.
+
+    Everything is closed-form over row counts and schema widths — nothing
+    is executed — which is what lets the fleet pipeline price hundreds of
+    candidates against thousands of tenant workloads cheaply.
+    """
+
+    def __init__(self, catalog: Catalog, model: CostModel | None = None) -> None:
+        self.catalog = catalog
+        self.model = model if model is not None else CostModel()
+
+    # ------------------------------------------------------------- sizing --
+
+    def view_rows(self, candidate: CandidateView) -> int:
+        """Rows the candidate would materialize."""
+        table = self.catalog.table(candidate.table_name)
+        return int(round(len(table) * candidate.keep_fraction))
+
+    def view_bytes(self, candidate: CandidateView) -> float:
+        """Storage bytes of the materialized candidate."""
+        table = self.catalog.table(candidate.table_name)
+        width = table.schema.project(list(candidate.columns)).row_width
+        return float(self.view_rows(candidate) * width)
+
+    def build_units(self, candidate: CandidateView) -> float:
+        """One-off materialization cost: scan the base, write the view."""
+        table = self.catalog.table(candidate.table_name)
+        model = self.model
+        return (
+            len(table) * table.schema.row_width * model.scan_byte_weight
+            + self.view_bytes(candidate) * model.build_byte_weight
+        )
+
+    # ------------------------------------------------------------ savings --
+
+    def saving_units_per_run(self, candidate: CandidateView) -> float:
+        """Cost units one narrow pass saves versus scanning the base table.
+
+        Zero when the candidate does not help (e.g. the projection is as
+        wide as the base row); never negative.
+        """
+        table = self.catalog.table(candidate.table_name)
+        model = self.model
+        wide_bytes = len(table) * table.schema.row_width
+        units = (wide_bytes - self.view_bytes(candidate)) * model.scan_byte_weight
+        if candidate.keep_fraction < 1.0:
+            # The base-table fallback re-applies the absorbed filter: one
+            # emit per surviving row (see repro.db.planner._narrow_source).
+            units += self.view_rows(candidate) * model.emit_weight
+        return max(units, 0.0)
+
+    def saving_seconds(self, candidate: CandidateView, runs: float = 1.0) -> float:
+        """Simulated seconds saved by ``runs`` narrow passes."""
+        if runs < 0:
+            raise GameConfigError(f"run count must be >= 0, got {runs}")
+        return self.saving_units_per_run(candidate) * runs * self.model.seconds_per_unit
+
+    def index_saving_units(
+        self, table_name: str, probes: int, expected_matches: float
+    ) -> float:
+        """Cost units a hash-index probe plan saves versus one wide scan.
+
+        Mirrors :func:`repro.db.planner.what_if_index_units` on the probe
+        side; clamped at zero when probing is not cheaper.
+        """
+        if probes < 0:
+            raise QueryError(f"probe count must be >= 0, got {probes}")
+        table = self.catalog.table(table_name)
+        model = self.model
+        scan_units = len(table) * table.schema.row_width * model.scan_byte_weight
+        probe_units = probes * model.probe_weight + expected_matches * model.emit_weight
+        return max(scan_units - probe_units, 0.0)

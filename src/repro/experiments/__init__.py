@@ -6,6 +6,11 @@ paper's setup) and a ``run_*`` function returning an
 same curves the paper plots. ``repro.experiments.report.format_result``
 renders the series as a plain-text table — the benchmark harnesses print
 exactly that.
+
+Beyond the paper's figures, :mod:`repro.experiments.fleet_scale` measures
+this codebase's own fleet-engine claim (many concurrent games vs
+independent services); it drives the ``fleet`` CLI command and
+``benchmarks/bench_fleet.py``.
 """
 
 from repro.experiments.common import ExperimentResult, Series
@@ -28,6 +33,11 @@ from repro.experiments.fig5_selectivity import (
     Fig5Config,
     run_fig5_selectivity,
 )
+from repro.experiments.fleet_scale import (
+    FleetScaleConfig,
+    measure_fleet_point,
+    run_fleet_scale,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -48,4 +58,7 @@ __all__ = [
     "run_fig4_skew",
     "Fig5Config",
     "run_fig5_selectivity",
+    "FleetScaleConfig",
+    "measure_fleet_point",
+    "run_fleet_scale",
 ]

@@ -1,0 +1,146 @@
+"""Workload-to-bid: metered query-cost savings become fleet bids.
+
+This closes the loop the paper describes between physical design and
+pricing. Each tenant declares the *workload* she will run — which table,
+which columns, how many executions per slot, over which service interval —
+and each candidate optimization is a hypothetical narrow view
+(:class:`~repro.db.savings.CandidateView`). The
+:class:`~repro.db.savings.SavingsEstimator` turns (workload, candidate)
+pairs into simulated seconds saved per slot; those savings *are* the
+additive bids, and the candidate's storage footprint prices its period
+cost ``C_j``. The resulting catalog and bids feed one
+:class:`~repro.fleet.engine.FleetEngine`, so what the mechanisms share is
+the physically-derived cost and what tenants bid is the physically-derived
+benefit — no synthetic numbers anywhere in the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bids.additive import AdditiveBid
+from repro.cloudsim.catalog import OptimizationCatalog, OptimizationSpec
+from repro.db.savings import CandidateView, SavingsEstimator
+from repro.errors import GameConfigError
+from repro.fleet.engine import FleetEngine
+
+__all__ = [
+    "TenantWorkload",
+    "workload_bid",
+    "candidate_catalog",
+    "build_fleet",
+]
+
+
+@dataclass(frozen=True)
+class TenantWorkload:
+    """One tenant's declared query workload for the period.
+
+    The tenant runs ``runs_per_slot`` executions of a scan-shaped query
+    over ``table_name`` touching ``columns``, in every slot of
+    ``[start, end]``.
+    """
+
+    tenant: object
+    table_name: str
+    columns: tuple
+    start: int
+    end: int
+    runs_per_slot: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise GameConfigError(f"start slot must be >= 1, got {self.start}")
+        if self.end < self.start:
+            raise GameConfigError(
+                f"end slot {self.end} precedes start slot {self.start}"
+            )
+        if self.runs_per_slot < 0:
+            raise GameConfigError(
+                f"runs per slot must be >= 0, got {self.runs_per_slot}"
+            )
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+
+def workload_bid(
+    estimator: SavingsEstimator,
+    workload: TenantWorkload,
+    candidate: CandidateView,
+) -> AdditiveBid | None:
+    """The bid ``workload`` implies for ``candidate`` (None when useless).
+
+    A candidate helps a workload when it covers the same table and every
+    column the queries touch; the per-slot value is the simulated seconds
+    the tenant's runs save through it.
+    """
+    if candidate.table_name != workload.table_name:
+        return None
+    if not set(workload.columns) <= set(candidate.columns):
+        return None
+    per_slot = estimator.saving_seconds(candidate, workload.runs_per_slot)
+    if per_slot <= 0.0:
+        return None
+    duration = workload.end - workload.start + 1
+    return AdditiveBid.over(workload.start, [per_slot] * duration)
+
+
+def candidate_catalog(
+    estimator: SavingsEstimator,
+    candidates: Iterable[CandidateView],
+    dollars_per_byte: float,
+) -> OptimizationCatalog:
+    """Price each candidate's storage into an optimization catalog.
+
+    ``C_j`` is the candidate's materialized size times the period storage
+    rate — the same "cost of keeping the view for ``T``" the paper
+    amortizes.
+    """
+    if dollars_per_byte <= 0:
+        raise GameConfigError(
+            f"storage rate must be positive, got {dollars_per_byte}"
+        )
+    catalog = OptimizationCatalog()
+    for candidate in candidates:
+        catalog.register(
+            OptimizationSpec(
+                candidate.name,
+                estimator.view_bytes(candidate) * dollars_per_byte,
+                kind="view",
+                description=(
+                    f"narrow view {candidate.columns!r} over "
+                    f"{candidate.table_name}"
+                ),
+            )
+        )
+    return catalog
+
+
+def build_fleet(
+    estimator: SavingsEstimator,
+    workloads: Sequence[TenantWorkload],
+    candidates: Sequence[CandidateView],
+    horizon: int,
+    dollars_per_byte: float,
+    shards: int = 1,
+) -> FleetEngine:
+    """Assemble a fleet whose bids are workload-derived savings.
+
+    Every (tenant, candidate) pair with a positive saving becomes one
+    additive bid in the candidate's game; run the returned engine to see
+    which physical designs the tenants collectively fund, and at what
+    cost-shares.
+    """
+    catalog = candidate_catalog(estimator, candidates, dollars_per_byte)
+    engine = FleetEngine(catalog, horizon=horizon, shards=shards)
+    for workload in workloads:
+        if workload.end > horizon:
+            raise GameConfigError(
+                f"tenant {workload.tenant!r} runs until slot {workload.end}, "
+                f"beyond the horizon {horizon}"
+            )
+        for candidate in candidates:
+            bid = workload_bid(estimator, workload, candidate)
+            if bid is not None:
+                engine.place_bid(workload.tenant, candidate.name, bid)
+    return engine

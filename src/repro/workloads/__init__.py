@@ -25,6 +25,11 @@ from repro.workloads.traces import (
     generate_additive_trace,
     replay_additive_trace,
 )
+from repro.workloads.fleet import (
+    fleet_arrival_trace,
+    fleet_batches,
+    fleet_game_costs,
+)
 
 __all__ = [
     "uniform_slots",
@@ -39,4 +44,7 @@ __all__ = [
     "Arrival",
     "generate_additive_trace",
     "replay_additive_trace",
+    "fleet_game_costs",
+    "fleet_batches",
+    "fleet_arrival_trace",
 ]

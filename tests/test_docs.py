@@ -1,4 +1,5 @@
-"""Documentation integrity: doctests, README claims, DESIGN inventory."""
+"""Documentation integrity: doctests, README claims, API.md executability,
+DESIGN inventory."""
 
 from __future__ import annotations
 
@@ -43,6 +44,56 @@ class TestReadme:
         documented = set(re.findall(r"`(\w+\.py)`", self.README))
         assert documented <= examples
         assert "quickstart.py" in documented
+
+    def test_documentation_map_links_api_reference(self):
+        assert "API.md" in self.README, "README must link the API reference"
+
+
+class TestApiReference:
+    """API.md is executable documentation: names import, snippets run."""
+
+    API = (ROOT / "API.md").read_text()
+
+    def test_every_code_block_executes(self):
+        blocks = re.findall(r"```python\n(.*?)```", self.API, re.DOTALL)
+        assert len(blocks) >= 10, "API.md should document the full surface"
+        for block in blocks:
+            namespace: dict = {}
+            exec(block, namespace)  # noqa: S102 - our own documentation
+
+    def test_every_dotted_name_resolves(self):
+        import importlib
+
+        for match in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", self.API))):
+            parts = match.split(".")
+            resolved = None
+            for split in range(len(parts), 0, -1):
+                try:
+                    resolved = importlib.import_module(".".join(parts[:split]))
+                except ModuleNotFoundError:
+                    continue
+                for attr in parts[split:]:
+                    resolved = getattr(resolved, attr, None)
+                    if resolved is None:
+                        break
+                break
+            assert resolved is not None, f"API.md references missing {match}"
+
+    def test_every_imported_name_exists(self):
+        # Every `from repro... import a, b` line in a snippet must name
+        # real, importable attributes — executed blocks prove the imports
+        # they use; this additionally catches names in unused positions.
+        import importlib
+
+        for module_name, names in re.findall(
+            r"^from (repro[\w.]*) import (.+)$", self.API, re.MULTILINE
+        ):
+            module = importlib.import_module(module_name)
+            for name in names.split(","):
+                assert hasattr(module, name.strip()), (
+                    f"API.md imports {name.strip()!r} from {module_name}, "
+                    "which does not exist"
+                )
 
 
 class TestDesignDoc:

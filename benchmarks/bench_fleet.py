@@ -20,16 +20,22 @@ acceptance bar is a >= 5x wall-clock speedup at 200 concurrent games and
 
 from __future__ import annotations
 
+import harness
 from repro.experiments import measure_fleet_point
 
 #: (games, users, slots) rows of the table; the last row is the bar.
-SCALES = (
-    (50, 12_500, 1000),
-    (100, 25_000, 2000),
-    (200, 50_000, 6000),
+#: Smoke mode shrinks them so CI proves the benchmark code runs.
+SCALES = harness.scale(
+    (
+        (50, 12_500, 1000),
+        (100, 25_000, 2000),
+        (200, 50_000, 6000),
+    ),
+    ((5, 300, 50),),
 )
 
 SPEEDUP_FLOOR = 5.0
+SEED = 2012
 
 
 def test_fleet_speedup_at_200_games(emit):
@@ -37,7 +43,7 @@ def test_fleet_speedup_at_200_games(emit):
     rows = []
     for games, users, slots in SCALES:
         services_s, fleet_s = measure_fleet_point(
-            games=games, users=users, slots=slots, repeats=3
+            games=games, users=users, slots=slots, repeats=3, seed=SEED
         )
         rows.append((games, users, slots, services_s, fleet_s))
     table = "\n".join(
@@ -53,11 +59,20 @@ def test_fleet_speedup_at_200_games(emit):
         ]
     )
     emit("fleet_engine", table)
-    _, _, _, services_s, fleet_s = rows[-1]
+    games, users, _, services_s, fleet_s = rows[-1]
     speedup = services_s / fleet_s
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"fleet only {speedup:.1f}x faster at 200 games / 50k users"
+    harness.record(
+        "fleet_engine",
+        speedup=speedup,
+        n=users,
+        seed=SEED,
+        floor=SPEEDUP_FLOOR,
+        extra={"games": games, "scales": [list(r[:3]) for r in rows]},
     )
+    if harness.enforce_floors():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"fleet only {speedup:.1f}x faster at {games} games / {users} users"
+        )
 
 
 if __name__ == "__main__":

@@ -23,10 +23,21 @@ import time
 
 import numpy as np
 
+import harness
 from repro import run_shapley
 from repro.core.online import AddOnState
 
 SLOTS = 40
+
+#: (users, changed bids per slot) rows of the table; smoke mode shrinks
+#: them so CI can prove the benchmark code runs in seconds.
+SCALES = harness.scale(
+    ((1_000, 50), (10_000, 100), (50_000, 200)),
+    ((200, 10), (400, 20)),
+)
+SPEEDUP_FLOOR = 5.0
+BAR_USERS = SCALES[-2][0] if len(SCALES) > 1 else SCALES[0][0]
+SEED = 7
 
 
 def make_updates(n_users: int, changes_per_slot: int, seed: int = 7):
@@ -130,7 +141,7 @@ def compare(n_users: int, changes_per_slot: int):
 def test_incremental_speedup_at_10k(emit):
     """Acceptance bar: >= 5x over full recomputation at n = 10,000."""
     rows = []
-    for n_users, m in ((1_000, 50), (10_000, 100), (50_000, 200)):
+    for n_users, m in SCALES:
         full_s, incremental_s, speedup = compare(n_users, m)
         rows.append((n_users, m, full_s, incremental_s, speedup))
     table = "\n".join(
@@ -145,8 +156,19 @@ def test_incremental_speedup_at_10k(emit):
         ]
     )
     emit("incremental_engine", table)
-    at_10k = next(s for n, _, _, _, s in rows if n == 10_000)
-    assert at_10k >= 5.0, f"incremental path only {at_10k:.1f}x faster"
+    at_bar = next(s for n, _, _, _, s in rows if n == BAR_USERS)
+    harness.record(
+        "incremental_engine",
+        speedup=at_bar,
+        n=BAR_USERS,
+        seed=SEED,
+        floor=SPEEDUP_FLOOR,
+        extra={"slots": SLOTS, "scales": [list(r[:2]) for r in rows]},
+    )
+    if harness.enforce_floors():
+        assert at_bar >= SPEEDUP_FLOOR, (
+            f"incremental path only {at_bar:.1f}x faster"
+        )
 
 
 if __name__ == "__main__":

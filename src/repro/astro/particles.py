@@ -72,20 +72,24 @@ class ParticleSnapshot:
         return float(np.mean(self.halo >= 0))
 
     def to_table(self) -> Table:
-        """Materialize the snapshot as a wide relational table."""
-        table = Table(self.table_name, SNAPSHOT_SCHEMA)
-        for i in range(len(self)):
-            table.insert(
-                (
-                    int(self.pids[i]),
-                    float(self.positions[i, 0]),
-                    float(self.positions[i, 1]),
-                    float(self.positions[i, 2]),
-                    float(self.velocities[i, 0]),
-                    float(self.velocities[i, 1]),
-                    float(self.velocities[i, 2]),
-                    float(self.masses[i]),
-                    int(self.halo[i]),
-                )
-            )
-        return table
+        """Materialize the snapshot as a wide relational table.
+
+        Uses the bulk columnar constructor: whole-column validation plus a
+        single zip materializes a 40k-particle snapshot in milliseconds,
+        with rows identical to per-row inserts of the same values.
+        """
+        return Table.from_columns(
+            self.table_name,
+            SNAPSHOT_SCHEMA,
+            {
+                "pid": np.asarray(self.pids),
+                "x": self.positions[:, 0],
+                "y": self.positions[:, 1],
+                "z": self.positions[:, 2],
+                "vx": self.velocities[:, 0],
+                "vy": self.velocities[:, 1],
+                "vz": self.velocities[:, 2],
+                "mass": np.asarray(self.masses),
+                "halo": np.asarray(self.halo),
+            },
+        )

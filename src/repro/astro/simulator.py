@@ -141,18 +141,19 @@ class UniverseSimulator:
         """Merge the closest live pair if within the merge distance."""
         cfg = self.config
         live = np.flatnonzero(alive)
-        best_pair = None
-        best_distance = cfg.merge_distance
-        for a_idx in range(len(live)):
-            for b_idx in range(a_idx + 1, len(live)):
-                a, b = live[a_idx], live[b_idx]
-                distance = float(np.linalg.norm(centers[a] - centers[b]))
-                if distance <= best_distance:
-                    best_distance = distance
-                    best_pair = (a, b)
-        if best_pair is None:
+        # All live pair distances in one shot; the original per-pair loop
+        # kept the *last* pair attaining the minimum (ties tightened via
+        # `<=`), so the vectorized pick mirrors that tie-break exactly.
+        upper_a, upper_b = np.triu_indices(len(live), k=1)
+        deltas = centers[live[upper_a]] - centers[live[upper_b]]
+        distances = np.sqrt((deltas * deltas).sum(axis=1))
+        eligible = distances <= cfg.merge_distance
+        if not eligible.any():
             return centers, alive, membership
-        a, b = best_pair
+        candidates = np.flatnonzero(eligible)
+        closest = distances[candidates]
+        winner = candidates[len(closest) - 1 - np.argmin(closest[::-1])]
+        a, b = int(live[upper_a[winner]]), int(live[upper_b[winner]])
         # The more populous halo survives.
         count_a = int(np.sum(membership == a))
         count_b = int(np.sum(membership == b))

@@ -47,7 +47,14 @@ PAPER_MEAN_VIEW_COST = 2.31
 
 @dataclass(frozen=True)
 class UseCaseConfig:
-    """Knobs for the synthetic use-case build."""
+    """Knobs for the synthetic use-case build.
+
+    ``engine_mode`` selects the physical execution path of the relational
+    engine ("auto"/"vector"/"iterator" — both return identical rows and
+    meters, see :class:`repro.db.QueryEngine`); ``scaled`` builds a config
+    whose universe holds ``factor`` times the default particle count,
+    which the columnar path makes tractable.
+    """
 
     universe: UniverseConfig = field(default_factory=UniverseConfig)
     seed: int = 20120827  # VLDB 2012 opening day
@@ -55,6 +62,20 @@ class UseCaseConfig:
     calibrate_minutes: float = 81.0
     mean_view_cost: float = PAPER_MEAN_VIEW_COST
     pricing: Ec2Pricing = field(default_factory=Ec2Pricing)
+    engine_mode: str = "auto"
+
+    @classmethod
+    def scaled(cls, factor: int, engine_mode: str = "auto") -> "UseCaseConfig":
+        """A config with ``factor``x the default universe's particles."""
+        if factor < 1:
+            raise GameConfigError(f"scale factor must be >= 1, got {factor}")
+        base = UniverseConfig()
+        universe = UniverseConfig(
+            particles=base.particles * factor,
+            halos=base.halos,
+            snapshots=base.snapshots,
+        )
+        return cls(universe=universe, engine_mode=engine_mode)
 
 
 @dataclass
@@ -132,7 +153,7 @@ def build_use_case(config: UseCaseConfig = UseCaseConfig()) -> AstronomyUseCase:
         table_names.append(table.name)
 
     workloads = _make_workloads(snapshots[-1], config.halos_per_group)
-    engine = QueryEngine(catalog, CostModel())
+    engine = QueryEngine(catalog, CostModel(), mode=config.engine_mode)
 
     # Measure every workload without views; remember per-table pass counts.
     meters = [w.run(engine, table_names) for w in workloads]

@@ -47,7 +47,13 @@ __all__ = ["main", "FIGURES"]
 
 def _fig1(args) -> object:
     return run_fig1_astronomy(
-        Fig1Config(values=args.values, samples=args.samples, seed=args.seed)
+        Fig1Config(
+            values=args.values,
+            samples=args.samples,
+            seed=args.seed,
+            engine_mode=args.engine_mode,
+            universe_scale=args.universe_scale,
+        )
     )
 
 
@@ -144,6 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "--samples", type=int, default=150,
                 help="bid-interval combinations sampled (of the 10^6)",
             )
+            p.add_argument(
+                "--engine-mode", choices=("auto", "vector", "iterator"),
+                default="auto", dest="engine_mode",
+                help="relational engine execution path (engine values only)",
+            )
+            p.add_argument(
+                "--universe-scale", type=int, default=1, dest="universe_scale",
+                help="multiply the simulated universe's particle count "
+                "(engine values only; the columnar path keeps 10x tractable)",
+            )
     sub.add_parser("all", parents=[common], help="run every figure")
 
     fleet = sub.add_parser(
@@ -214,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         # `all` has no fig1-specific flags; use the fig1 defaults.
         args.values = "paper"
         args.samples = 150
+        args.engine_mode = "auto"
+        args.universe_scale = 1
     for name in names:
         runner, section, description = FIGURES[name]
         print(f"== {name} (Section {section}): {description} ==")

@@ -27,11 +27,22 @@ from repro.db.operators import (
     SeqScan,
 )
 from repro.db.extra_operators import Distinct, GroupAggregate, Limit, Sort, top_k
+from repro.db.columnar import ColumnBatch
+from repro.db.vec_operators import (
+    VecFilter,
+    VecGroupCount,
+    VecHashJoin,
+    VecIndexLookup,
+    VecOperator,
+    VecProject,
+    VecScan,
+    to_vector,
+)
 from repro.db.view import MaterializedView
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter, CostModel
-from repro.db.engine import QueryEngine
-from repro.db.savings import CandidateView, SavingsEstimator
+from repro.db.engine import ENGINE_MODES, QueryEngine
+from repro.db.savings import CandidateView, SavingsEstimator, SavingsQuote
 from repro.db.stats import ColumnStats, TableStats, analyze
 
 __all__ = [
@@ -63,6 +74,16 @@ __all__ = [
     "Distinct",
     "GroupAggregate",
     "top_k",
+    "ColumnBatch",
+    "VecOperator",
+    "VecScan",
+    "VecFilter",
+    "VecProject",
+    "VecIndexLookup",
+    "VecHashJoin",
+    "VecGroupCount",
+    "to_vector",
+    "ENGINE_MODES",
     "MaterializedView",
     "ColumnStats",
     "TableStats",
@@ -73,4 +94,5 @@ __all__ = [
     "QueryEngine",
     "CandidateView",
     "SavingsEstimator",
+    "SavingsQuote",
 ]

@@ -1,0 +1,80 @@
+"""Columnar batches: the unit of data the vectorized operators exchange.
+
+A :class:`ColumnBatch` is a schema plus one numpy array per column, all of
+equal length. Vector operators (:mod:`repro.db.vec_operators`) consume and
+produce batches; ``to_rows`` converts back to the row-tuple form the
+iterator engine emits, with plain Python values (``int``/``float``/``str``)
+so results from the two paths compare equal bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = ["ColumnBatch", "NUMPY_DTYPES", "column_dtype"]
+
+#: Numpy storage dtype per logical column type. Strings use ``object`` so
+#: arbitrary-length values survive gathers and comparisons unchanged.
+NUMPY_DTYPES = {"int": np.int64, "float": np.float64, "str": object}
+
+
+def column_dtype(dtype: str):
+    """Numpy dtype used to store one logical column type."""
+    return NUMPY_DTYPES[dtype]
+
+
+class ColumnBatch:
+    """An ordered set of equal-length column arrays under one schema."""
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[np.ndarray]) -> None:
+        if len(columns) != len(schema.columns):
+            raise SchemaError(
+                f"batch has {len(columns)} arrays for {len(schema.columns)} columns"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"column arrays disagree on length: {sorted(lengths)}")
+        self.schema = schema
+        self.columns = tuple(columns)
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name: str) -> np.ndarray:
+        """One column's array, addressed by name."""
+        return self.columns[self.schema.position(name)]
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        """Row gather: a new batch of the rows at ``indices``, in order."""
+        return ColumnBatch(self.schema, [c[indices] for c in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "ColumnBatch":
+        """Boolean row selection preserving order."""
+        return ColumnBatch(self.schema, [c[mask] for c in self.columns])
+
+    def project(self, names: Sequence[str]) -> "ColumnBatch":
+        """Column selection in the requested order."""
+        return ColumnBatch(
+            self.schema.project(names), [self.column(n) for n in names]
+        )
+
+    def to_rows(self) -> list[tuple]:
+        """The batch as row tuples of plain Python values.
+
+        ``ndarray.tolist`` converts numpy scalars to native ``int``/
+        ``float``/``str``, so the rows are indistinguishable from the
+        iterator engine's output.
+        """
+        if not self.columns:
+            return []
+        return list(zip(*[c.tolist() for c in self.columns]))
+
+    def __repr__(self) -> str:
+        return f"ColumnBatch(rows={len(self)}, {self.schema!r})"

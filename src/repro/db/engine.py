@@ -6,10 +6,15 @@ from dataclasses import dataclass
 
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter, CostModel
+from repro.db.operators import Operator
 from repro.db.planner import histogram_plan, members_plan
+from repro.db.vec_operators import to_vector
 from repro.errors import QueryError
 
-__all__ = ["QueryResult", "QueryEngine"]
+__all__ = ["QueryResult", "QueryEngine", "ENGINE_MODES"]
+
+#: Physical execution strategies the engine can run a plan with.
+ENGINE_MODES = ("auto", "vector", "iterator")
 
 
 @dataclass(frozen=True)
@@ -23,8 +28,10 @@ class QueryResult:
     def scalar(self):
         """The single value of a single-row, single-column result."""
         if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            columns = len(self.rows[0]) if self.rows else 0
             raise QueryError(
-                f"expected one scalar, got {len(self.rows)} row(s)"
+                f"expected one scalar, got {len(self.rows)} row(s) x "
+                f"{columns} column(s)"
             )
         return self.rows[0][0]
 
@@ -34,11 +41,26 @@ class QueryEngine:
 
     All methods return metered results; ``minutes_of`` converts a meter to
     simulated wall-clock time through the engine's cost model.
+
+    ``mode`` selects the physical execution strategy: ``"iterator"`` runs
+    the row-at-a-time operators, ``"vector"`` requires the columnar path
+    (raising when a plan has no vector translation), and ``"auto"`` (the
+    default) runs vectorized whenever the plan translates and falls back
+    to the iterator otherwise. Both paths return identical rows and
+    charge identical meters, so the mode is purely a speed knob.
     """
 
-    def __init__(self, catalog: Catalog, cost_model: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ENGINE_MODES:
+            raise QueryError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
         self.catalog = catalog
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.mode = mode
 
     def minutes_of(self, meter: CostMeter) -> float:
         """Simulated minutes of the metered work."""
@@ -48,13 +70,25 @@ class QueryEngine:
         """Rescale the cost model so ``meter``'s work takes ``target_seconds``."""
         self.cost_model = self.cost_model.calibrated(target_seconds, meter)
 
+    def execute_plan(self, plan: Operator, meter: CostMeter) -> list[tuple]:
+        """Materialize one plan under the engine's execution mode."""
+        if self.mode != "iterator":
+            vector_plan = to_vector(plan)
+            if vector_plan is not None:
+                return vector_plan.materialize(meter)
+            if self.mode == "vector":
+                raise QueryError(
+                    f"plan {type(plan).__name__} has no vector translation"
+                )
+        return plan.materialize(meter)
+
     # ------------------------------------------------------------ queries --
 
     def halo_members(self, table_name: str, halo_id: int) -> QueryResult:
         """Particle ids of one halo in one snapshot."""
         meter = CostMeter()
         choice = members_plan(self.catalog, table_name, halo_id)
-        rows = choice.plan.materialize(meter)
+        rows = self.execute_plan(choice.plan, meter)
         return QueryResult(rows=rows, meter=meter, source=choice.source)
 
     def progenitor_histogram(
@@ -63,7 +97,7 @@ class QueryEngine:
         """(halo, count) pairs for ``member_pids`` within one snapshot."""
         meter = CostMeter()
         choice = histogram_plan(self.catalog, table_name, frozenset(member_pids))
-        rows = choice.plan.materialize(meter)
+        rows = self.execute_plan(choice.plan, meter)
         return QueryResult(rows=rows, meter=meter, source=choice.source)
 
     def top_contributor(

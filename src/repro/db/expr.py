@@ -3,12 +3,21 @@
 Expressions are evaluated against a row tuple plus its schema; ``compile_``
 pre-resolves column positions into a closure so per-row evaluation does no
 name lookups (the engine filters millions of rows across an experiment).
+
+``compile_vec`` is the columnar twin: it compiles the same expression into
+a closure over a :class:`~repro.db.columnar.ColumnBatch` that evaluates the
+predicate for a whole batch at once with numpy, returning an array (or a
+scalar for constant expressions — the vector operators broadcast it).
+Both compilations implement identical semantics, which the equivalence
+property tests assert row for row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import AbstractSet, Callable
+
+import numpy as np
 
 from repro.db.schema import Schema
 
@@ -36,6 +45,10 @@ class Expr:
         """Return a closure evaluating this expression on one row."""
         raise NotImplementedError
 
+    def compile_vec(self, schema: Schema) -> Callable:
+        """Return a closure evaluating this expression on a ColumnBatch."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Col(Expr):
@@ -47,6 +60,10 @@ class Col(Expr):
         pos = schema.position(self.name)
         return lambda row: row[pos]
 
+    def compile_vec(self, schema: Schema) -> Callable:
+        pos = schema.position(self.name)
+        return lambda batch: batch.columns[pos]
+
 
 @dataclass(frozen=True)
 class Const(Expr):
@@ -57,6 +74,10 @@ class Const(Expr):
     def compile_(self, schema: Schema) -> Callable[[tuple], object]:
         value = self.value
         return lambda row: value
+
+    def compile_vec(self, schema: Schema) -> Callable:
+        value = self.value
+        return lambda batch: value
 
 
 @dataclass(frozen=True)
@@ -73,6 +94,15 @@ class _Binary(Expr):
         rf = self.right.compile_(schema)
         op = self._op
         return lambda row: op(lf(row), rf(row))
+
+    def compile_vec(self, schema: Schema) -> Callable:
+        lf = self.left.compile_vec(schema)
+        rf = self.right.compile_vec(schema)
+        op = self._op
+        # Numpy comparison operators broadcast over (array, scalar) pairs
+        # and evaluate elementwise on object arrays, matching the row
+        # semantics value for value.
+        return lambda batch: op(lf(batch), rf(batch))
 
 
 class Eq(_Binary):
@@ -126,6 +156,18 @@ class In(Expr):
         values = self.values
         return lambda row: inner(row) in values
 
+    def compile_vec(self, schema: Schema) -> Callable:
+        inner = self.expr.compile_vec(schema)
+        values = list(self.values)
+
+        def test(batch):
+            evaluated = np.asarray(inner(batch))
+            if not values:
+                return np.zeros(evaluated.shape, dtype=bool)
+            return np.isin(evaluated, np.asarray(values))
+
+        return test
+
 
 @dataclass(frozen=True)
 class And(Expr):
@@ -138,6 +180,11 @@ class And(Expr):
         lf = self.left.compile_(schema)
         rf = self.right.compile_(schema)
         return lambda row: bool(lf(row)) and bool(rf(row))
+
+    def compile_vec(self, schema: Schema) -> Callable:
+        lf = self.left.compile_vec(schema)
+        rf = self.right.compile_vec(schema)
+        return lambda batch: np.logical_and(lf(batch), rf(batch))
 
 
 @dataclass(frozen=True)
@@ -152,6 +199,11 @@ class Or(Expr):
         rf = self.right.compile_(schema)
         return lambda row: bool(lf(row)) or bool(rf(row))
 
+    def compile_vec(self, schema: Schema) -> Callable:
+        lf = self.left.compile_vec(schema)
+        rf = self.right.compile_vec(schema)
+        return lambda batch: np.logical_or(lf(batch), rf(batch))
+
 
 @dataclass(frozen=True)
 class Not(Expr):
@@ -162,3 +214,7 @@ class Not(Expr):
     def compile_(self, schema: Schema) -> Callable[[tuple], object]:
         f = self.inner.compile_(schema)
         return lambda row: not bool(f(row))
+
+    def compile_vec(self, schema: Schema) -> Callable:
+        f = self.inner.compile_vec(schema)
+        return lambda batch: np.logical_not(f(batch))

@@ -1,0 +1,265 @@
+"""Batch-vector physical operators and the iterator-plan translator.
+
+Each vector operator consumes and produces a whole
+:class:`~repro.db.columnar.ColumnBatch` per ``execute`` call instead of a
+row at a time, moving the inner loop from Python into numpy. The contract
+with the iterator operators in :mod:`repro.db.operators` is strict:
+
+* **identical rows** — same tuples, same order (group and join outputs
+  reproduce the iterator's first-encounter / build-order semantics);
+* **identical meter charges** — every ``charge_scan``/``charge_probe``/
+  ``charge_build``/``emit``/``bump`` total matches bit for bit, because
+  the metered work is the paper's cost model and must not drift when the
+  physical execution strategy changes.
+
+:func:`to_vector` translates an iterator plan tree into its vector twin
+(returning ``None`` for shapes with no vector form yet), which is how the
+planner's access-path choice is reused unchanged: plan selection stays
+logical, vectorization is a physical rewrite underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.columnar import ColumnBatch
+from repro.db.costmodel import CostMeter
+from repro.db.index import HashIndex, _ragged_take
+from repro.db.operators import (
+    Filter,
+    GroupCount,
+    HashJoin,
+    IndexLookup,
+    Operator,
+    Project,
+    SeqScan,
+)
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError
+
+__all__ = [
+    "VecOperator",
+    "VecScan",
+    "VecFilter",
+    "VecProject",
+    "VecIndexLookup",
+    "VecHashJoin",
+    "VecGroupCount",
+    "to_vector",
+]
+
+
+class VecOperator:
+    """Base class: exposes ``schema`` and ``execute(meter) -> ColumnBatch``."""
+
+    schema: Schema
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        """Produce the full result batch, charging work to ``meter``."""
+        raise NotImplementedError
+
+    def materialize(self, meter: CostMeter) -> list[tuple]:
+        """Run and convert to the iterator engine's row-tuple form."""
+        return self.execute(meter).to_rows()
+
+
+class VecScan(VecOperator):
+    """Full scan of a table as one batch; charges match :class:`SeqScan`."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.schema = table.schema
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        meter.charge_scan(len(self.table), self.schema.row_width)
+        meter.bump(f"scan:{self.table.name}")
+        return self.table.as_batch()
+
+
+class VecFilter(VecOperator):
+    """Vectorized row filter; one emit per surviving row."""
+
+    def __init__(self, child: VecOperator, predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        batch = self.child.execute(meter)
+        raw = self.predicate.compile_vec(self.schema)(batch)
+        mask = np.asarray(raw, dtype=bool)
+        if mask.ndim == 0:
+            mask = np.full(len(batch), bool(mask))
+        meter.emit(int(mask.sum()))
+        return batch.filter(mask)
+
+
+class VecProject(VecOperator):
+    """Column projection: free in a columnar engine, and charged as such
+    (the iterator :class:`Project` charges nothing either — row-store scan
+    costs live on the scan, not the projection)."""
+
+    def __init__(self, child: VecOperator, columns: Sequence[str]) -> None:
+        if not columns:
+            raise QueryError("projection needs at least one column")
+        self.child = child
+        self.columns = tuple(columns)
+        self.schema = child.schema.project(columns)
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        return self.child.execute(meter).project(self.columns)
+
+
+class VecIndexLookup(VecOperator):
+    """Batched equality probes of a hash index.
+
+    One :meth:`~repro.db.index.HashIndex.lookup_rids_many` call answers
+    every probe value at once; row order (probe order, ascending rid per
+    value) and meter charges match the iterator :class:`IndexLookup`.
+    """
+
+    def __init__(self, index: HashIndex, values: Sequence) -> None:
+        self.index = index
+        self.values = list(values)
+        self.schema = index.table.schema
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        rids = self.index.lookup_rids_many(self.values, meter)
+        return self.index.table.as_batch().take(rids)
+
+
+class VecHashJoin(VecOperator):
+    """Vectorized equi-join with iterator-identical output order.
+
+    The iterator join emits, for each left row in order, the matching
+    right rows in build order. Sorting the right keys with a stable sort
+    keeps equal-keyed right rows in build order, so a searchsorted range
+    per left row reproduces the exact output sequence.
+    """
+
+    def __init__(
+        self,
+        left: VecOperator,
+        right: VecOperator,
+        left_key: str,
+        right_key: str,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        right_cols = [c for c in right.schema.columns if c.name != right_key]
+        self.schema = Schema(list(left.schema.columns) + right_cols)
+        self._right_pos = right.schema.position(right_key)
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        right = self.right.execute(meter)
+        meter.charge_build(len(right), self.right.schema.row_width)
+        left = self.left.execute(meter)
+        meter.charge_probe(len(left))
+
+        right_keys = right.column(self.right_key)
+        order = np.argsort(right_keys, kind="stable")
+        sorted_keys = right_keys[order]
+        left_keys = left.column(self.left_key)
+        lo = np.searchsorted(sorted_keys, left_keys, side="left")
+        hi = np.searchsorted(sorted_keys, left_keys, side="right")
+        counts = hi - lo
+        meter.emit(int(counts.sum()))
+
+        left_take = np.repeat(np.arange(len(left)), counts)
+        right_take = order[_ragged_take(lo, counts)]
+        out = [c[left_take] for c in left.columns]
+        out += [
+            c[right_take]
+            for pos, c in enumerate(right.columns)
+            if pos != self._right_pos
+        ]
+        return ColumnBatch(self.schema, out)
+
+
+class VecGroupCount(VecOperator):
+    """Vectorized ``GROUP BY key, COUNT(*)`` in first-encounter order."""
+
+    def __init__(self, child: VecOperator, key: str) -> None:
+        self.child = child
+        self.key = key
+        self.schema = Schema.of(
+            **{
+                key: child.schema.project([key]).columns[0].dtype,
+                "count": "int",
+            }
+        )
+
+    def execute(self, meter: CostMeter) -> ColumnBatch:
+        batch = self.child.execute(meter)
+        keys = batch.column(self.key)
+        meter.charge_build(len(batch), 8)
+        uniques, first, counts = np.unique(
+            keys, return_index=True, return_counts=True
+        )
+        # The iterator GroupCount yields groups in dict-insertion order:
+        # the order each key is first encountered in the input.
+        encounter = np.argsort(first, kind="stable")
+        meter.emit(len(uniques))
+        return ColumnBatch(
+            self.schema,
+            [uniques[encounter], counts[encounter].astype(np.int64, copy=False)],
+        )
+
+
+#: Iterator operator class -> builder of its vector twin.
+def _vec_scan(plan: SeqScan) -> VecOperator:
+    return VecScan(plan.table)
+
+
+def _vec_filter(plan: Filter) -> VecOperator | None:
+    child = to_vector(plan.child)
+    return None if child is None else VecFilter(child, plan.predicate)
+
+
+def _vec_project(plan: Project) -> VecOperator | None:
+    child = to_vector(plan.child)
+    return None if child is None else VecProject(child, plan.columns)
+
+
+def _vec_index_lookup(plan: IndexLookup) -> VecOperator:
+    return VecIndexLookup(plan.index, plan.values)
+
+
+def _vec_hash_join(plan: HashJoin) -> VecOperator | None:
+    left = to_vector(plan.left)
+    right = to_vector(plan.right)
+    if left is None or right is None:
+        return None
+    return VecHashJoin(left, right, plan.left_key, plan.right_key)
+
+
+def _vec_group_count(plan: GroupCount) -> VecOperator | None:
+    child = to_vector(plan.child)
+    return None if child is None else VecGroupCount(child, plan.key)
+
+
+_TRANSLATORS = {
+    SeqScan: _vec_scan,
+    Filter: _vec_filter,
+    Project: _vec_project,
+    IndexLookup: _vec_index_lookup,
+    HashJoin: _vec_hash_join,
+    GroupCount: _vec_group_count,
+}
+
+
+def to_vector(plan: Operator) -> VecOperator | None:
+    """The vector twin of an iterator plan, or None when untranslatable.
+
+    Translation is exact — same rows, same order, same meter totals — so
+    callers may substitute the result freely; operators outside the core
+    set (:mod:`repro.db.extra_operators`) simply stay on the iterator
+    path.
+    """
+    builder = _TRANSLATORS.get(type(plan))
+    return None if builder is None else builder(plan)

@@ -34,6 +34,7 @@ from repro.astro.usecase import (
     PAPER_OTHER_VIEW_SAVINGS_MIN,
     PAPER_RUNTIMES_MIN,
     AstronomyUseCase,
+    UseCaseConfig,
     build_use_case,
 )
 from repro.baseline.regret import run_regret_additive_many
@@ -53,7 +54,14 @@ PAPER_HOURLY_RATE = 0.25
 
 @dataclass(frozen=True)
 class Fig1Config:
-    """Figure 1 setup; defaults match the paper."""
+    """Figure 1 setup; defaults match the paper.
+
+    ``engine_mode`` and ``universe_scale`` only matter for
+    ``values="engine"``: the mode selects the relational engine's physical
+    execution path and the scale multiplies the simulated universe's
+    particle count (the columnar path is what makes scales of 10+ —
+    tens of thousands of particles across 27 snapshots — tractable).
+    """
 
     executions: tuple = (1, 10, 20, 30, 40, 50, 60, 70, 80, 90)
     quarters: int = 4
@@ -61,6 +69,8 @@ class Fig1Config:
     samples: int | None = 150
     seed: int = 2012
     values: str = "engine"
+    engine_mode: str = "auto"
+    universe_scale: int = 1
 
     def __post_init__(self) -> None:
         if self.values not in ("engine", "paper"):
@@ -72,6 +82,10 @@ class Fig1Config:
         if self.slots_per_quarter < 1:
             raise GameConfigError(
                 f"slots_per_quarter must be >= 1, got {self.slots_per_quarter}"
+            )
+        if self.universe_scale < 1:
+            raise GameConfigError(
+                f"universe_scale must be >= 1, got {self.universe_scale}"
             )
 
 
@@ -109,7 +123,9 @@ def _value_table(
         costs, values, baselines = paper_value_table()
         return costs, values, baselines, len(PAPER_STRIDES)
     if use_case is None:
-        use_case = build_use_case()
+        use_case = build_use_case(
+            UseCaseConfig.scaled(config.universe_scale, config.engine_mode)
+        )
     costs = dict(use_case.view_costs)
     users = len(use_case.workloads)
     values = {

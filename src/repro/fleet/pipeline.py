@@ -17,11 +17,11 @@ benefit — no synthetic numbers anywhere in the chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.bids.additive import AdditiveBid
 from repro.cloudsim.catalog import OptimizationCatalog, OptimizationSpec
-from repro.db.savings import CandidateView, SavingsEstimator
+from repro.db.savings import CandidateView, SavingsEstimator, SavingsQuote
 from repro.errors import GameConfigError
 from repro.fleet.engine import FleetEngine
 
@@ -67,18 +67,26 @@ def workload_bid(
     estimator: SavingsEstimator,
     workload: TenantWorkload,
     candidate: CandidateView,
+    quote: SavingsQuote | None = None,
 ) -> AdditiveBid | None:
     """The bid ``workload`` implies for ``candidate`` (None when useless).
 
     A candidate helps a workload when it covers the same table and every
     column the queries touch; the per-slot value is the simulated seconds
-    the tenant's runs save through it.
+    the tenant's runs save through it. Pass the candidate's precomputed
+    ``quote`` (from :meth:`~repro.db.savings.SavingsEstimator.price_many`)
+    to skip the estimator's catalog walk — the numbers are identical.
     """
     if candidate.table_name != workload.table_name:
         return None
     if not set(workload.columns) <= set(candidate.columns):
         return None
-    per_slot = estimator.saving_seconds(candidate, workload.runs_per_slot)
+    if quote is None:
+        per_slot = estimator.saving_seconds(candidate, workload.runs_per_slot)
+    else:
+        per_slot = quote.saving_seconds(
+            workload.runs_per_slot, estimator.model.seconds_per_unit
+        )
     if per_slot <= 0.0:
         return None
     duration = workload.end - workload.start + 1
@@ -89,12 +97,15 @@ def candidate_catalog(
     estimator: SavingsEstimator,
     candidates: Iterable[CandidateView],
     dollars_per_byte: float,
+    quotes: Mapping[str, SavingsQuote] | None = None,
 ) -> OptimizationCatalog:
     """Price each candidate's storage into an optimization catalog.
 
     ``C_j`` is the candidate's materialized size times the period storage
     rate — the same "cost of keeping the view for ``T``" the paper
-    amortizes.
+    amortizes. Pass precomputed ``quotes`` (from
+    :meth:`~repro.db.savings.SavingsEstimator.price_many`) to skip the
+    per-candidate sizing pass.
     """
     if dollars_per_byte <= 0:
         raise GameConfigError(
@@ -102,10 +113,15 @@ def candidate_catalog(
         )
     catalog = OptimizationCatalog()
     for candidate in candidates:
+        view_bytes = (
+            quotes[candidate.name].view_bytes
+            if quotes is not None
+            else estimator.view_bytes(candidate)
+        )
         catalog.register(
             OptimizationSpec(
                 candidate.name,
-                estimator.view_bytes(candidate) * dollars_per_byte,
+                view_bytes * dollars_per_byte,
                 kind="view",
                 description=(
                     f"narrow view {candidate.columns!r} over "
@@ -130,8 +146,17 @@ def build_fleet(
     additive bid in the candidate's game; run the returned engine to see
     which physical designs the tenants collectively fund, and at what
     cost-shares.
+
+    Candidates are priced once up front
+    (:meth:`~repro.db.savings.SavingsEstimator.price_many`), then the
+    (workload, candidate) sweep reuses the quotes — the generated bids are
+    bit-identical to calling :func:`workload_bid` per pair, without the
+    O(W x C) catalog walks.
     """
-    catalog = candidate_catalog(estimator, candidates, dollars_per_byte)
+    quotes = estimator.price_many(candidates)
+    catalog = candidate_catalog(
+        estimator, candidates, dollars_per_byte, quotes=quotes
+    )
     engine = FleetEngine(catalog, horizon=horizon, shards=shards)
     for workload in workloads:
         if workload.end > horizon:
@@ -140,7 +165,9 @@ def build_fleet(
                 f"beyond the horizon {horizon}"
             )
         for candidate in candidates:
-            bid = workload_bid(estimator, workload, candidate)
+            bid = workload_bid(
+                estimator, workload, candidate, quote=quotes[candidate.name]
+            )
             if bid is not None:
                 engine.place_bid(workload.tenant, candidate.name, bid)
     return engine

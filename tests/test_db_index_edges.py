@@ -1,0 +1,224 @@
+"""Index and extra-operator edge cases not covered by the core suite.
+
+Covers the corners ISSUE 3 calls out: ``SortedIndex.range`` with
+``low > high``, open-ended ranges on empty tables, ``HashIndex.contains``
+meter charging, the bulk probe APIs the vector path relies on, and the
+:mod:`repro.db.extra_operators` paths tier-1 did not exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    CostMeter,
+    Distinct,
+    GroupAggregate,
+    HashIndex,
+    Limit,
+    Schema,
+    SeqScan,
+    Sort,
+    SortedIndex,
+    Table,
+    top_k,
+)
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def people():
+    table = Table("people", Schema.of(pid="int", age="int", team="int"))
+    table.extend([(1, 30, 0), (2, 25, 0), (3, 41, 1), (4, 25, 2), (5, 30, 1)])
+    return table
+
+
+@pytest.fixture()
+def empty():
+    return Table("empty", Schema.of(pid="int", age="int", team="int"))
+
+
+class TestSortedIndexEdges:
+    def test_inverted_range_raises_before_charging(self, people):
+        index = SortedIndex(people, "age")
+        meter = CostMeter()
+        with pytest.raises(QueryError):
+            list(index.range(30, 25, meter))
+        with pytest.raises(QueryError):
+            index.range_rids(30, 25, meter)
+        assert meter.probe_count == 0
+        assert meter.rows_emitted == 0
+
+    def test_open_ranges_on_empty_table(self, empty):
+        index = SortedIndex(empty, "age")
+        meter = CostMeter()
+        assert list(index.range(None, None, meter)) == []
+        assert list(index.range(None, 10, meter)) == []
+        assert list(index.range(10, None, meter)) == []
+        assert index.range_rids(None, None, meter).size == 0
+        assert meter.probe_count == 4
+        assert meter.rows_emitted == 0
+        assert index.min_key() is None
+        assert index.max_key() is None
+        assert len(index) == 0
+
+    def test_half_open_ranges(self, people):
+        index = SortedIndex(people, "age")
+        meter = CostMeter()
+        below = [r[0] for r in index.range(None, 29, meter)]
+        assert sorted(below) == [2, 4]
+        above = [r[0] for r in index.range(31, None, meter)]
+        assert above == [3]
+
+    def test_range_rids_matches_range(self, people):
+        index = SortedIndex(people, "age")
+        iterator_meter, bulk_meter = CostMeter(), CostMeter()
+        rows = list(index.range(25, 30, iterator_meter))
+        rids = index.range_rids(25, 30, bulk_meter)
+        assert [people.row(r) for r in rids.tolist()] == rows
+        assert iterator_meter == bulk_meter
+
+    def test_degenerate_single_key_range(self, people):
+        index = SortedIndex(people, "age")
+        rows = list(index.range(25, 25, CostMeter()))
+        assert sorted(r[0] for r in rows) == [2, 4]
+
+
+class TestHashIndexEdges:
+    def test_contains_charges_one_probe_per_call(self, people):
+        index = HashIndex(people, "age")
+        meter = CostMeter()
+        assert index.contains(25, meter)
+        assert not index.contains(99, meter)
+        assert index.contains(41, meter)
+        assert meter.probe_count == 3
+        assert meter.rows_emitted == 0
+        assert meter.scan_bytes == 0.0
+        assert meter.build_bytes == 0.0
+
+    def test_bulk_probe_on_empty_table(self, empty):
+        index = HashIndex(empty, "age")
+        meter = CostMeter()
+        rids = index.lookup_rids_many([1, 2, 3], meter)
+        assert rids.size == 0
+        assert meter.probe_count == 3
+        assert meter.rows_emitted == 0
+
+    def test_bulk_probe_with_no_values(self, people):
+        index = HashIndex(people, "age")
+        meter = CostMeter()
+        assert index.lookup_rids_many([], meter).size == 0
+        assert meter.probe_count == 0
+        assert meter.rows_emitted == 0
+
+    def test_bulk_probe_ignores_rows_after_build(self, people):
+        """The bulk path answers from the same snapshot as the dict path."""
+        index = HashIndex(people, "age")
+        people.insert((6, 25, 0))
+        dict_rows = list(index.lookup(25, CostMeter()))
+        bulk_rids = index.lookup_rids_many([25], CostMeter())
+        assert [people.row(r) for r in bulk_rids.tolist()] == dict_rows
+
+    def test_bulk_probe_repeated_values(self, people):
+        index = HashIndex(people, "team")
+        meter = CostMeter()
+        rids = index.lookup_rids_many(np.asarray([1, 1, 0]), meter)
+        assert rids.tolist() == [2, 4, 2, 4, 0, 1]
+        assert meter.probe_count == 3
+        assert meter.rows_emitted == 6
+
+
+class TestScalarErrorReporting:
+    def test_message_reports_rows_and_columns(self):
+        from repro.db.engine import QueryResult
+
+        multi_column = QueryResult(
+            rows=[(1, 2)], meter=CostMeter(), source="base"
+        )
+        with pytest.raises(QueryError, match=r"1 row\(s\) x 2 column\(s\)"):
+            multi_column.scalar()
+        no_rows = QueryResult(rows=[], meter=CostMeter(), source="base")
+        with pytest.raises(QueryError, match=r"0 row\(s\) x 0 column\(s\)"):
+            no_rows.scalar()
+        multi_row = QueryResult(
+            rows=[(1,), (2,)], meter=CostMeter(), source="base"
+        )
+        with pytest.raises(QueryError, match=r"2 row\(s\) x 1 column\(s\)"):
+            multi_row.scalar()
+        assert QueryResult(rows=[(7,)], meter=CostMeter(), source="base").scalar() == 7
+
+
+class TestExtraOperatorEdges:
+    def test_limit_zero_emits_nothing(self, people):
+        meter = CostMeter()
+        assert Limit(SeqScan(people), 0).materialize(meter) == []
+        # The child scan is never started, so nothing is charged at all.
+        assert meter.scan_bytes == 0.0
+
+    def test_limit_negative_rejected(self, people):
+        with pytest.raises(QueryError):
+            Limit(SeqScan(people), -1)
+
+    def test_limit_larger_than_input(self, people):
+        rows = Limit(SeqScan(people), 99).materialize(CostMeter())
+        assert len(rows) == len(people)
+
+    def test_sort_descending_charges_build(self, people):
+        meter = CostMeter()
+        rows = Sort(SeqScan(people), "age", descending=True).materialize(meter)
+        ages = [r[1] for r in rows]
+        assert ages == sorted(ages, reverse=True)
+        assert meter.build_bytes == len(people) * people.schema.row_width
+        assert meter.rows_emitted == len(people)
+
+    def test_distinct_charges_probe_per_row(self, people):
+        meter = CostMeter()
+        rows = Distinct(SeqScan(people)).materialize(meter)
+        assert len(rows) == len(people)  # all rows unique
+        assert meter.probe_count == len(people)
+
+    def test_group_aggregate_functions(self, people):
+        sums = dict(
+            GroupAggregate(SeqScan(people), "team", "age", "sum").materialize(
+                CostMeter()
+            )
+        )
+        assert sums == {0: 55.0, 1: 71.0, 2: 25.0}
+        avgs = dict(
+            GroupAggregate(SeqScan(people), "team", "age", "avg").materialize(
+                CostMeter()
+            )
+        )
+        assert avgs[0] == pytest.approx(27.5)
+        lows = dict(
+            GroupAggregate(SeqScan(people), "team", "age", "min").materialize(
+                CostMeter()
+            )
+        )
+        assert lows == {0: 25.0, 1: 30.0, 2: 25.0}
+        counts = dict(
+            GroupAggregate(SeqScan(people), "team", "pid", "count").materialize(
+                CostMeter()
+            )
+        )
+        assert counts == {0: 2, 1: 2, 2: 1}
+        assert all(type(v) is int for v in counts.values())
+
+    def test_group_aggregate_unknown_function(self, people):
+        with pytest.raises(QueryError):
+            GroupAggregate(SeqScan(people), "team", "age", "median")
+
+    def test_group_aggregate_empty_input(self, empty):
+        rows = GroupAggregate(SeqScan(empty), "team", "age", "max").materialize(
+            CostMeter()
+        )
+        assert rows == []
+
+    def test_top_k(self, people):
+        rows = top_k(SeqScan(people), "age", 2).materialize(CostMeter())
+        assert [r[1] for r in rows] == [41, 30]
+        bottom = top_k(SeqScan(people), "age", 2, descending=False).materialize(
+            CostMeter()
+        )
+        assert [r[1] for r in bottom] == [25, 25]

@@ -13,7 +13,7 @@ import pytest
 
 from repro.astro.halos import friends_of_friends
 from repro.astro.simulator import UniverseConfig, UniverseSimulator
-from repro.db import Catalog, CostMeter, CostModel, MaterializedView, QueryEngine
+from repro.db import Catalog, CostModel, MaterializedView, QueryEngine
 from repro.db.expr import Col, Const, Ne
 from repro.db.operators import Filter, Project, SeqScan
 from repro.db.planner import view_name_for

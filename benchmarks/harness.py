@@ -2,9 +2,12 @@
 
 Every speedup benchmark records its result through :func:`record`, which
 writes one JSON file per benchmark under ``benchmarks/results/`` and
-merges the same entry into the top-level ``BENCH_PR3.json`` so the
+merges the same entry into the top-level ``BENCH_PR4.json`` so the
 repository carries a machine-readable trajectory (speedup, scale, seed,
-commit) rather than only ad-hoc text tables.
+commit) rather than only ad-hoc text tables. Earlier committed
+trajectories (``BENCH_PR3.json``) stay in place as regression baselines:
+``benchmarks/check_regression.py`` compares fresh results against them
+and fails CI on a >20% speedup regression.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``) is for CI: benchmarks shrink their
 scales via :func:`scale` and skip their perf-floor assertions (see
@@ -25,6 +28,7 @@ from pathlib import Path
 __all__ = [
     "RESULTS_DIR",
     "TRAJECTORY_PATH",
+    "BASELINE_PATHS",
     "smoke",
     "scale",
     "enforce_floors",
@@ -33,7 +37,10 @@ __all__ = [
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
-TRAJECTORY_PATH = ROOT / "BENCH_PR3.json"
+TRAJECTORY_PATH = ROOT / "BENCH_PR4.json"
+
+#: Committed trajectories, newest first — the regression-gate baselines.
+BASELINE_PATHS = (ROOT / "BENCH_PR4.json", ROOT / "BENCH_PR3.json")
 
 
 def smoke() -> bool:
@@ -107,11 +114,11 @@ def record(
         except json.JSONDecodeError:
             trajectory = {"results": {}}
     trajectory.setdefault("results", {})
-    previous = trajectory["results"].get(name)
-    # A smoke run's timings are meaningless on shared CI hardware; keep
-    # any existing full-run entry instead of clobbering it.
-    if not (entry["smoke"] and previous is not None and not previous.get("smoke")):
-        trajectory["results"][name] = entry
+    # Smoke runs never clobber full-run numbers: they live under their own
+    # trajectory key, which doubles as the regression-gate baseline for CI
+    # smoke runs (see benchmarks/check_regression.py).
+    key = f"{name}@smoke" if entry["smoke"] else name
+    trajectory["results"][key] = entry
     trajectory["updated_at"] = entry["recorded_at"]
     TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
     return entry

@@ -9,8 +9,10 @@ against, the astronomy use-case substrate (universe simulator, halo finder,
 merger-tree workload, mini relational engine with materialized views), the
 fleet engine (:mod:`repro.fleet`) that batches hundreds of concurrent
 pricing games into one slot-synchronized scheduler with workload-derived
-bids, and experiment drivers that regenerate every figure in the paper's
-evaluation.
+bids, the closed optimization loop (:mod:`repro.advisor`) that mines
+executed workloads into priceable view and index candidates and adopts
+whatever the pricing games fund, and experiment drivers that regenerate
+every figure in the paper's evaluation.
 
 Quickstart
 ----------

@@ -1,0 +1,49 @@
+"""Closed-loop physical-design advisor.
+
+The paper prices shared optimizations by the query cost they save each
+tenant — but somebody has to *propose* the optimizations. This package
+closes that loop over the relational substrate:
+
+1. :class:`WorkloadLog` records normalized query templates and pass
+   counts from :class:`~repro.db.engine.QueryEngine` executions (attach
+   it via the engine's ``log`` parameter);
+2. :func:`enumerate_candidates` mines the log into priceable candidates —
+   narrow materialized views *and* hash/sorted indexes
+   (:class:`~repro.db.savings.CandidateIndex`), sized and selectivity-
+   estimated through ANALYZE statistics;
+3. :class:`OptimizationAdvisor` prices every candidate with
+   :meth:`~repro.db.savings.SavingsEstimator.price_many`, runs the fleet
+   pricing games over workload-derived bids
+   (:mod:`repro.fleet.pipeline`), and *adopts* the funded designs into
+   the :class:`~repro.db.catalog.Catalog` — at which point the
+   stats-driven planner immediately serves the cheaper plans, on both
+   the iterator and the columnar vector engine.
+
+Adopted plans return bit-identical rows to the base-table plans and never
+increase a workload's metered cost (property-tested in
+``tests/test_advisor_properties.py``).
+"""
+
+from repro.advisor.log import QueryTemplate, TemplateUsage, WorkloadLog
+from repro.advisor.candidates import (
+    CandidateSet,
+    ViewSpec,
+    enumerate_candidates,
+)
+from repro.advisor.advisor import (
+    AdvisorConfig,
+    AdvisorOutcome,
+    OptimizationAdvisor,
+)
+
+__all__ = [
+    "QueryTemplate",
+    "TemplateUsage",
+    "WorkloadLog",
+    "ViewSpec",
+    "CandidateSet",
+    "enumerate_candidates",
+    "AdvisorConfig",
+    "AdvisorOutcome",
+    "OptimizationAdvisor",
+]

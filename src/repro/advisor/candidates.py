@@ -1,0 +1,172 @@
+"""Candidate enumeration: from mined templates to priceable designs.
+
+Given a :class:`~repro.advisor.log.WorkloadLog` and the live catalog,
+:func:`enumerate_candidates` proposes every shared optimization the
+logged workload could plausibly fund:
+
+* one **narrow materialized view** per touched table, projecting exactly
+  the columns the table's templates touch and absorbing any row filter
+  all of them share (``excluded`` pairs) — its retained fraction is
+  estimated from ANALYZE selectivities;
+* one **hash index** per equality-probed ``(table, column)`` pair, its
+  workload-normalized probes-per-run averaged across tenants;
+* one **sorted index** per range-probed pair (``kind="range"``
+  templates).
+
+Enumeration registers ANALYZE statistics for every touched table as a
+side effect (:meth:`~repro.db.catalog.Catalog.analyze_table`) — the same
+statistics the cost-based planner consults — so advising a catalog also
+flips its planner into stats-driven mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.advisor.log import WorkloadLog
+from repro.db.catalog import Catalog
+from repro.db.expr import And, Col, Const, Ne
+from repro.db.operators import Filter, Project, SeqScan
+from repro.db.planner import HALO, PID, view_name_for
+from repro.db.savings import Candidate, CandidateIndex, CandidateView
+from repro.db.view import MaterializedView
+from repro.errors import GameConfigError
+
+__all__ = ["ViewSpec", "CandidateSet", "enumerate_candidates"]
+
+#: Floor for the estimated retained fraction of a filtered view (the
+#: estimator requires keep_fraction > 0; a view that statistics claim
+#: retains nothing still materializes *something* until proven empty).
+MIN_KEEP_FRACTION = 1e-9
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """How to actually materialize one enumerated view candidate."""
+
+    table_name: str
+    columns: tuple
+    excluded: tuple
+
+    def build(self, catalog: Catalog, name: str) -> MaterializedView:
+        """The :class:`MaterializedView` realizing this spec."""
+        base = catalog.table(self.table_name)
+        columns, excluded = self.columns, self.excluded
+
+        def definition():
+            plan = SeqScan(base)
+            predicate = None
+            for column, value in excluded:
+                clause = Ne(Col(column), Const(value))
+                predicate = clause if predicate is None else And(predicate, clause)
+            if predicate is not None:
+                plan = Filter(plan, predicate)
+            return Project(plan, list(columns))
+
+        return MaterializedView(name, definition)
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Everything enumeration produced, ready for pricing and adoption."""
+
+    candidates: tuple
+    view_specs: Mapping[str, ViewSpec]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def by_name(self, name: str) -> Candidate:
+        """Look one candidate up by its (unique) name."""
+        for candidate in self.candidates:
+            if candidate.name == name:
+                return candidate
+        raise GameConfigError(f"no enumerated candidate named {name!r}")
+
+
+def _planner_view_name(table_name: str, columns, excluded) -> str:
+    """The candidate view's name — the planner's canonical name when the
+    shape matches the narrow (pid, halo) clustered pass it plans for,
+    a generic derived name otherwise."""
+    if set(columns) == {PID, HALO} and tuple(excluded) == ((HALO, -1),):
+        return view_name_for(table_name)
+    return f"v_{table_name}__" + "_".join(columns)
+
+
+def _keep_fraction(catalog: Catalog, table_name: str, excluded) -> float:
+    """Estimated fraction of base rows the filtered view retains."""
+    keep = 1.0
+    stats = catalog.stats(table_name)
+    if stats is not None:
+        for column, _value in excluded:
+            if column in stats.columns:
+                keep *= 1.0 - stats.column(column).eq_selectivity()
+    return min(max(keep, MIN_KEEP_FRACTION), 1.0)
+
+
+def enumerate_candidates(catalog: Catalog, log: WorkloadLog) -> CandidateSet:
+    """Mine the log into priceable candidates (see the module docstring)."""
+    candidates: list = []
+    view_specs: dict[str, ViewSpec] = {}
+    for table_name in log.tables:
+        templates = log.templates_of(table_name)
+
+        # ANALYZE exactly the columns the workload touches; the planner
+        # and estimator read the same registered statistics.
+        touched: dict[str, None] = {}
+        for template in templates:
+            for column in template.columns:
+                touched.setdefault(column, None)
+        catalog.analyze_table(table_name, list(touched))
+
+        # One covering narrow view per table: the union of touched
+        # columns, absorbing only the filters *every* template shares.
+        shared_excluded = None
+        for template in templates:
+            pairs = set(template.excluded)
+            shared_excluded = (
+                pairs if shared_excluded is None else shared_excluded & pairs
+            )
+        excluded = tuple(sorted(shared_excluded or ()))
+        columns = tuple(touched)
+        name = _planner_view_name(table_name, columns, excluded)
+        base = catalog.table(table_name)
+        if set(columns) != set(base.schema.names) or excluded:
+            candidates.append(
+                CandidateView(
+                    name=name,
+                    table_name=table_name,
+                    columns=columns,
+                    keep_fraction=_keep_fraction(catalog, table_name, excluded),
+                )
+            )
+            view_specs[name] = ViewSpec(
+                table_name=table_name, columns=columns, excluded=excluded
+            )
+
+        # One index candidate per probed (table, column, kind): hash for
+        # equality templates, sorted for range templates. Probe rates are
+        # fleet-averaged across every tenant using the template.
+        probed: dict[tuple, list] = {}
+        for tenant, template, usage in log.entries():
+            if template.table_name != table_name:
+                continue
+            if template.key_column is None or usage.probes <= 0:
+                continue
+            index_kind = "sorted" if template.kind == "range" else "hash"
+            totals = probed.setdefault((template.key_column, index_kind), [0.0, 0.0])
+            totals[0] += usage.probes
+            totals[1] += usage.passes
+        for (column, index_kind), (probes, passes) in probed.items():
+            suffix = "_sorted" if index_kind == "sorted" else ""
+            candidates.append(
+                CandidateIndex(
+                    name=f"ix_{table_name}_{column}{suffix}",
+                    table_name=table_name,
+                    column=column,
+                    kind=index_kind,
+                    probes_per_run=probes / passes,
+                )
+            )
+    return CandidateSet(candidates=tuple(candidates), view_specs=view_specs)

@@ -27,7 +27,7 @@ from repro.astro.pricing import Ec2Pricing
 from repro.astro.simulator import UniverseConfig, UniverseSimulator
 from repro.astro.workload import AstronomerWorkload
 from repro.db.catalog import Catalog
-from repro.db.costmodel import CostMeter, CostModel
+from repro.db.costmodel import CostModel
 from repro.db.engine import QueryEngine
 from repro.db.expr import Col, Const, Ne
 from repro.db.operators import Filter, Project, SeqScan

@@ -16,7 +16,7 @@ anything real.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Union
+from typing import Mapping
 
 from repro.bids.additive import AdditiveBid
 from repro.core.outcome import AddOnOutcome, ShapleyResult, UserId

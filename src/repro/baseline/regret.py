@@ -22,7 +22,6 @@ total utility, as the paper's experiments do.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping
 

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import (
+    AdvisorLoopConfig,
     Fig1Config,
     Fig2AdditiveConfig,
     Fig2SubstitutiveConfig,
@@ -33,6 +34,7 @@ from repro.experiments import (
     format_result,
     format_summary,
     measure_fleet_point,
+    run_advisor_loop,
     run_fig1_astronomy,
     run_fig2_additive,
     run_fig2_substitutive,
@@ -180,6 +182,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=2, help="timing repeats (best-of)"
     )
     fleet.add_argument("--seed", type=int, default=2012, help="master RNG seed")
+
+    advise = sub.add_parser(
+        "advise",
+        help="run the closed optimization loop on the astronomy workload",
+    )
+    advise.add_argument(
+        "--particles", type=int, default=4000, help="particles per snapshot"
+    )
+    advise.add_argument(
+        "--snapshots", type=int, default=4, help="simulated snapshots"
+    )
+    advise.add_argument(
+        "--slots", type=int, default=12, help="pricing-game horizon in slots"
+    )
+    advise.add_argument(
+        "--storage-rate", type=float, default=1e-6, dest="storage_rate",
+        help="dollars per stored byte per period (candidate cost C_j)",
+    )
+    advise.add_argument(
+        "--engine-mode", choices=("auto", "vector", "iterator"),
+        default="auto", dest="engine_mode",
+        help="relational engine execution path",
+    )
+    advise.add_argument("--seed", type=int, default=2012, help="master RNG seed")
     return parser
 
 
@@ -204,6 +230,37 @@ def _run_fleet(args) -> int:
     return 0
 
 
+def _run_advise(args) -> int:
+    loop = run_advisor_loop(
+        AdvisorLoopConfig(
+            particles=args.particles,
+            snapshots=args.snapshots,
+            horizon=args.slots,
+            dollars_per_byte=args.storage_rate,
+            engine_mode=args.engine_mode,
+            seed=args.seed,
+        )
+    )
+    outcome = loop.outcome
+    print(
+        f"== advise: {args.particles} particles x {args.snapshots} snapshots, "
+        f"{len(outcome.candidates)} candidates mined =="
+    )
+    for candidate in outcome.candidates.candidates:
+        quote = outcome.quotes[candidate.name]
+        state = "funded" if candidate.name in outcome.funded else "unfunded"
+        print(
+            f"{candidate.name:<24} {quote.kind:<7} "
+            f"{quote.saving_units_per_run:>12.0f} units/run  {state}"
+        )
+    print(f"adopted: {', '.join(outcome.adopted) if outcome.adopted else '(none)'}")
+    print(
+        f"metered workload cost: {loop.baseline_units:,.0f} -> "
+        f"{loop.advised_units:,.0f} units ({loop.cost_ratio:.1f}x cheaper)"
+    )
+    return 0
+
+
 def _emit(result, args) -> None:
     text = format_summary(result) if args.summary else format_result(result, max_rows=args.rows)
     print(text)
@@ -221,9 +278,12 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, section, description) in FIGURES.items():
             print(f"{name:<7} Section {section:<6} {description}")
         print("fleet   (engine)       fleet engine vs independent services")
+        print("advise  (advisor)      closed optimization loop on astronomy")
         return 0
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "advise":
+        return _run_advise(args)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

@@ -7,7 +7,7 @@ index, a materialized view, a replica — with its fixed period cost ``C_j``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.core.outcome import OptId

@@ -42,7 +42,13 @@ from repro.db.view import MaterializedView
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter, CostModel
 from repro.db.engine import ENGINE_MODES, QueryEngine
-from repro.db.savings import CandidateView, SavingsEstimator, SavingsQuote
+from repro.db.savings import (
+    Candidate,
+    CandidateIndex,
+    CandidateView,
+    SavingsEstimator,
+    SavingsQuote,
+)
 from repro.db.stats import ColumnStats, TableStats, analyze
 
 __all__ = [
@@ -92,6 +98,8 @@ __all__ = [
     "CostMeter",
     "CostModel",
     "QueryEngine",
+    "Candidate",
+    "CandidateIndex",
     "CandidateView",
     "SavingsEstimator",
     "SavingsQuote",

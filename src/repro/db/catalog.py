@@ -1,9 +1,10 @@
-"""Catalog: the registry of tables, indexes and materialized views."""
+"""Catalog: the registry of tables, indexes, views and statistics."""
 
 from __future__ import annotations
 
 from repro.db.costmodel import CostMeter
 from repro.db.index import HashIndex, SortedIndex
+from repro.db.stats import TableStats, analyze
 from repro.db.table import Table
 from repro.db.view import MaterializedView
 from repro.errors import QueryError, SchemaError
@@ -19,6 +20,7 @@ class Catalog:
         self._views: dict[str, MaterializedView] = {}
         self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
         self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
+        self._stats: dict[str, TableStats] = {}
 
     # ------------------------------------------------------------- tables --
 
@@ -37,13 +39,14 @@ class Catalog:
             raise QueryError(f"no table named {name!r}") from None
 
     def drop_table(self, name: str) -> None:
-        """Remove a table and any indexes built on it."""
+        """Remove a table and any indexes or statistics built on it."""
         self.table(name)
         del self._tables[name]
         for key in [k for k in self._hash_indexes if k[0] == name]:
             del self._hash_indexes[key]
         for key in [k for k in self._sorted_indexes if k[0] == name]:
             del self._sorted_indexes[key]
+        self._stats.pop(name, None)
 
     @property
     def table_names(self) -> list[str]:
@@ -115,3 +118,21 @@ class Catalog:
     def sorted_index(self, table_name: str, key: str) -> SortedIndex | None:
         """The sorted index on ``table.key`` if one exists."""
         return self._sorted_indexes.get((table_name, key))
+
+    # --------------------------------------------------------- statistics --
+
+    def analyze_table(self, name: str, columns=None) -> TableStats:
+        """Run ANALYZE on one table and register the result.
+
+        The registered :class:`~repro.db.stats.TableStats` is what the
+        cost-based planner and the savings estimator consult; re-running
+        replaces the previous snapshot (statistics do not auto-refresh on
+        insert — like a real ANALYZE, they are a deliberate sampling act).
+        """
+        stats = analyze(self.table(name), columns)
+        self._stats[name] = stats
+        return stats
+
+    def stats(self, name: str) -> TableStats | None:
+        """The registered statistics of one table, or None if never analyzed."""
+        return self._stats.get(name)

@@ -48,6 +48,12 @@ class QueryEngine:
     default) runs vectorized whenever the plan translates and falls back
     to the iterator otherwise. Both paths return identical rows and
     charge identical meters, so the mode is purely a speed knob.
+
+    ``log`` optionally attaches a workload recorder (duck-typed to
+    :class:`repro.advisor.WorkloadLog`): every query records its
+    *normalized template* — shape, table, touched columns, probed key —
+    through ``log.record_query(...)``, never its constants. The advisor
+    mines those templates into candidate optimizations.
     """
 
     def __init__(
@@ -55,12 +61,14 @@ class QueryEngine:
         catalog: Catalog,
         cost_model: CostModel | None = None,
         mode: str = "auto",
+        log=None,
     ) -> None:
         if mode not in ENGINE_MODES:
             raise QueryError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
         self.catalog = catalog
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.mode = mode
+        self.log = log
 
     def minutes_of(self, meter: CostMeter) -> float:
         """Simulated minutes of the metered work."""
@@ -86,6 +94,14 @@ class QueryEngine:
 
     def halo_members(self, table_name: str, halo_id: int) -> QueryResult:
         """Particle ids of one halo in one snapshot."""
+        if self.log is not None:
+            self.log.record_query(
+                kind="members",
+                table_name=table_name,
+                columns=("pid", "halo"),
+                key_column="halo",
+                excluded=(("halo", -1),),
+            )
         meter = CostMeter()
         choice = members_plan(self.catalog, table_name, halo_id)
         rows = self.execute_plan(choice.plan, meter)
@@ -95,8 +111,20 @@ class QueryEngine:
         self, table_name: str, member_pids
     ) -> QueryResult:
         """(halo, count) pairs for ``member_pids`` within one snapshot."""
+        keys = frozenset(member_pids)
+        if self.log is not None:
+            # Logged probes match what the plan will actually issue: one
+            # per distinct key, regardless of input duplicates.
+            self.log.record_query(
+                kind="histogram",
+                table_name=table_name,
+                columns=("pid", "halo"),
+                key_column="pid",
+                excluded=(("halo", -1),),
+                probes=float(len(keys)),
+            )
         meter = CostMeter()
-        choice = histogram_plan(self.catalog, table_name, frozenset(member_pids))
+        choice = histogram_plan(self.catalog, table_name, keys)
         rows = self.execute_plan(choice.plan, meter)
         return QueryResult(rows=rows, meter=meter, source=choice.source)
 

@@ -8,7 +8,7 @@ used by the extended examples and tests.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator
 
 from repro.db.costmodel import CostMeter
 from repro.db.operators import Operator

@@ -8,7 +8,7 @@ can compile predicates and projections once.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.db.costmodel import CostMeter
 from repro.db.expr import Expr

@@ -1,4 +1,4 @@
-"""Rule-based access-path selection and what-if costing.
+"""Cost-based access-path selection and what-if costing.
 
 The astronomy workload needs two plan shapes per snapshot:
 
@@ -7,11 +7,25 @@ The astronomy workload needs two plan shapes per snapshot:
   set ends up in it.
 
 Both only touch ``(pid, halo)``, so a narrow materialized view (the
-paper's optimization) serves either; the planner picks the view when the
-catalog has it, else falls back to scanning the wide base table. The
-``what_if_*`` helpers estimate the byte cost of both alternatives without
-executing anything — that difference, run through the cost model and the
-pricing layer, is a user's *value* for the view.
+paper's optimization) serves either; a hash index on the probed column
+serves them too. The planner compares estimated cost units across every
+access path the catalog offers — index probe, materialized view, filtered
+base scan — and picks the cheapest. Estimates are *stats-driven* when the
+table has registered ANALYZE statistics
+(:meth:`~repro.db.catalog.Catalog.analyze_table`): expected probe matches
+come from the column's measured selectivity instead of the live-size
+uniformity heuristic. Because plan choice happens before physical
+translation, the same cost-based decision serves the iterator and the
+columnar vector engine alike.
+
+Tie-breaking is deterministic and documented: the index must be *strictly*
+cheaper than the narrow scan to win, so on equal estimates the scan-shaped
+source prevails — and within scan shapes the materialized view prevails
+over the base table (it can never estimate worse than the wide fallback).
+
+The ``what_if_*`` helpers estimate the byte cost of the alternatives
+without executing anything — that difference, run through the cost model
+and the pricing layer, is a user's *value* for an optimization.
 """
 
 from __future__ import annotations
@@ -103,19 +117,38 @@ def what_if_index_units(
     return probes * _COST.probe_weight + expected_matches * _COST.emit_weight
 
 
+def _expected_eq_matches(
+    catalog: Catalog, table_name: str, column: str, fallback: float
+) -> float:
+    """Expected rows one equality probe on ``column`` fetches.
+
+    Stats-driven when the table has registered ANALYZE statistics covering
+    the column (``row_count x eq_selectivity``); otherwise the supplied
+    live-size heuristic value.
+    """
+    stats = catalog.stats(table_name)
+    if stats is not None and column in stats.columns:
+        return stats.estimated_rows_eq(column)
+    return fallback
+
+
 def members_plan(catalog: Catalog, table_name: str, halo_id: int) -> PlanChoice:
     """Plan producing the particle ids belonging to ``halo_id``.
 
     Access paths, cheapest estimated first: a hash index on ``halo`` (one
     probe plus the matching rows), then the materialized view, then the
-    filtered base table. The index estimate assumes uniform halo sizes
-    (rows / distinct halos) — the System-R assumption from
-    :mod:`repro.db.stats`.
+    filtered base table. The expected match count is stats-driven when the
+    table has been analyzed, else assumes uniform halo sizes (rows /
+    distinct halos) — the System-R assumption from :mod:`repro.db.stats`.
+    On an exact estimate tie the scan-shaped source wins (see the module
+    docstring).
     """
     index = catalog.hash_index(table_name, HALO)
     if index is not None:
         base = catalog.table(table_name)
-        expected = len(base) / max(len(index), 1)
+        expected = _expected_eq_matches(
+            catalog, table_name, HALO, len(base) / max(len(index), 1)
+        )
         if what_if_index_units(catalog, table_name, expected) < _narrow_scan_units(
             catalog, table_name
         ):
@@ -135,16 +168,20 @@ def histogram_plan(
     """Plan counting rows per halo among ``member_pids`` in ``table_name``.
 
     With a hash index on ``pid`` the semi-join becomes one probe per
-    member (each matching at most one row); the planner compares that
-    against the narrow scan and picks the cheaper estimate. Unclustered
-    matches are filtered after the index fetch so both paths agree with
-    the view's clustered-only contents.
+    member; the planner compares that against the narrow scan and picks
+    the strictly cheaper estimate (scan-shaped sources win ties).
+    Expected matches per probe are stats-driven when the table has been
+    analyzed (particle ids are near-unique, so this stays ~1 per probe),
+    else assume unique keys. Unclustered matches are filtered after the
+    index fetch so both paths agree with the view's clustered-only
+    contents.
     """
     index = catalog.hash_index(table_name, PID)
     if index is not None:
         probes = len(member_pids)
+        per_probe = _expected_eq_matches(catalog, table_name, PID, 1.0)
         index_units = what_if_index_units(
-            catalog, table_name, expected_matches=probes, probes=probes
+            catalog, table_name, expected_matches=probes * per_probe, probes=probes
         )
         if index_units < _narrow_scan_units(catalog, table_name):
             fetched = Filter(

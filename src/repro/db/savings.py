@@ -15,18 +15,40 @@ does not reduce scan bytes, so a narrow materialized view saves
 ``wide_bytes - view_bytes`` of sequential scan per pass, plus — when the
 view also absorbs a row filter — one filter emit per surviving row that
 the base-table fallback must still pay.
+
+Indexes are priced through the same interface: a
+:class:`CandidateIndex` replaces one wide sequential scan per run with
+``probes_per_run`` probes plus the expected matching-row emits, where the
+expected matches come from the table's registered ANALYZE statistics
+(:meth:`~repro.db.catalog.Catalog.stats` — equality selectivity for hash
+indexes, range selectivity for sorted ones). Both candidate kinds flow
+through :meth:`SavingsEstimator.price_many` into the same fleet pricing
+games, which is what makes indexes first-class purchasable optimizations
+rather than a planner-only concern.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Union
 
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostModel
 from repro.errors import GameConfigError, QueryError
 
-__all__ = ["CandidateView", "SavingsQuote", "SavingsEstimator"]
+__all__ = [
+    "CandidateView",
+    "CandidateIndex",
+    "Candidate",
+    "SavingsQuote",
+    "SavingsEstimator",
+]
+
+#: Logical bytes one index entry spends on its row-id pointer.
+RID_WIDTH = 8
+
+#: Index kinds a :class:`CandidateIndex` may take.
+INDEX_KINDS = ("hash", "sorted")
 
 
 @dataclass(frozen=True)
@@ -54,25 +76,63 @@ class CandidateView:
 
 
 @dataclass(frozen=True)
+class CandidateIndex:
+    """A hypothetical secondary index over one base-table column.
+
+    ``kind`` selects the access pattern being priced: a ``"hash"`` index
+    answers equality probes, a ``"sorted"`` index answers one range probe
+    per run (``low``/``high`` describe the typical range; None means
+    unbounded on that side). ``probes_per_run`` is the workload-normalized
+    probe count one query pass issues — e.g. a semi-join probing each of
+    ``k`` keys prices as ``k`` probes.
+    """
+
+    name: str
+    table_name: str
+    column: str
+    kind: str = "hash"
+    probes_per_run: float = 1.0
+    low: object = None
+    high: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise GameConfigError(
+                f"index kind must be one of {INDEX_KINDS}, got {self.kind!r}"
+            )
+        if self.probes_per_run <= 0:
+            raise GameConfigError(
+                f"probes per run must be > 0, got {self.probes_per_run}"
+            )
+
+
+@dataclass(frozen=True)
 class SavingsQuote:
     """One candidate fully priced in a single estimator pass.
 
     Produced by :meth:`SavingsEstimator.price_many`; the fields equal the
     corresponding per-candidate methods exactly (same arithmetic, same
     operation order), so batch consumers like the fleet pipeline get
-    bit-identical numbers at a fraction of the calls.
+    bit-identical numbers at a fraction of the calls. For index candidates
+    the ``view_rows``/``view_bytes`` fields hold the index's covered rows
+    and storage footprint (``kind`` tells the two apart).
     """
 
     view_rows: int
     view_bytes: float
     build_units: float
     saving_units_per_run: float
+    kind: str = "view"
 
     def saving_seconds(self, runs: float, seconds_per_unit: float) -> float:
-        """Simulated seconds ``runs`` narrow passes save under this quote."""
+        """Simulated seconds ``runs`` optimized passes save under this quote."""
         if runs < 0:
             raise GameConfigError(f"run count must be >= 0, got {runs}")
         return self.saving_units_per_run * runs * seconds_per_unit
+
+
+#: Anything :meth:`SavingsEstimator.price_many` can price.
+Candidate = Union[CandidateView, CandidateIndex]
 
 
 class SavingsEstimator:
@@ -133,30 +193,91 @@ class SavingsEstimator:
             raise GameConfigError(f"run count must be >= 0, got {runs}")
         return self.saving_units_per_run(candidate) * runs * self.model.seconds_per_unit
 
+    # ------------------------------------------------------------ indexes --
+
+    def index_rows(self, candidate: CandidateIndex) -> int:
+        """Rows the candidate index would cover."""
+        return len(self.catalog.table(candidate.table_name))
+
+    def index_bytes(self, candidate: CandidateIndex) -> float:
+        """Storage bytes of the index: one (key, rid) entry per row."""
+        table = self.catalog.table(candidate.table_name)
+        key_width = table.schema.project([candidate.column]).row_width
+        return float(len(table) * (key_width + RID_WIDTH))
+
+    def index_build_units(self, candidate: CandidateIndex) -> float:
+        """One-off build cost, mirroring what the real index constructors
+        charge (:class:`~repro.db.index.HashIndex` /
+        :class:`~repro.db.index.SortedIndex`: one build pass over the wide
+        base rows)."""
+        table = self.catalog.table(candidate.table_name)
+        return (
+            len(table) * table.schema.row_width * self.model.build_byte_weight
+        )
+
+    def expected_matches_per_run(self, candidate: CandidateIndex) -> float:
+        """Rows one run's probes are expected to fetch, from ANALYZE stats.
+
+        Hash candidates estimate equality matches per probe through the
+        column's distinct count; sorted candidates estimate one range
+        probe's matches through range selectivity. Without registered
+        statistics (:meth:`~repro.db.catalog.Catalog.analyze_table`), the
+        conservative fallback assumes unique keys: one match per probe.
+        """
+        stats = self.catalog.stats(candidate.table_name)
+        if stats is None or candidate.column not in stats.columns:
+            return candidate.probes_per_run
+        column = stats.column(candidate.column)
+        if candidate.kind == "sorted":
+            fraction = column.range_selectivity(candidate.low, candidate.high)
+            return candidate.probes_per_run * stats.row_count * fraction
+        return candidate.probes_per_run * stats.row_count * column.eq_selectivity()
+
+    def index_saving_units_per_run(self, candidate: CandidateIndex) -> float:
+        """Cost units one probe-plan run saves versus one wide scan."""
+        return self.index_saving_units(
+            candidate.table_name,
+            probes=candidate.probes_per_run,
+            expected_matches=self.expected_matches_per_run(candidate),
+        )
+
+    # -------------------------------------------------------------- batch --
+
+    def quote(self, candidate: Candidate) -> SavingsQuote:
+        """Fully price one candidate of either kind."""
+        if isinstance(candidate, CandidateIndex):
+            return SavingsQuote(
+                view_rows=self.index_rows(candidate),
+                view_bytes=self.index_bytes(candidate),
+                build_units=self.index_build_units(candidate),
+                saving_units_per_run=self.index_saving_units_per_run(candidate),
+                kind=candidate.kind,
+            )
+        return SavingsQuote(
+            view_rows=self.view_rows(candidate),
+            view_bytes=self.view_bytes(candidate),
+            build_units=self.build_units(candidate),
+            saving_units_per_run=self.saving_units_per_run(candidate),
+            kind="view",
+        )
+
     def price_many(
-        self, candidates: Iterable[CandidateView]
+        self, candidates: Iterable[Candidate]
     ) -> Mapping[str, SavingsQuote]:
         """Price every candidate once: ``{name: SavingsQuote}``.
 
         One estimator pass per candidate instead of one per (workload,
         candidate) pair — the fleet pipeline's bid generation goes from
         O(W x C) catalog walks to O(C). Numbers are bit-identical to the
-        per-candidate methods.
+        per-candidate methods, and views and indexes share the quote type
+        so the pricing games downstream cannot tell them apart.
         """
-        quotes: dict[str, SavingsQuote] = {}
-        for candidate in candidates:
-            quotes[candidate.name] = SavingsQuote(
-                view_rows=self.view_rows(candidate),
-                view_bytes=self.view_bytes(candidate),
-                build_units=self.build_units(candidate),
-                saving_units_per_run=self.saving_units_per_run(candidate),
-            )
-        return quotes
+        return {c.name: self.quote(c) for c in candidates}
 
     def index_saving_units(
-        self, table_name: str, probes: int, expected_matches: float
+        self, table_name: str, probes: float, expected_matches: float
     ) -> float:
-        """Cost units a hash-index probe plan saves versus one wide scan.
+        """Cost units a probe plan saves versus one wide scan.
 
         Mirrors :func:`repro.db.planner.what_if_index_units` on the probe
         side; clamped at zero when probing is not cheaper.

@@ -2,15 +2,17 @@
 
 The planner's what-if pricing needs cost *estimates* without executing
 plans. ``analyze`` collects per-column statistics (distinct counts,
-min/max, null-ish fractions) in one pass; ``Selectivity`` turns simple
-predicates into row-fraction estimates with the classical System-R
-assumptions (uniformity, independence).
+min/max) in one pass; the per-column objects turn simple predicates into
+row-fraction estimates with the classical System-R assumptions
+(uniformity, independence). The advisor's candidate enumeration and the
+cost-based planner both consume these estimates, so they are the single
+source of "how many rows will this touch" in the whole pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.db.table import Table
 from repro.errors import QueryError
@@ -37,19 +39,22 @@ class ColumnStats:
         """Estimated fraction matching ``low <= col <= high``.
 
         Falls back to 1/3 (the System-R default) for non-numeric columns
-        or degenerate ranges.
+        (including all-null columns, whose bounds are ``None``). A
+        single-value column matches fully when its value lies inside the
+        requested range and not at all otherwise; requested bounds are
+        clamped to the observed min/max before the span ratio is taken.
         """
         if not isinstance(self.minimum, (int, float)) or not isinstance(
             self.maximum, (int, float)
         ):
             return 1.0 / 3.0
         span = float(self.maximum) - float(self.minimum)
-        if span <= 0:
-            return 1.0
         lo = float(self.minimum) if low is None else max(float(low), float(self.minimum))
         hi = float(self.maximum) if high is None else min(float(high), float(self.maximum))
         if hi < lo:
             return 0.0
+        if span <= 0:
+            return 1.0
         return min(1.0, (hi - lo) / span)
 
 
@@ -80,9 +85,26 @@ class TableStats:
         return float(self.row_count * self.row_width)
 
 
-def analyze(table: Table) -> TableStats:
-    """Collect statistics in one pass over ``table``."""
-    positions = {c.name: i for i, c in enumerate(table.schema.columns)}
+def analyze(table: Table, columns: Sequence[str] | None = None) -> TableStats:
+    """Collect statistics in one pass over ``table``.
+
+    ``columns`` restricts the pass to the named columns (the advisor only
+    ever needs the handful a workload touches); asking for a column the
+    table does not have raises :class:`~repro.errors.QueryError` naming
+    the table, never a bare ``KeyError``.
+    """
+    if columns is None:
+        wanted = [c.name for c in table.schema.columns]
+    else:
+        wanted = list(columns)
+        known = set(table.schema.names)
+        for name in wanted:
+            if name not in known:
+                raise QueryError(
+                    f"cannot analyze column {name!r}: table {table.name!r} "
+                    f"has columns {list(table.schema.names)}"
+                )
+    positions = {name: table.schema.position(name) for name in wanted}
     seen: dict[str, set] = {name: set() for name in positions}
     minimum: dict[str, object] = {}
     maximum: dict[str, object] = {}

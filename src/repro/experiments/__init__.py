@@ -9,8 +9,10 @@ exactly that.
 
 Beyond the paper's figures, :mod:`repro.experiments.fleet_scale` measures
 this codebase's own fleet-engine claim (many concurrent games vs
-independent services); it drives the ``fleet`` CLI command and
-``benchmarks/bench_fleet.py``.
+independent services) behind the ``fleet`` CLI command and
+``benchmarks/bench_fleet.py``, and :mod:`repro.experiments.advisor_loop`
+measures the closed optimization loop (:mod:`repro.advisor`) behind the
+``advise`` CLI command and ``benchmarks/bench_advisor.py``.
 """
 
 from repro.experiments.common import ExperimentResult, Series
@@ -38,6 +40,11 @@ from repro.experiments.fleet_scale import (
     measure_fleet_point,
     run_fleet_scale,
 )
+from repro.experiments.advisor_loop import (
+    AdvisorLoopConfig,
+    AdvisorLoopResult,
+    run_advisor_loop,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -61,4 +68,7 @@ __all__ = [
     "FleetScaleConfig",
     "measure_fleet_point",
     "run_fleet_scale",
+    "AdvisorLoopConfig",
+    "AdvisorLoopResult",
+    "run_advisor_loop",
 ]

@@ -8,7 +8,7 @@ experiment drivers reproducible and the call sites tidy.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

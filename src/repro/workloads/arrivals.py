@@ -10,7 +10,6 @@ the clamp never triggered for them in 1000 runs at these means.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -8,7 +8,6 @@ equally expensive").
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import GameConfigError
 from repro.utils.rng import RngLike, ensure_rng

@@ -1,0 +1,218 @@
+"""Properties of the closed optimization loop.
+
+Three contracts the advisor must never break:
+
+* adopting a funded physical design returns **bit-identical rows** for
+  every workload query;
+* adoption never **increases** a workload's metered cost;
+* fleet-priced **index candidates travel the identical mechanism path**
+  as view candidates — same bids in, same game outcomes out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import AdvisorConfig, OptimizationAdvisor, WorkloadLog
+from repro.cloudsim.catalog import OptimizationCatalog
+from repro.db import (
+    CandidateIndex,
+    CandidateView,
+    Catalog,
+    CostModel,
+    QueryEngine,
+    SavingsEstimator,
+    Schema,
+    Table,
+)
+from repro.fleet import FleetEngine, TenantWorkload, build_fleet, workload_bid
+
+SNAPSHOT_SCHEMA = Schema.of(
+    pid="int", x="float", y="float", z="float", vx="float",
+    vy="float", vz="float", mass="float", halo="int",
+)
+
+
+def snapshot_catalog(seed: int, rows: int, halos: int) -> Catalog:
+    catalog = Catalog()
+    rng = np.random.default_rng(seed)
+    for name in ("snap_01", "snap_02"):
+        catalog.create_table(
+            Table.from_columns(
+                name,
+                SNAPSHOT_SCHEMA,
+                {
+                    "pid": np.arange(rows),
+                    "x": rng.normal(size=rows),
+                    "y": rng.normal(size=rows),
+                    "z": rng.normal(size=rows),
+                    "vx": rng.normal(size=rows),
+                    "vy": rng.normal(size=rows),
+                    "vz": rng.normal(size=rows),
+                    "mass": rng.uniform(1, 2, size=rows),
+                    "halo": rng.integers(-1, halos, size=rows),
+                },
+            )
+        )
+    return catalog
+
+
+def run_workload(engine: QueryEngine, halos: int, model: CostModel):
+    """A fixed query session; returns (all result rows, total units)."""
+    rows, units = [], 0.0
+    for halo in range(halos):
+        members = engine.halo_members("snap_02", halo)
+        rows.append(("members", halo, members.rows))
+        units += model.units(members.meter)
+        histogram = engine.progenitor_histogram(
+            "snap_01", frozenset(r[0] for r in members.rows)
+        )
+        rows.append(("histogram", halo, histogram.rows))
+        units += model.units(histogram.meter)
+        top, meter = engine.top_contributor("snap_02", halo, "snap_01")
+        rows.append(("top", halo, top))
+        units += model.units(meter)
+    return rows, units
+
+
+class TestAdoptionIsInvisibleButCheaper:
+    @given(
+        seed=st.integers(0, 10_000),
+        rows=st.integers(40, 400),
+        halos=st.integers(2, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_rows_and_non_increasing_cost(self, seed, rows, halos):
+        catalog = snapshot_catalog(seed, rows, halos)
+        model = CostModel()
+        log = WorkloadLog()
+        engine = QueryEngine(catalog, model, log=log)
+
+        with log.tenant("prop"):
+            before_rows, before_units = run_workload(engine, halos, model)
+
+        advisor = OptimizationAdvisor(
+            catalog, model, AdvisorConfig(horizon=4, dollars_per_byte=1e-9)
+        )
+        outcome = advisor.advise(log)
+        assert outcome.adopted, "storage this cheap must fund the designs"
+
+        engine.log = None
+        after_rows, after_units = run_workload(engine, halos, model)
+
+        assert after_rows == before_rows, (
+            "adopted plans must return bit-identical results"
+        )
+        assert after_units <= before_units, (
+            f"adoption increased metered cost: {before_units} -> {after_units} "
+            f"(adopted {outcome.adopted})"
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_second_round_is_idempotent_on_results(self, seed):
+        catalog = snapshot_catalog(seed, 120, 5)
+        model = CostModel()
+        log = WorkloadLog()
+        engine = QueryEngine(catalog, model, log=log)
+        with log.tenant("prop"):
+            run_workload(engine, 5, model)
+        advisor = OptimizationAdvisor(
+            catalog, model, AdvisorConfig(horizon=4, dollars_per_byte=1e-9)
+        )
+        advisor.advise(log)
+        engine.log = None
+        first_rows, first_units = run_workload(engine, 5, model)
+
+        # A fresh advising round over a fresh log of the optimized run
+        # must leave results untouched and never regress the cost.
+        log2 = WorkloadLog()
+        engine.log = log2
+        with log2.tenant("prop"):
+            run_workload(engine, 5, model)
+        OptimizationAdvisor(
+            catalog, model, AdvisorConfig(horizon=4, dollars_per_byte=1e-9)
+        ).advise(log2)
+        engine.log = None
+        second_rows, second_units = run_workload(engine, 5, model)
+        assert second_rows == first_rows
+        assert second_units <= first_units
+
+
+class TestIndexesShareTheMechanismPath:
+    @given(
+        seed=st.integers(0, 10_000),
+        tenants=st.integers(1, 6),
+        runs=st.floats(0.5, 20.0),
+        rate=st.floats(1e-7, 1e-4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fleet_outcome_equals_manual_games(self, seed, tenants, runs, rate):
+        """build_fleet's games for a mixed view+index catalog are exactly
+        the games one would build by hand from the same quotes — the
+        candidate's kind never leaks into the mechanism."""
+        catalog = snapshot_catalog(seed, 150, 4)
+        catalog.analyze_table("snap_01", ["pid", "halo"])
+        estimator = SavingsEstimator(catalog, CostModel())
+        candidates = [
+            CandidateView("v_narrow", "snap_01", ("pid", "halo")),
+            CandidateIndex("ix_halo", "snap_01", "halo", probes_per_run=2.0),
+        ]
+        workloads = [
+            TenantWorkload(
+                tenant=f"t{i}",
+                table_name="snap_01",
+                columns=("pid", "halo"),
+                start=1,
+                end=4,
+                runs_per_slot=runs,
+                key_columns=("halo",),
+            )
+            for i in range(tenants)
+        ]
+        fleet = build_fleet(
+            estimator, workloads, candidates, horizon=4, dollars_per_byte=rate
+        )
+        report = fleet.run_to_end()
+
+        # The hand-built twin: same costs, same bids, kind erased.
+        quotes = estimator.price_many(candidates)
+        manual_catalog = OptimizationCatalog.from_costs(
+            {c.name: quotes[c.name].view_bytes * rate for c in candidates}
+        )
+        manual = FleetEngine(manual_catalog, horizon=4)
+        for workload in workloads:
+            for candidate in candidates:
+                bid = workload_bid(
+                    estimator, workload, candidate, quote=quotes[candidate.name]
+                )
+                if bid is not None:
+                    manual.place_bid(workload.tenant, candidate.name, bid)
+        manual_report = manual.run_to_end()
+
+        assert dict(report.implemented) == dict(manual_report.implemented)
+        assert dict(report.payments) == dict(manual_report.payments)
+        assert dict(report.granted_at) == dict(manual_report.granted_at)
+
+    @given(seed=st.integers(0, 10_000), probes=st.floats(0.5, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_price_many_matches_per_candidate_methods(self, seed, probes):
+        catalog = snapshot_catalog(seed, 80, 3)
+        catalog.analyze_table("snap_02", ["pid", "halo", "mass"])
+        estimator = SavingsEstimator(catalog, CostModel())
+        candidates = [
+            CandidateView("v", "snap_02", ("pid", "halo"), keep_fraction=0.5),
+            CandidateIndex("ih", "snap_02", "halo", probes_per_run=probes),
+            CandidateIndex("is", "snap_02", "mass", kind="sorted"),
+        ]
+        quotes = estimator.price_many(candidates)
+        assert quotes["v"].saving_units_per_run == estimator.saving_units_per_run(
+            candidates[0]
+        )
+        for name, candidate in (("ih", candidates[1]), ("is", candidates[2])):
+            assert quotes[name].view_bytes == estimator.index_bytes(candidate)
+            assert quotes[name].saving_units_per_run == (
+                estimator.index_saving_units_per_run(candidate)
+            )

@@ -197,3 +197,132 @@ class TestIndexAwarePlans:
         catalog.create_table(halos_table)
         units = what_if_index_units(catalog, "snap_01", expected_matches=10.0)
         assert units == pytest.approx(1 * 32.0 + 10.0 * 4.0)
+
+
+class TestSelectivityEdges:
+    """Satellite coverage: degenerate statistics the estimators lean on."""
+
+    def test_empty_table_behaves_like_all_null_columns(self):
+        stats = analyze(Table("empty", Schema.of(a="int", b="float")))
+        assert stats.row_count == 0
+        for name in ("a", "b"):
+            column = stats.column(name)
+            assert column.distinct == 0
+            assert column.minimum is None and column.maximum is None
+            assert column.eq_selectivity() == 0.0
+            # No numeric bounds: the System-R 1/3 default.
+            assert column.range_selectivity(0, 10) == pytest.approx(1 / 3)
+        assert stats.estimated_rows_eq("a") == 0.0
+
+    def test_single_value_column(self):
+        table = Table("const", Schema.of(v="int"))
+        table.extend([(5,)] * 8)
+        column = analyze(table).column("v")
+        assert column.distinct == 1
+        assert column.eq_selectivity() == 1.0
+        assert column.range_selectivity(0, 10) == 1.0     # value inside
+        assert column.range_selectivity(5, 5) == 1.0      # exactly the value
+        assert column.range_selectivity(6, 10) == 0.0     # entirely above
+        assert column.range_selectivity(0, 4) == 0.0      # entirely below
+        assert column.range_selectivity(None, None) == 1.0
+
+    def test_range_predicates_crossing_min_max_are_clamped(self, halos_table):
+        mass = analyze(halos_table).column("mass")  # spans 0.0 .. 59.0
+        # Bounds beyond the observed range clamp to it.
+        assert mass.range_selectivity(-100.0, 29.5) == pytest.approx(
+            mass.range_selectivity(0.0, 29.5)
+        )
+        assert mass.range_selectivity(29.5, 1000.0) == pytest.approx(
+            mass.range_selectivity(29.5, 59.0)
+        )
+        assert mass.range_selectivity(-100.0, 1000.0) == pytest.approx(1.0)
+        # One-sided ranges clamp the open side.
+        assert mass.range_selectivity(None, 29.5) == pytest.approx(0.5)
+        assert mass.range_selectivity(29.5, None) == pytest.approx(0.5)
+
+    def test_analyze_column_subset(self, halos_table):
+        stats = analyze(halos_table, ["pid", "halo"])
+        assert set(stats.columns) == {"pid", "halo"}
+        with pytest.raises(QueryError):
+            stats.column("mass")  # not analyzed
+
+    def test_analyze_unknown_column_names_table(self, halos_table):
+        with pytest.raises(QueryError, match="snap_01"):
+            analyze(halos_table, ["ghost"])
+
+
+class TestPlannerTieBreaking:
+    """On an exact estimate tie the scan-shaped source must win."""
+
+    @staticmethod
+    def _histogram_fixture():
+        # 20 rows, every row clustered, each pid appearing exactly twice:
+        # the (pid, halo) view scans 20 * 16 = 320 units; probing k pids
+        # estimates k * 32 + k * (20 / 10) * 4 units — exactly 320 at
+        # k = 8, strictly less at k = 7.
+        catalog = Catalog()
+        table = Table("snap_01", Schema.of(
+            pid="int", x="float", y="float", z="float",
+            vx="float", vy="float", vz="float", mass="float", halo="int",
+        ))
+        for i in range(20):
+            table.insert((i // 2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, i % 3))
+        catalog.create_table(table)
+        catalog.create_hash_index("snap_01", "pid")
+        catalog.analyze_table("snap_01", ["pid"])
+        from repro.db import MaterializedView
+        from repro.db.planner import view_name_for
+
+        catalog.create_view(
+            MaterializedView.projection_of(
+                view_name_for("snap_01"), table, ["pid", "halo"]
+            )
+        )
+        return catalog
+
+    def test_histogram_tie_prefers_view(self):
+        catalog = self._histogram_fixture()
+        tie = histogram_plan(catalog, "snap_01", set(range(8)))
+        assert tie.source == "view", "equal estimates must break toward the view"
+        cheaper = histogram_plan(catalog, "snap_01", set(range(7)))
+        assert cheaper.source == "index"
+
+    def test_members_tie_prefers_view(self):
+        # 24 rows, 5 clustered in halo 7: the view scans 5 * 16 = 80
+        # units; the stats-driven index estimate is 32 + (24 / 2) * 4 =
+        # 80 — an exact tie, so the view must win.
+        catalog = Catalog()
+        table = Table("snap_01", Schema.of(
+            pid="int", x="float", y="float", z="float",
+            vx="float", vy="float", vz="float", mass="float", halo="int",
+        ))
+        for i in range(24):
+            halo = 7 if i < 5 else -1
+            table.insert((i, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, halo))
+        catalog.create_table(table)
+        catalog.create_hash_index("snap_01", "halo")
+        catalog.analyze_table("snap_01", ["halo"])
+        from repro.db.expr import Col, Const, Ne
+        from repro.db.operators import Filter, Project, SeqScan
+        from repro.db import MaterializedView
+        from repro.db.planner import view_name_for
+
+        catalog.create_view(
+            MaterializedView(
+                view_name_for("snap_01"),
+                lambda: Project(
+                    Filter(SeqScan(table), Ne(Col("halo"), Const(-1))),
+                    ["pid", "halo"],
+                ),
+            )
+        )
+        tie = members_plan(catalog, "snap_01", 7)
+        assert tie.source == "view", "equal estimates must break toward the view"
+        # Both paths agree on the rows regardless of the tie-break.
+        rows = sorted(tie.plan.materialize(CostMeter()))
+        no_view = Catalog()
+        no_view.create_table(table)
+        base_rows = sorted(
+            members_plan(no_view, "snap_01", 7).plan.materialize(CostMeter())
+        )
+        assert rows == base_rows

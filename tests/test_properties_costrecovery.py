@@ -8,7 +8,6 @@ monotonicity of the Shapley mechanism).
 
 from __future__ import annotations
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

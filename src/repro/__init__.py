@@ -11,8 +11,11 @@ fleet engine (:mod:`repro.fleet`) that batches hundreds of concurrent
 pricing games into one slot-synchronized scheduler with workload-derived
 bids, the closed optimization loop (:mod:`repro.advisor`) that mines
 executed workloads into priceable view and index candidates and adopts
-whatever the pricing games fund, and experiment drivers that regenerate
-every figure in the paper's evaluation.
+whatever the pricing games fund, the unified tenant gateway
+(:mod:`repro.gateway`) that fronts all of it with one versioned,
+JSON-round-trippable ``dispatch(request) -> reply`` surface
+(:class:`~repro.gateway.PricingService`), and experiment drivers that
+regenerate every figure in the paper's evaluation.
 
 Quickstart
 ----------
@@ -39,18 +42,22 @@ from repro.core import (
     run_substoff,
     run_subston,
 )
+from repro.advisor import OptimizationAdvisor
+from repro.db import Catalog, QueryEngine, SavingsEstimator
 from repro.errors import (
     BidError,
     GameConfigError,
     MechanismError,
+    ProtocolError,
     QueryError,
     ReproError,
     RevisionError,
     SchemaError,
 )
 from repro.fleet import FleetBatch, FleetEngine, FleetReport
+from repro.gateway import API_VERSION, PricingService, TenantSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -76,6 +83,15 @@ __all__ = [
     "FleetBatch",
     "FleetEngine",
     "FleetReport",
+    # gateway (the public service surface)
+    "API_VERSION",
+    "PricingService",
+    "TenantSession",
+    # relational substrate and the closed loop
+    "Catalog",
+    "QueryEngine",
+    "SavingsEstimator",
+    "OptimizationAdvisor",
     # errors
     "ReproError",
     "BidError",
@@ -84,4 +100,5 @@ __all__ = [
     "GameConfigError",
     "SchemaError",
     "QueryError",
+    "ProtocolError",
 ]

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.errors import GameConfigError
+
 __all__ = ["PriceDecision", "optimal_price"]
 
 
@@ -60,7 +62,7 @@ def optimal_price(cost: float, future_values: Iterable[float]) -> PriceDecision:
     import math
 
     if cost <= 0 or math.isnan(cost) or math.isinf(cost):
-        raise ValueError(f"cost must be positive and finite, got {cost}")
+        raise GameConfigError(f"cost must be positive and finite, got {cost}")
     residuals = sorted((f for f in future_values if f > 0), reverse=True)
     if not residuals:
         return PriceDecision(price=0.0, payers=0, revenue=0.0, loss=cost)

@@ -85,11 +85,14 @@ class RevisableBid:
         """The bid as the cloud saw it at slot ``t``.
 
         Revisions placed after ``t`` are invisible; before the declaration
-        slot the user has not been seen at all and ``ValueError`` is raised
-        (the mechanisms prune unseen users themselves via ``t >= s_i``).
+        slot the user has not been seen at all and ``RevisionError`` is
+        raised (the mechanisms prune unseen users themselves via
+        ``t >= s_i``).
         """
         if t < self.declared_at:
-            raise ValueError(f"bid was not declared until slot {self.declared_at}")
+            raise RevisionError(
+                f"bid was not declared until slot {self.declared_at}"
+            )
         effective = self._history[0][1]
         for slot, bid in self._history[1:]:
             if slot <= t:

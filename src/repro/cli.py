@@ -12,7 +12,12 @@ Each figure command prints the same series table the benchmark harness
 writes to ``benchmarks/results/`` and optionally saves it with ``--out``.
 The ``fleet`` command is not a paper figure: it races the fleet engine
 against independent per-optimization services on one synthetic workload
-(asserting identical outcomes) and prints both timings.
+(asserting identical outcomes) and prints both timings; ``--gateway``
+races the gateway facade against the direct engine instead. The
+``replay`` command (alias ``serve``) drives a
+:class:`~repro.gateway.PricingService` from a JSONL request trace::
+
+    python -m repro replay trace.jsonl --replies replies.jsonl
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.experiments import (
     format_result,
     format_summary,
     measure_fleet_point,
+    measure_gateway_point,
     run_advisor_loop,
     run_fig1_astronomy,
     run_fig2_additive,
@@ -182,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=2, help="timing repeats (best-of)"
     )
     fleet.add_argument("--seed", type=int, default=2012, help="master RNG seed")
+    fleet.add_argument(
+        "--gateway", action="store_true",
+        help="race the gateway facade against the direct engine instead of "
+        "the engine against independent services",
+    )
 
     advise = sub.add_parser(
         "advise",
@@ -206,10 +217,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="relational engine execution path",
     )
     advise.add_argument("--seed", type=int, default=2012, help="master RNG seed")
+
+    replay = sub.add_parser(
+        "replay",
+        aliases=["serve"],
+        help="drive the pricing gateway from a JSONL request trace",
+    )
+    replay.add_argument(
+        "trace", type=Path, help="request trace, one envelope per line"
+    )
+    replay.add_argument(
+        "--replies", type=Path, default=None,
+        help="write one reply envelope per request line to this JSONL file",
+    )
+    replay.add_argument(
+        "--particles", type=int, default=0,
+        help="simulate an astronomy universe of this many particles into "
+        "the service's relational catalog before replaying (0 = none)",
+    )
+    replay.add_argument(
+        "--snapshots", type=int, default=4,
+        help="snapshots of the simulated universe (with --particles)",
+    )
+    replay.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any request came back as an ErrorReply",
+    )
+    replay.add_argument("--seed", type=int, default=2012, help="universe RNG seed")
     return parser
 
 
 def _run_fleet(args) -> int:
+    if args.gateway:
+        print(
+            f"== gateway: {args.games} games, {args.users} users, "
+            f"{args.slots} slots (bit-identical outcomes asserted) =="
+        )
+        direct_s, gateway_s = measure_gateway_point(
+            games=args.games,
+            users=args.users,
+            slots=args.slots,
+            max_duration=args.duration,
+            mean_cost=args.mean_cost,
+            shards=args.shards,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        print(f"direct fleet engine   {direct_s:>8.3f} s")
+        print(f"gateway dispatch      {gateway_s:>8.3f} s")
+        print(f"dispatch overhead     {(gateway_s / direct_s - 1.0):>8.1%}")
+        return 0
     print(
         f"== fleet: {args.games} games, {args.users} users, "
         f"{args.slots} slots (identical outcomes asserted) =="
@@ -261,6 +318,60 @@ def _run_advise(args) -> int:
     return 0
 
 
+def _run_replay(args) -> int:
+    import json
+
+    from repro.gateway.service import PricingService
+    from repro.gateway.trace import iter_trace, replay
+
+    service = PricingService()
+    if args.particles > 0:
+        # Pre-load a simulated astronomy universe so RunQuery lines have
+        # tables to hit; the table names are snap_01 .. snap_NN.
+        from repro.astro.simulator import UniverseConfig, UniverseSimulator
+
+        snapshots = UniverseSimulator(
+            UniverseConfig(
+                particles=args.particles, snapshots=args.snapshots
+            ),
+            rng=args.seed,
+        ).run()
+        for snapshot in snapshots:
+            service.db.create_table(snapshot.to_table())
+        print(
+            f"[universe: {args.particles} particles x "
+            f"{args.snapshots} snapshots -> {service.db.table_names}]"
+        )
+    result = replay(iter_trace(args.trace), service=service)
+    counts = result.counts()
+    total = len(result.replies)
+    print(f"== replay: {args.trace} -> {total} replies ==")
+    for kind in sorted(counts):
+        print(f"{kind:<16} {counts[kind]:>6}")
+    for reply in result.errors:
+        print(
+            f"error [{reply.get('code')}] {reply.get('request_kind') or '?'}: "
+            f"{reply.get('message')}"
+        )
+    if result.service.fleet is not None:
+        report = result.service.report()
+        print(
+            f"period: slot {result.service.slot}/{result.service.fleet.horizon}, "
+            f"{len(report.implemented)} implemented, "
+            f"cloud balance {report.cloud_balance:.2f}"
+        )
+    if args.replies is not None:
+        args.replies.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.replies, "w", encoding="utf-8") as handle:
+            for reply in result.replies:
+                handle.write(json.dumps(reply) + "\n")
+        print(f"[replies written to {args.replies}]")
+    if args.strict and result.errors:
+        print(f"{len(result.errors)} request(s) failed (--strict)")
+        return 1
+    return 0
+
+
 def _emit(result, args) -> None:
     text = format_summary(result) if args.summary else format_result(result, max_rows=args.rows)
     print(text)
@@ -279,11 +390,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<7} Section {section:<6} {description}")
         print("fleet   (engine)       fleet engine vs independent services")
         print("advise  (advisor)      closed optimization loop on astronomy")
+        print("replay  (gateway)      drive the pricing gateway from a JSONL trace")
         return 0
     if args.command == "fleet":
         return _run_fleet(args)
     if args.command == "advise":
         return _run_advise(args)
+    if args.command in ("replay", "serve"):
+        return _run_replay(args)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

@@ -77,6 +77,15 @@ class EventLog:
     def __init__(self) -> None:
         self._events: list[Event] = []
 
+    def __eq__(self, other: object) -> bool:
+        """Logs are equal when their event sequences are (wire contract:
+        a gateway round-trip must reproduce the history event for event)."""
+        if not isinstance(other, EventLog):
+            return NotImplemented
+        return self._events == other._events
+
+    __hash__ = None  # append-only log: identity hashing would lie across edits
+
     def record(self, event: Event) -> None:
         """Append one event."""
         self._events.append(event)

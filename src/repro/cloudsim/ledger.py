@@ -26,6 +26,15 @@ class BillingLedger:
     def __init__(self) -> None:
         self._entries: list[LedgerEntry] = []
 
+    def __eq__(self, other: object) -> bool:
+        """Ledgers are equal when their entry sequences are (wire contract:
+        a gateway round-trip must reproduce the book line for line)."""
+        if not isinstance(other, BillingLedger):
+            return NotImplemented
+        return self._entries == other._entries
+
+    __hash__ = None  # mutable book: identity hashing would lie across edits
+
     def invoice(self, slot: int, user, amount: float, memo: str = "") -> LedgerEntry:
         """Record a user payment (at her departure slot)."""
         if amount < 0:

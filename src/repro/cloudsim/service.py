@@ -9,7 +9,12 @@ their final cost-share at their departure slot. Every step is recorded in
 the event log and the billing ledger.
 
 Additive mode is a thin wrapper over the fleet scheduler
-(:class:`repro.fleet.engine.FleetEngine`, sized to this one catalog): bids
+(:class:`repro.fleet.engine.FleetEngine`, sized to this one catalog).
+The ``gateway`` property fronts the same engine with a
+:class:`repro.gateway.PricingService` facade on demand; the object
+methods below are retained for handle-based revision (envelopes carry
+no :class:`~repro.bids.revision.RevisableBid` handles) and drive the
+engine directly — new code should prefer the gateway surface. Bids
 are residual-scheduled at placement into per-slot buckets, and a slot is
 one batched pass over the bids whose residuals actually changed, stepped
 through the incremental engine's gated
@@ -110,10 +115,14 @@ class CloudService:
 
         if mode == "additive":
             # Imported here to keep repro.fleet -> repro.cloudsim the only
-            # static dependency direction between the two packages.
+            # static dependency direction between the two packages. The
+            # gateway facade over this engine is built lazily by the
+            # ``gateway`` property so the many short-lived services the
+            # experiment baselines construct never pay for it.
             from repro.fleet.engine import FleetEngine
 
             self._fleet = FleetEngine(catalog, horizon)
+            self._gateway = None
             self.ledger = self._fleet.ledger
             self.events = self._fleet.events
         else:
@@ -137,6 +146,24 @@ class CloudService:
     def slot(self) -> int:
         """Last processed slot (slot 1 is processed first)."""
         return self._fleet.slot if self.mode == "additive" else self._slot
+
+    @property
+    def gateway(self):
+        """The :class:`~repro.gateway.PricingService` fronting this period.
+
+        Additive mode only: envelopes dispatched against it address the
+        very same games the object API below manipulates. Built on first
+        access (lazily, to keep plain additive services cheap) around the
+        service's own fleet engine.
+        """
+        self._require_mode("additive")
+        if self._gateway is None:
+            # Lazy upward import: cloudsim sits below the gateway in the
+            # layering; only this property reaches up.
+            from repro.gateway.service import PricingService
+
+            self._gateway = PricingService(fleet=self._fleet)
+        return self._gateway
 
     # -------------------------------------------------------------- bids --
 

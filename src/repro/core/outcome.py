@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from repro.errors import MechanismError
+
 __all__ = [
     "UserId",
     "OptId",
@@ -73,9 +75,17 @@ class AddOffOutcome:
             (i, j) for j, r in self.results.items() for i in r.serviced
         )
 
+    def _result_of(self, optimization: OptId) -> "ShapleyResult":
+        result = self.results.get(optimization)
+        if result is None:
+            raise MechanismError(
+                f"no game was played for optimization {optimization!r}"
+            )
+        return result
+
     def serviced(self, optimization: OptId) -> frozenset:
         """``S_j`` for one optimization."""
-        return self.results[optimization].serviced
+        return self._result_of(optimization).serviced
 
     def payment(self, user: UserId) -> float:
         """Total payment ``P_i`` across all optimizations."""
@@ -83,7 +93,7 @@ class AddOffOutcome:
 
     def payment_for(self, user: UserId, optimization: OptId) -> float:
         """``p_ij`` for one grant pair."""
-        return self.results[optimization].payment(user)
+        return self._result_of(optimization).payment(user)
 
     @property
     def total_cost(self) -> float:

@@ -41,7 +41,7 @@ from repro.db.vec_operators import (
 from repro.db.view import MaterializedView
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter, CostModel
-from repro.db.engine import ENGINE_MODES, QueryEngine
+from repro.db.engine import ENGINE_MODES, QueryEngine, QueryResult
 from repro.db.savings import (
     Candidate,
     CandidateIndex,
@@ -90,6 +90,7 @@ __all__ = [
     "VecGroupCount",
     "to_vector",
     "ENGINE_MODES",
+    "QueryResult",
     "MaterializedView",
     "ColumnStats",
     "TableStats",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import GameConfigError
+
 __all__ = ["CostMeter", "CostModel"]
 
 
@@ -98,7 +100,7 @@ class CostModel:
         """A copy rescaled so ``meter``'s work takes ``target_seconds``."""
         units = self.units(meter)
         if units <= 0:
-            raise ValueError("cannot calibrate against zero metered work")
+            raise GameConfigError("cannot calibrate against zero metered work")
         return CostModel(
             scan_byte_weight=self.scan_byte_weight,
             probe_weight=self.probe_weight,

@@ -15,6 +15,7 @@ __all__ = [
     "GameConfigError",
     "SchemaError",
     "QueryError",
+    "ProtocolError",
 ]
 
 
@@ -44,3 +45,18 @@ class SchemaError(ReproError):
 
 class QueryError(ReproError):
     """A malformed or unanswerable query against the mini database engine."""
+
+
+class ProtocolError(ReproError):
+    """A malformed, unknown, or version-incompatible gateway envelope.
+
+    ``code`` is the structured error code an :class:`~repro.gateway.ErrorReply`
+    carries over the wire — ``"protocol"`` for malformed payloads,
+    ``"version"`` for API-version mismatches.
+    """
+
+    code = "protocol"  # class-level default; instances may carry "version"
+
+    def __init__(self, message: str, code: str = "protocol") -> None:
+        super().__init__(message)
+        self.code = code

@@ -38,6 +38,7 @@ from repro.experiments.fig5_selectivity import (
 from repro.experiments.fleet_scale import (
     FleetScaleConfig,
     measure_fleet_point,
+    measure_gateway_point,
     run_fleet_scale,
 )
 from repro.experiments.advisor_loop import (
@@ -67,6 +68,7 @@ __all__ = [
     "run_fig5_selectivity",
     "FleetScaleConfig",
     "measure_fleet_point",
+    "measure_gateway_point",
     "run_fleet_scale",
     "AdvisorLoopConfig",
     "AdvisorLoopResult",

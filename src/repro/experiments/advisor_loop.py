@@ -15,14 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.advisor import AdvisorConfig, AdvisorOutcome, OptimizationAdvisor, WorkloadLog
+from repro.advisor import AdvisorOutcome
 from repro.astro.simulator import UniverseConfig, UniverseSimulator
 from repro.astro.workload import AstronomerWorkload
 from repro.db.catalog import Catalog
-from repro.db.costmodel import CostModel
-from repro.db.engine import QueryEngine
 from repro.errors import GameConfigError
 from repro.experiments.common import ExperimentResult, Series
+from repro.gateway.envelopes import AdviseRequest, ErrorReply
+from repro.gateway.service import PricingService, TenantSession
 
 __all__ = ["AdvisorLoopConfig", "AdvisorLoopResult", "run_advisor_loop"]
 
@@ -91,16 +91,51 @@ class AdvisorLoopResult:
         return self.baseline_units / self.advised_units
 
 
+def _workload_units(
+    session: TenantSession,
+    workload: AstronomerWorkload,
+    table_names: list[str],
+    record: bool,
+) -> float:
+    """One astronomer's full workload through ``RunQuery`` envelopes.
+
+    The envelope sequence issues exactly the engine calls
+    :meth:`AstronomerWorkload.run` issues — one ``contributors`` and one
+    ``chain`` query per studied halo — so the logged templates and the
+    metered units are those of the direct engine path.
+    """
+    tables = workload.snapshot_tables(table_names)
+    if len(tables) < 2:
+        raise GameConfigError(
+            f"workload {workload.name!r} needs at least two snapshots, "
+            f"got {len(tables)}"
+        )
+    units = 0.0
+    for halo in workload.final_halos:
+        for query in ("contributors", "chain"):
+            reply = session.run_query(
+                query, tables=tuple(tables), halo=halo, record=record
+            )
+            if isinstance(reply, ErrorReply):
+                raise GameConfigError(
+                    f"workload query failed: [{reply.code}] {reply.message}"
+                )
+            units += reply.units
+    return units
+
+
 def run_advisor_loop(
     config: AdvisorLoopConfig = AdvisorLoopConfig(),
 ) -> AdvisorLoopResult:
     """Run the full loop once; see the module docstring.
 
-    The same engine executes the same workloads before and after the
-    advising round; the only thing that changes in between is the
-    catalog's physical design (plus the ANALYZE statistics the round
-    registers), so the per-tenant unit deltas are exactly what adoption
-    bought.
+    The whole loop goes through the gateway facade: every query is a
+    ``RunQuery`` envelope dispatched under the astronomer's tenant
+    session, and the advising round is one ``AdviseRequest``. The same
+    service executes the same workloads before and after that round; the
+    only thing that changes in between is the catalog's physical design
+    (plus the ANALYZE statistics the round registers), so the per-tenant
+    unit deltas are exactly what adoption bought.
     """
     universe = UniverseConfig(
         particles=config.particles,
@@ -117,29 +152,32 @@ def run_advisor_loop(
         snapshots[-1], config.halos_per_group, config.snapshots
     )
 
-    log = WorkloadLog()
-    model = CostModel()
-    engine = QueryEngine(catalog, model, mode=config.engine_mode, log=log)
-    baseline = []
-    for workload in workloads:
-        with log.tenant(workload.name):
-            meter = workload.run(engine, table_names)
-        baseline.append(model.units(meter))
+    service = PricingService(
+        db_catalog=catalog, engine_mode=config.engine_mode
+    )
+    sessions = {w.name: service.session(w.name) for w in workloads}
+    baseline = [
+        _workload_units(sessions[w.name], w, table_names, record=True)
+        for w in workloads
+    ]
 
-    advisor = OptimizationAdvisor(
-        catalog,
-        model,
-        AdvisorConfig(
+    reply = service.dispatch(
+        AdviseRequest(
             horizon=config.horizon,
             dollars_per_byte=config.dollars_per_byte,
             shards=config.shards,
-        ),
+        )
     )
-    outcome = advisor.advise(log)
+    if isinstance(reply, ErrorReply):
+        raise GameConfigError(
+            f"advising round failed: [{reply.code}] {reply.message}"
+        )
+    outcome = service.last_advice
 
-    engine.log = None  # the measurement re-run is not new workload signal
+    # The measurement re-run is not new workload signal: record=False.
     advised = [
-        model.units(workload.run(engine, table_names)) for workload in workloads
+        _workload_units(sessions[w.name], w, table_names, record=False)
+        for w in workloads
     ]
 
     xs = tuple(range(len(workloads)))

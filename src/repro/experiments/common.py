@@ -60,7 +60,7 @@ class ExperimentResult:
         for s in self.series:
             if s.name == name:
                 return s
-        raise KeyError(
+        raise GameConfigError(
             f"no series named {name!r}; have {[s.name for s in self.series]}"
         )
 

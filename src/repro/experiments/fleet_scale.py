@@ -20,14 +20,21 @@ from repro.cloudsim.catalog import OptimizationCatalog
 from repro.cloudsim.service import CloudService
 from repro.errors import GameConfigError
 from repro.experiments.common import ExperimentResult, Series
-from repro.fleet.engine import FleetEngine
+import numpy as np
+
+from repro.fleet.engine import FleetBatch, FleetEngine
 from repro.workloads.fleet import (
     fleet_arrival_trace,
     fleet_batches,
     fleet_game_costs,
 )
 
-__all__ = ["FleetScaleConfig", "run_fleet_scale", "measure_fleet_point"]
+__all__ = [
+    "FleetScaleConfig",
+    "run_fleet_scale",
+    "measure_fleet_point",
+    "measure_gateway_point",
+]
 
 
 @dataclass(frozen=True)
@@ -113,6 +120,145 @@ def measure_fleet_point(
         services_s = min(services_s, run_services()[0])
         fleet_s = min(fleet_s, run_fleet()[0])
     return services_s, fleet_s
+
+
+def measure_gateway_point(
+    games: int,
+    users: int,
+    slots: int,
+    max_duration: int = 4,
+    mean_cost: float = 30.0,
+    shards: int = 8,
+    repeats: int = 2,
+    seed: int = 2012,
+) -> tuple[float, float]:
+    """Wall-clock seconds ``(direct, gateway)`` for one workload point.
+
+    Both sides start from the same 50k-scale *per-user* bid records —
+    the position any real client is in. The *direct* side columnarizes
+    the records into duration-major :class:`~repro.fleet.engine.FleetBatch`
+    blocks itself, bulk-ingests them into a bare
+    :class:`~repro.fleet.engine.FleetEngine`, and runs the period; the
+    *gateway* side dispatches one pre-built ``SubmitBids`` envelope per
+    user through :meth:`~repro.gateway.PricingService.dispatch_many`
+    (which does the identical regrouping behind the facade) and runs the
+    same period through it. Reports are asserted bit-identical —
+    payments, grants, implementations, per-game revenue, the ledger and
+    the event log — against each other *and* against pre-built
+    :func:`~repro.workloads.fleet.fleet_batches` intake, before any
+    timing is trusted. ``benchmarks/bench_gateway.py`` turns the ratio
+    into the <15% dispatch-overhead gate.
+    """
+    from repro.gateway.envelopes import SubmitBids
+    from repro.gateway.service import PricingService
+
+    costs = fleet_game_costs(seed, games, mean_cost)
+    batches = fleet_batches(seed + 1, users, games, slots, max_duration)
+    trace = fleet_arrival_trace(seed + 1, users, games, slots, max_duration)
+    requests = [
+        SubmitBids(
+            tenant=arrival.user,
+            bids=(
+                (
+                    arrival.optimization,
+                    arrival.bid.start,
+                    arrival.bid.schedule.values,
+                ),
+            ),
+        )
+        for arrival in trace
+    ]
+
+    def _timed(run):
+        # Same GC regime for both sides: the resident population (50k
+        # request/bid objects) makes generational passes effectively full
+        # scans, and which side gets hit is luck of the allocation clock.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = run()
+            return time.perf_counter() - started, result
+        finally:
+            gc.enable()
+
+    def run_direct():
+        def run():
+            engine = FleetEngine(
+                OptimizationCatalog.from_costs(costs),
+                horizon=slots,
+                shards=shards,
+            )
+            rank_get = engine.rank_map.get
+            columns: dict[int, tuple] = {}
+            for arrival in trace:
+                bid = arrival.bid
+                values = bid.schedule.values
+                group = columns.get(len(values))
+                if group is None:
+                    group = columns[len(values)] = ([], [], [], [])
+                group[0].append(arrival.user)
+                group[1].append(rank_get(arrival.optimization))
+                group[2].append(bid.start)
+                group[3].append(values)
+            for duration in sorted(columns):
+                tenants, ranks, starts, values = columns[duration]
+                engine.ingest(
+                    FleetBatch(
+                        users=tuple(tenants),
+                        opt_ranks=np.array(ranks, dtype=np.int64),
+                        starts=np.array(starts, dtype=np.int64),
+                        values=np.array(values, dtype=float),
+                    )
+                )
+            return engine.run_to_end()
+
+        return _timed(run)
+
+    def run_gateway():
+        def run():
+            service = PricingService(
+                OptimizationCatalog.from_costs(costs),
+                horizon=slots,
+                shards=shards,
+            )
+            acks = service.dispatch_many(requests)
+            if getattr(acks, "failed", None) is not None:
+                raise AssertionError(f"bulk dispatch failed: {acks.failed}")
+            return service.run_to_end()
+
+        return _timed(run)
+
+    # Pre-built batches are the engine's native intake; the sweep below
+    # must match them bit for bit, proving neither columnarization path
+    # (direct-from-records or gateway-from-envelopes) drifts.
+    reference = FleetEngine(
+        OptimizationCatalog.from_costs(costs), horizon=slots, shards=shards
+    )
+    for batch in batches:
+        reference.ingest(batch)
+    reference_report = reference.run_to_end()
+
+    direct_s, direct_report = run_direct()
+    gateway_s, gateway_report = run_gateway()
+    _assert_reports_equal(reference_report, direct_report, "direct-from-records")
+    _assert_reports_equal(direct_report, gateway_report, "gateway")
+    del reference_report, direct_report, gateway_report
+    gc.collect()
+    for _ in range(repeats - 1):
+        direct_s = min(direct_s, run_direct()[0])
+        gateway_s = min(gateway_s, run_gateway()[0])
+    return direct_s, gateway_s
+
+
+def _assert_reports_equal(expected, actual, label: str) -> None:
+    for field in ("payments", "granted_at", "implemented", "game_revenue"):
+        if dict(getattr(expected, field)) != dict(getattr(actual, field)):
+            raise AssertionError(f"{label} {field} diverge from the direct fleet")
+    if expected.ledger != actual.ledger:
+        raise AssertionError(f"{label} ledger diverges from the direct fleet")
+    if expected.events != actual.events:
+        raise AssertionError(f"{label} event log diverges from the direct fleet")
 
 
 def _assert_identical(service_reports: dict, fleet_report) -> None:

@@ -19,6 +19,7 @@ from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
 from repro.fleet.pipeline import (
     TenantWorkload,
     build_fleet,
+    build_service,
     candidate_catalog,
     workload_bid,
 )
@@ -33,4 +34,5 @@ __all__ = [
     "workload_bid",
     "candidate_catalog",
     "build_fleet",
+    "build_service",
 ]

@@ -225,12 +225,32 @@ class FleetEngine:
         """The fleet's shard map (processing-order contract)."""
         return self._shards
 
+    @property
+    def bulk_intake_open(self) -> bool:
+        """True while :meth:`ingest` is still allowed (no slot processed)."""
+        return self.slot == 0 and not self._finalized
+
+    def bulk_keys(self) -> set:
+        """``(user, rank)`` pairs taken by bulk intake so far.
+
+        The live guard set (treat as read-only); untrusted boundaries
+        copy it to seed their own duplicate checks over the trusting
+        bulk path.
+        """
+        return self._bulk_keys()
+
     def rank_of(self, optimization: OptId) -> int:
         """Catalog rank of one optimization (bulk batches address by rank)."""
         rank = self._rank_of.get(optimization)
         if rank is None:
             raise GameConfigError(f"no optimization {optimization!r} in catalog")
         return rank
+
+    @property
+    def rank_map(self) -> Mapping:
+        """Live ``{optimization: catalog rank}`` mapping (treat as
+        read-only); bulk callers hoist its ``.get`` out of hot loops."""
+        return self._rank_of
 
     def _bulk_keys(self) -> set:
         """(user, rank) pairs taken by bulk bids, built on first demand.
@@ -253,10 +273,15 @@ class FleetEngine:
             self._bulk_taken = taken
         return self._bulk_taken
 
-    def place_bid(
+    def check_bid(
         self, user: UserId, optimization: OptId, bid: AdditiveBid
-    ) -> RevisableBid:
-        """Declare one revisable bid; semantics match ``CloudService``."""
+    ) -> int:
+        """All of :meth:`place_bid`'s validation, mutation-free.
+
+        Returns the game's catalog rank. Callers placing several bids
+        atomically (the gateway's ``SubmitBids``) check every bid first
+        so one bad bid cannot leave earlier ones committed.
+        """
         rank = self._rank_of.get(optimization)
         if rank is None:
             raise GameConfigError(f"no optimization {optimization!r} in catalog")
@@ -273,6 +298,26 @@ class FleetEngine:
             raise GameConfigError(
                 f"bid ends at {bid.end}, beyond the horizon {self.horizon}"
             )
+        return rank
+
+    def place_bid(
+        self, user: UserId, optimization: OptId, bid: AdditiveBid
+    ) -> RevisableBid:
+        """Declare one revisable bid; semantics match ``CloudService``."""
+        rank = self.check_bid(user, optimization, bid)
+        return self.place_checked(user, rank, optimization, bid)
+
+    def place_checked(
+        self, user: UserId, rank: int, optimization: OptId, bid: AdditiveBid
+    ) -> RevisableBid:
+        """The mutation half of :meth:`place_bid`.
+
+        The caller must have run :meth:`check_bid` against the *current*
+        engine state (no intervening placements or slot advances) —
+        atomic multi-bid callers check everything first, then commit
+        through here without paying the validation twice.
+        """
+        key = (user, rank)
         if not self._hot[rank] and self._profile[rank] is None:
             self._materialize_profile(rank)
         handle = RevisableBid(bid, declared_at=self.slot + 1)
@@ -372,15 +417,42 @@ class FleetEngine:
         Only allowed before the first slot is processed. The bulk path
         trusts its generator: one bid per (user, optimization), no later
         revision (use :meth:`place_bid` for revisable bids). Validation is
-        vectorized; per-bid ``BidPlaced`` events are still recorded so the
-        event log stays complete.
+        vectorized and happens entirely before any state changes (one
+        batch either lands whole or not at all); per-bid ``BidPlaced``
+        events are still recorded so the event log stays complete.
+        """
+        return self.ingest_many((batch,))
+
+    def ingest_many(self, batches) -> int:
+        """Atomically bulk-load several batches; returns the bid count.
+
+        Every batch is validated before *any* batch is committed, so a
+        bad batch in the middle cannot leave earlier ones scheduled — the
+        all-or-nothing property untrusted boundaries (the gateway's
+        ``dispatch_many``) build their own contract on.
         """
         if self.slot > 0 or self._finalized:
             raise MechanismError(
                 "bulk ingestion is only allowed before the first slot"
             )
-        if len(batch) == 0:
-            return 0
+        checked = [
+            (batch, self._validate_batch(batch))
+            for batch in batches
+            if len(batch) > 0
+        ]
+        total = 0
+        for batch, (ranks, starts) in checked:
+            base = len(self._users)
+            self._users.extend(batch.users)
+            self._batches.append((base, ranks, starts, batch.values))
+            self.events.record_many([BidPlaced(1, user) for user in batch.users])
+            total += len(batch)
+        if checked:
+            self._bulk_taken = None  # new bulk bids: rebuild guard on demand
+        return total
+
+    def _validate_batch(self, batch: FleetBatch):
+        """All of one batch's intake checks, mutation-free."""
         starts = np.asarray(batch.starts, dtype=np.int64)
         ranks = np.asarray(batch.opt_ranks, dtype=np.int64)
         values = batch.values
@@ -408,12 +480,7 @@ class FleetEngine:
                         f"user {user!r} already bid on "
                         f"{self._opt_ids[rank]!r}; revise instead"
                     )
-        base = len(self._users)
-        self._users.extend(batch.users)
-        self._batches.append((base, ranks, starts, values))
-        self._bulk_taken = None  # new bulk bids: rebuild the guard on demand
-        self.events.record_many([BidPlaced(1, user) for user in batch.users])
-        return len(batch)
+        return ranks, starts
 
     def _finalize(self) -> None:
         """Flatten the ingested batches into the array-backed schedule.
@@ -854,6 +921,13 @@ class FleetEngine:
     def state_of(self, optimization: OptId) -> AddOnState:
         """The live per-game state machine (read-mostly; for inspection)."""
         return self._states[self.rank_of(optimization)]
+
+    @property
+    def implemented(self) -> Mapping[OptId, int]:
+        """Live ``{optimization: slot built}`` mapping (treat as
+        read-only); cheaper than a full :meth:`report` when only the
+        implementation set is needed per slot."""
+        return self._implemented
 
     def report(self) -> FleetReport:
         """The current summary (complete once the period is over)."""

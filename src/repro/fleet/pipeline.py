@@ -38,6 +38,7 @@ __all__ = [
     "workload_bid",
     "candidate_catalog",
     "build_fleet",
+    "build_service",
 ]
 
 
@@ -218,3 +219,32 @@ def build_fleet(
             if bid is not None:
                 engine.place_bid(workload.tenant, candidate.name, bid)
     return engine
+
+
+def build_service(
+    estimator: SavingsEstimator,
+    workloads: Sequence[TenantWorkload],
+    candidates: Sequence[Candidate],
+    horizon: int,
+    dollars_per_byte: float,
+    shards: int = 1,
+):
+    """:func:`build_fleet`, handed over behind the gateway facade.
+
+    Returns a :class:`~repro.gateway.PricingService` whose open period
+    *is* the assembled fleet (same engine object, same bids), sharing the
+    estimator's relational catalog and cost model — so callers dispatch
+    envelopes (``AdvanceSlots``, ``LedgerQuery``, ...) against the
+    workload-derived games instead of driving the engine object directly.
+    """
+    # Imported lazily: the gateway sits above the fleet in the layering.
+    from repro.gateway.service import PricingService
+
+    engine = build_fleet(
+        estimator, workloads, candidates, horizon, dollars_per_byte, shards
+    )
+    return PricingService(
+        db_catalog=estimator.catalog,
+        cost_model=estimator.model,
+        fleet=engine,
+    )

@@ -1,0 +1,442 @@
+"""Wire codec for the public value objects.
+
+Every value object the gateway can hand a tenant — :class:`ShapleyResult`,
+the four mechanism outcomes, :class:`FleetReport`, :class:`SavingsQuote`,
+:class:`QueryResult` — round-trips through plain JSON-able dictionaries:
+``from_dict(to_dict(x)) == x`` holds exactly, including after a real
+``json.dumps``/``json.loads`` hop (property-tested in
+``tests/test_gateway.py``). The encoding is versioned with the envelope
+protocol (:data:`repro.gateway.envelopes.API_VERSION`); every encoded
+object carries a ``"type"`` tag naming its class.
+
+Python values that JSON cannot represent natively travel tagged:
+
+========== =====================================
+tuple      ``{"tuple": [items...]}``
+frozenset  ``{"frozenset": [items...]}`` (sorted for stable output)
+mapping    ``{"map": [[key, value], ...]}`` (insertion order kept)
+========== =====================================
+
+Scalars (str/int/float/bool/None) pass through untouched. Anything else
+is rejected with :class:`~repro.errors.ProtocolError` — the wire format
+is intentionally closed over what the public API actually returns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.cloudsim import events as _ev
+from repro.cloudsim.ledger import BillingLedger
+from repro.core.outcome import (
+    AddOffOutcome,
+    AddOnOutcome,
+    ShapleyResult,
+    SubstOffOutcome,
+    SubstOnOutcome,
+)
+from repro.db.costmodel import CostMeter
+from repro.db.engine import QueryResult
+from repro.db.savings import SavingsQuote
+from repro.errors import ProtocolError
+from repro.fleet.engine import FleetReport
+
+__all__ = ["encode", "decode", "encode_value", "decode_value", "CODECS"]
+
+
+# ------------------------------------------------------------- primitives --
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value):
+    """One Python value -> its JSON-able form (tagged where needed)."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, tuple):
+        return {"tuple": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        items = sorted(value, key=lambda v: (str(type(v).__name__), str(v)))
+        return {"frozenset": [encode_value(v) for v in items]}
+    if isinstance(value, (dict, Mapping)):
+        return {"map": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    if isinstance(value, list):
+        return {"tuple": [encode_value(v) for v in value]}
+    raise ProtocolError(
+        f"value of type {type(value).__name__} has no wire encoding"
+    )
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` (lists decode to tuples)."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return tuple(decode_value(v) for v in value)
+    if isinstance(value, dict):
+        if len(value) == 1:
+            ((tag, payload),) = value.items()
+            if tag == "tuple" and isinstance(payload, list):
+                return tuple(decode_value(v) for v in payload)
+            if tag == "frozenset" and isinstance(payload, list):
+                return frozenset(decode_value(v) for v in payload)
+            if tag == "map" and isinstance(payload, list):
+                out = {}
+                for pair in payload:
+                    if not isinstance(pair, list) or len(pair) != 2:
+                        raise ProtocolError(f"malformed map pair {pair!r}")
+                    out[decode_value(pair[0])] = decode_value(pair[1])
+                return out
+        raise ProtocolError(f"unknown tagged value {sorted(value)!r}")
+    raise ProtocolError(
+        f"value of type {type(value).__name__} has no wire decoding"
+    )
+
+
+def _decoded_map(payload) -> dict:
+    mapping = decode_value(payload)
+    if not isinstance(mapping, dict):
+        raise ProtocolError(f"expected an encoded map, got {type(mapping).__name__}")
+    return mapping
+
+
+def _field(d: dict, name: str):
+    try:
+        return d[name]
+    except KeyError:
+        raise ProtocolError(
+            f"encoded {d.get('type', 'object')!r} is missing field {name!r}"
+        ) from None
+
+
+# ---------------------------------------------------------- value objects --
+
+
+def _enc_shapley(r: ShapleyResult) -> dict:
+    return {
+        "serviced": encode_value(r.serviced),
+        "price": r.price,
+        "payments": encode_value(dict(r.payments)),
+        "rounds": r.rounds,
+    }
+
+
+def _dec_shapley(d: dict) -> ShapleyResult:
+    serviced = decode_value(_field(d, "serviced"))
+    if not isinstance(serviced, frozenset):
+        raise ProtocolError("'serviced' must decode to a frozenset")
+    return ShapleyResult(
+        serviced=serviced,
+        price=float(_field(d, "price")),
+        payments=_decoded_map(_field(d, "payments")),
+        rounds=int(_field(d, "rounds")),
+    )
+
+
+def _enc_addoff(o: AddOffOutcome) -> dict:
+    # Per-game results nest full encoded objects, so they travel as raw
+    # [key, encoded-dict] pairs rather than through encode_value (which
+    # would re-tag the already-encoded dictionaries as maps).
+    return {
+        "results": [[encode_value(j), encode(r)] for j, r in o.results.items()],
+        "costs": encode_value(dict(o.costs)),
+    }
+
+
+def _dec_addoff(d: dict) -> AddOffOutcome:
+    pairs = _field(d, "results")
+    if not isinstance(pairs, list):
+        raise ProtocolError("'results' must be a list of pairs")
+    results = {}
+    for pair in pairs:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise ProtocolError(f"malformed results pair {pair!r}")
+        results[decode_value(pair[0])] = decode(pair[1])
+    return AddOffOutcome(
+        results=results,
+        costs=_decoded_map(_field(d, "costs")),
+    )
+
+
+def _enc_addon(o: AddOnOutcome) -> dict:
+    return {
+        "cost": o.cost,
+        "horizon": o.horizon,
+        "serviced_by_slot": encode_value(o.serviced_by_slot),
+        "cumulative_by_slot": encode_value(o.cumulative_by_slot),
+        "price_by_slot": encode_value(o.price_by_slot),
+        "payments": encode_value(dict(o.payments)),
+        "implemented_at": o.implemented_at,
+    }
+
+
+def _dec_addon(d: dict) -> AddOnOutcome:
+    implemented_at = _field(d, "implemented_at")
+    return AddOnOutcome(
+        cost=float(_field(d, "cost")),
+        horizon=int(_field(d, "horizon")),
+        serviced_by_slot=decode_value(_field(d, "serviced_by_slot")),
+        cumulative_by_slot=decode_value(_field(d, "cumulative_by_slot")),
+        price_by_slot=decode_value(_field(d, "price_by_slot")),
+        payments=_decoded_map(_field(d, "payments")),
+        implemented_at=None if implemented_at is None else int(implemented_at),
+    )
+
+
+def _enc_substoff(o: SubstOffOutcome) -> dict:
+    return {
+        "costs": encode_value(dict(o.costs)),
+        "implemented": encode_value(o.implemented),
+        "grants": encode_value(dict(o.grants)),
+        "payments": encode_value(dict(o.payments)),
+        "shares": encode_value(dict(o.shares)),
+    }
+
+
+def _dec_substoff(d: dict) -> SubstOffOutcome:
+    return SubstOffOutcome(
+        costs=_decoded_map(_field(d, "costs")),
+        implemented=decode_value(_field(d, "implemented")),
+        grants=_decoded_map(_field(d, "grants")),
+        payments=_decoded_map(_field(d, "payments")),
+        shares=_decoded_map(_field(d, "shares")),
+    )
+
+
+def _enc_subston(o: SubstOnOutcome) -> dict:
+    return {
+        "costs": encode_value(dict(o.costs)),
+        "horizon": o.horizon,
+        "grants": encode_value(dict(o.grants)),
+        "granted_at": encode_value(dict(o.granted_at)),
+        "implemented_at": encode_value(dict(o.implemented_at)),
+        "payments": encode_value(dict(o.payments)),
+        "shares_by_slot": encode_value(o.shares_by_slot),
+    }
+
+
+def _dec_subston(d: dict) -> SubstOnOutcome:
+    return SubstOnOutcome(
+        costs=_decoded_map(_field(d, "costs")),
+        horizon=int(_field(d, "horizon")),
+        grants=_decoded_map(_field(d, "grants")),
+        granted_at=_decoded_map(_field(d, "granted_at")),
+        implemented_at=_decoded_map(_field(d, "implemented_at")),
+        payments=_decoded_map(_field(d, "payments")),
+        shares_by_slot=decode_value(_field(d, "shares_by_slot")),
+    )
+
+
+def _enc_quote(q: SavingsQuote) -> dict:
+    return {
+        "view_rows": q.view_rows,
+        "view_bytes": q.view_bytes,
+        "build_units": q.build_units,
+        "saving_units_per_run": q.saving_units_per_run,
+        "kind": q.kind,
+    }
+
+
+def _dec_quote(d: dict) -> SavingsQuote:
+    return SavingsQuote(
+        view_rows=int(_field(d, "view_rows")),
+        view_bytes=float(_field(d, "view_bytes")),
+        build_units=float(_field(d, "build_units")),
+        saving_units_per_run=float(_field(d, "saving_units_per_run")),
+        kind=str(_field(d, "kind")),
+    )
+
+
+def _enc_meter(m: CostMeter) -> dict:
+    return {
+        "scan_bytes": m.scan_bytes,
+        "probe_count": m.probe_count,
+        "rows_emitted": m.rows_emitted,
+        "build_bytes": m.build_bytes,
+        "counters": encode_value(dict(m.counters)),
+    }
+
+
+def _dec_meter(d: dict) -> CostMeter:
+    return CostMeter(
+        scan_bytes=float(_field(d, "scan_bytes")),
+        probe_count=int(_field(d, "probe_count")),
+        rows_emitted=int(_field(d, "rows_emitted")),
+        build_bytes=float(_field(d, "build_bytes")),
+        counters=_decoded_map(_field(d, "counters")),
+    )
+
+
+def _enc_query_result(r: QueryResult) -> dict:
+    return {
+        "rows": [encode_value(row) for row in r.rows],
+        "meter": encode(r.meter),
+        "source": r.source,
+    }
+
+
+def _dec_query_result(d: dict) -> QueryResult:
+    rows = _field(d, "rows")
+    if not isinstance(rows, list):
+        raise ProtocolError("'rows' must be a list")
+    return QueryResult(
+        rows=[decode_value(row) for row in rows],
+        meter=decode(_field(d, "meter")),
+        source=str(_field(d, "source")),
+    )
+
+
+def _enc_ledger(ledger: BillingLedger) -> dict:
+    return {
+        "entries": [
+            {
+                "slot": e.slot,
+                "kind": e.kind,
+                "party": encode_value(e.party),
+                "amount": e.amount,
+                "memo": e.memo,
+            }
+            for e in ledger.entries
+        ]
+    }
+
+
+def _dec_ledger(d: dict) -> BillingLedger:
+    ledger = BillingLedger()
+    entries = _field(d, "entries")
+    if not isinstance(entries, list):
+        raise ProtocolError("'entries' must be a list")
+    for raw in entries:
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"malformed ledger entry {raw!r}")
+        kind = _field(raw, "kind")
+        slot = int(_field(raw, "slot"))
+        party = decode_value(_field(raw, "party"))
+        amount = float(_field(raw, "amount"))
+        memo = str(_field(raw, "memo"))
+        if kind == "invoice":
+            ledger.invoice(slot, party, amount, memo)
+        elif kind == "build":
+            ledger.build_outlay(slot, party, -amount, memo)
+        else:
+            raise ProtocolError(f"unknown ledger entry kind {kind!r}")
+    return ledger
+
+
+#: Event classes that may appear in a serialized event log.
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        _ev.BidPlaced,
+        _ev.BidRevised,
+        _ev.UserGranted,
+        _ev.OptimizationImplemented,
+        _ev.UserDeparted,
+        _ev.UserCharged,
+    )
+}
+
+
+def _enc_events(log: _ev.EventLog) -> dict:
+    encoded = []
+    for event in log.all():
+        fields = {
+            name: encode_value(getattr(event, name))
+            for name in event.__dataclass_fields__
+        }
+        encoded.append({"event": type(event).__name__, **fields})
+    return {"events": encoded}
+
+
+def _dec_events(d: dict) -> _ev.EventLog:
+    log = _ev.EventLog()
+    events = _field(d, "events")
+    if not isinstance(events, list):
+        raise ProtocolError("'events' must be a list")
+    for raw in events:
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"malformed event {raw!r}")
+        cls = _EVENT_TYPES.get(raw.get("event"))
+        if cls is None:
+            raise ProtocolError(f"unknown event type {raw.get('event')!r}")
+        kwargs = {
+            name: decode_value(_field(raw, name))
+            for name in cls.__dataclass_fields__
+        }
+        kwargs["slot"] = int(kwargs["slot"])
+        log.record(cls(**kwargs))
+    return log
+
+
+def _enc_fleet_report(r: FleetReport) -> dict:
+    return {
+        "horizon": r.horizon,
+        "games": encode_value(r.games),
+        "ledger": encode(r.ledger),
+        "events": encode(r.events),
+        "implemented": encode_value(dict(r.implemented)),
+        "granted_at": encode_value(dict(r.granted_at)),
+        "payments": encode_value(dict(r.payments)),
+        "game_revenue": encode_value(dict(r.game_revenue)),
+    }
+
+
+def _dec_fleet_report(d: dict) -> FleetReport:
+    return FleetReport(
+        horizon=int(_field(d, "horizon")),
+        games=decode_value(_field(d, "games")),
+        ledger=decode(_field(d, "ledger")),
+        events=decode(_field(d, "events")),
+        implemented=_decoded_map(_field(d, "implemented")),
+        granted_at=_decoded_map(_field(d, "granted_at")),
+        payments=_decoded_map(_field(d, "payments")),
+        game_revenue=_decoded_map(_field(d, "game_revenue")),
+    )
+
+
+# ------------------------------------------------------------- dispatch --
+
+#: class -> (type tag, encoder, decoder). Order matters only for lookup by
+#: isinstance below (exact class matches are tried first).
+CODECS: dict[type, tuple[str, Callable, Callable]] = {
+    ShapleyResult: ("ShapleyResult", _enc_shapley, _dec_shapley),
+    AddOffOutcome: ("AddOffOutcome", _enc_addoff, _dec_addoff),
+    AddOnOutcome: ("AddOnOutcome", _enc_addon, _dec_addon),
+    SubstOffOutcome: ("SubstOffOutcome", _enc_substoff, _dec_substoff),
+    SubstOnOutcome: ("SubstOnOutcome", _enc_subston, _dec_subston),
+    SavingsQuote: ("SavingsQuote", _enc_quote, _dec_quote),
+    CostMeter: ("CostMeter", _enc_meter, _dec_meter),
+    QueryResult: ("QueryResult", _enc_query_result, _dec_query_result),
+    BillingLedger: ("BillingLedger", _enc_ledger, _dec_ledger),
+    _ev.EventLog: ("EventLog", _enc_events, _dec_events),
+    FleetReport: ("FleetReport", _enc_fleet_report, _dec_fleet_report),
+}
+
+_BY_TAG = {tag: dec for _, (tag, _enc, dec) in CODECS.items()}
+
+
+def encode(obj) -> dict:
+    """One public value object -> its tagged JSON-able dictionary."""
+    entry = CODECS.get(type(obj))
+    if entry is None:
+        raise ProtocolError(
+            f"no wire codec for objects of type {type(obj).__name__}"
+        )
+    tag, enc, _dec = entry
+    return {"type": tag, **enc(obj)}
+
+
+def decode(d: dict):
+    """Inverse of :func:`encode`; raises :class:`ProtocolError` on junk."""
+    if not isinstance(d, dict):
+        raise ProtocolError(f"expected an encoded object, got {type(d).__name__}")
+    tag = d.get("type")
+    dec = _BY_TAG.get(tag) if isinstance(tag, str) else None
+    if dec is None:
+        raise ProtocolError(f"unknown value-object type {tag!r}")
+    try:
+        return dec(d)
+    except ProtocolError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ProtocolError(f"malformed {tag} payload: {exc}") from exc

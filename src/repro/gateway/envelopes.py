@@ -1,0 +1,533 @@
+"""Versioned request/response envelopes of the tenant gateway.
+
+Every interaction with the :class:`~repro.gateway.service.PricingService`
+facade is one *request envelope* in, one *reply envelope* out. Envelopes
+are frozen dataclasses that round-trip through plain JSON-able
+dictionaries — ``request_from_dict(to_dict(req)) == req`` holds exactly,
+including after a ``json.dumps``/``json.loads`` hop — so the same
+protocol works in-process today and over any wire transport later.
+
+Wire shape
+----------
+A serialized envelope is a flat JSON object::
+
+    {"api": "1.2", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
+
+``api`` is :data:`API_VERSION` (checked on decode; a mismatch raises
+:class:`~repro.errors.ProtocolError` with code ``"version"``), ``kind``
+names the envelope class, and the remaining keys are its fields. Anything
+malformed — unknown kind, missing or badly-typed fields — raises
+:class:`~repro.errors.ProtocolError`; nothing in this module ever lets a
+bare ``KeyError``/``ValueError`` escape (fuzz-tested in
+``tests/test_gateway.py``).
+
+Errors travel as data: :meth:`ErrorReply.of` maps the
+:class:`~repro.errors.ReproError` hierarchy onto stable structured codes
+(:data:`ERROR_CODES`) so remote callers can dispatch on ``code`` without
+importing this package's exception classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+from repro.errors import (
+    BidError,
+    GameConfigError,
+    MechanismError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    RevisionError,
+    SchemaError,
+)
+
+__all__ = [
+    "API_VERSION",
+    "Request",
+    "Reply",
+    "Configure",
+    "SubmitBids",
+    "ReviseBid",
+    "AdvanceSlots",
+    "RunQuery",
+    "AdviseRequest",
+    "LedgerQuery",
+    "ConfigReply",
+    "BidsReply",
+    "ReviseReply",
+    "SlotReply",
+    "QueryReply",
+    "AdviseReply",
+    "LedgerReply",
+    "ErrorReply",
+    "ERROR_CODES",
+    "error_code",
+    "to_dict",
+    "request_from_dict",
+    "reply_from_dict",
+    "envelope_from_dict",
+]
+
+#: Protocol version every envelope carries. Bumped on any incompatible
+#: change to an envelope's fields or semantics; decode rejects mismatches.
+API_VERSION = "1.2"
+
+#: Query kinds :class:`RunQuery` accepts (the astronomy workload surface).
+QUERY_KINDS = ("members", "histogram", "top", "chain", "contributors")
+
+
+def _require_hashable(value, what: str):
+    """Tenant and optimization ids key dicts all the way down; rejecting
+    unhashables at envelope construction keeps that failure as data
+    (ProtocolError -> ErrorReply) instead of a mid-dispatch TypeError."""
+    try:
+        hash(value)
+    except TypeError:
+        raise ProtocolError(
+            f"{what} must be hashable, got {type(value).__name__}"
+        ) from None
+    return value
+
+
+class _Normalized:
+    """Shared coercion harness: subclasses normalize in ``_normalize``.
+
+    Coercion failures (bad types, short tuples) become
+    :class:`ProtocolError` so no public construction path — in-process
+    ``TenantSession`` calls included — leaks a bare
+    ``ValueError``/``TypeError`` for request-shaped mistakes.
+    """
+
+    def __post_init__(self) -> None:
+        try:
+            self._normalize()
+        except ProtocolError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed {type(self).__name__} envelope: {exc}"
+            ) from exc
+
+    def _normalize(self) -> None:
+        """Coerce and validate fields; overridden per envelope."""
+
+
+@dataclass(frozen=True)
+class Request(_Normalized):
+    """Marker base for request envelopes."""
+
+
+@dataclass(frozen=True)
+class Reply(_Normalized):
+    """Marker base for reply envelopes."""
+
+
+# ------------------------------------------------------------- requests --
+
+
+@dataclass(frozen=True)
+class Configure(Request):
+    """(Re)open a pricing period: catalog of optimizations plus horizon.
+
+    ``optimizations`` is a tuple of ``(opt_id, cost)`` pairs. Traces start
+    with one of these so a replay is fully self-contained.
+    """
+
+    optimizations: tuple
+    horizon: int
+    shards: int = 1
+
+    def _normalize(self) -> None:
+        # Coercion doubles as wire-side type checking: a badly-typed
+        # field raises here, which the decoder turns into ProtocolError.
+        object.__setattr__(
+            self,
+            "optimizations",
+            tuple(
+                (_require_hashable(opt, "an optimization id"), float(cost))
+                for opt, cost in self.optimizations
+            ),
+        )
+        object.__setattr__(self, "horizon", int(self.horizon))
+        object.__setattr__(self, "shards", int(self.shards))
+
+
+@dataclass(frozen=True)
+class SubmitBids(Request):
+    """One tenant's additive bids: ``(optimization, start, values)`` triples.
+
+    ``values`` is the per-slot value schedule from ``start`` on — exactly
+    an :class:`~repro.bids.AdditiveBid`'s constructor arguments.
+    ``revisable`` opts out of columnar bulk intake: bulk-ingested bids
+    cannot be revised later (the fleet's bulk path trades handles for
+    throughput), so a bid a later :class:`ReviseBid` will touch must be
+    submitted with ``revisable=True``.
+    """
+
+    tenant: object
+    bids: tuple
+    revisable: bool = False
+
+    def _normalize(self) -> None:
+        _require_hashable(self.tenant, "a tenant id")
+        object.__setattr__(
+            self,
+            "bids",
+            tuple(
+                (
+                    _require_hashable(opt, "an optimization id"),
+                    int(start),
+                    tuple(float(v) for v in values),
+                )
+                for opt, start, values in self.bids
+            ),
+        )
+        object.__setattr__(self, "revisable", bool(self.revisable))
+
+
+@dataclass(frozen=True)
+class ReviseBid(Request):
+    """Upward revision of one previously submitted bid.
+
+    ``new_values`` is a tuple of ``(slot, value)`` pairs (a mapping is
+    accepted and normalized).
+    """
+
+    tenant: object
+    optimization: object
+    new_values: tuple
+
+    def _normalize(self) -> None:
+        _require_hashable(self.tenant, "a tenant id")
+        _require_hashable(self.optimization, "an optimization id")
+        values = self.new_values
+        if isinstance(values, Mapping):
+            values = tuple(values.items())
+        object.__setattr__(
+            self,
+            "new_values",
+            tuple((int(slot), float(value)) for slot, value in values),
+        )
+
+
+@dataclass(frozen=True)
+class AdvanceSlots(Request):
+    """Advance the shared pricing clock by ``slots`` slots."""
+
+    slots: int = 1
+
+    def _normalize(self) -> None:
+        object.__setattr__(self, "slots", int(self.slots))
+
+
+@dataclass(frozen=True)
+class RunQuery(Request):
+    """Execute one workload query against the service's relational catalog.
+
+    ``query`` is one of :data:`QUERY_KINDS`; ``table``/``tables``/``halo``/
+    ``pids`` parameterize it (see
+    :meth:`repro.gateway.service.PricingService.dispatch`). ``record``
+    controls whether the execution feeds the advisor's workload log.
+    """
+
+    tenant: object
+    query: str
+    table: str = ""
+    tables: tuple = ()
+    halo: int | None = None
+    pids: tuple = ()
+    record: bool = True
+
+    def _normalize(self) -> None:
+        _require_hashable(self.tenant, "a tenant id")
+        object.__setattr__(self, "query", str(self.query))
+        object.__setattr__(self, "table", str(self.table))
+        object.__setattr__(self, "tables", tuple(str(t) for t in self.tables))
+        if self.halo is not None:
+            object.__setattr__(self, "halo", int(self.halo))
+        object.__setattr__(self, "pids", tuple(int(p) for p in self.pids))
+        object.__setattr__(self, "record", bool(self.record))
+
+
+@dataclass(frozen=True)
+class AdviseRequest(Request):
+    """Run one closed advising round over the accumulated workload log.
+
+    ``None`` fields fall back to the service's advisor defaults.
+    """
+
+    horizon: int | None = None
+    dollars_per_byte: float | None = None
+    runs_per_slot: float | None = None
+    shards: int | None = None
+
+    def _normalize(self) -> None:
+        for name, cast in (
+            ("horizon", int),
+            ("dollars_per_byte", float),
+            ("runs_per_slot", float),
+            ("shards", int),
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, cast(value))
+
+
+@dataclass(frozen=True)
+class LedgerQuery(Request):
+    """One tenant's billing statement for the current period."""
+
+    tenant: object
+
+    def _normalize(self) -> None:
+        _require_hashable(self.tenant, "a tenant id")
+
+
+# --------------------------------------------------------------- replies --
+
+
+@dataclass(frozen=True)
+class ConfigReply(Reply):
+    """The period is open: game count and horizon echoed back."""
+
+    games: int
+    horizon: int
+    shards: int
+
+
+@dataclass(frozen=True)
+class BidsReply(Reply):
+    """Bids accepted into their games."""
+
+    tenant: object
+    accepted: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class ReviseReply(Reply):
+    """A revision was applied."""
+
+    tenant: object
+    optimization: object
+    slot: int
+
+
+@dataclass(frozen=True)
+class SlotReply(Reply):
+    """The clock advanced; ``implemented`` is the cumulative
+    ``(optimization, slot built)`` set, sorted by optimization."""
+
+    slot: int
+    implemented: tuple
+
+    def _normalize(self) -> None:
+        object.__setattr__(
+            self,
+            "implemented",
+            tuple((opt, int(slot)) for opt, slot in self.implemented),
+        )
+
+
+@dataclass(frozen=True)
+class QueryReply(Reply):
+    """Rows plus the metered cost units of producing them."""
+
+    tenant: object
+    query: str
+    rows: tuple
+    units: float
+    source: str = ""
+
+    def _normalize(self) -> None:
+        object.__setattr__(self, "rows", tuple(tuple(r) for r in self.rows))
+
+
+@dataclass(frozen=True)
+class AdviseReply(Reply):
+    """One advising round's verdict."""
+
+    candidates: tuple
+    funded: tuple
+    adopted: tuple
+    build_units: float
+
+    def _normalize(self) -> None:
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+        object.__setattr__(self, "funded", tuple(self.funded))
+        object.__setattr__(self, "adopted", tuple(self.adopted))
+
+
+@dataclass(frozen=True)
+class LedgerReply(Reply):
+    """One tenant's statement: ``(slot, amount, memo)`` invoice lines."""
+
+    tenant: object
+    invoices: tuple
+    total: float
+    cloud_balance: float
+
+    def _normalize(self) -> None:
+        object.__setattr__(
+            self,
+            "invoices",
+            tuple(
+                (int(slot), float(amount), str(memo))
+                for slot, amount, memo in self.invoices
+            ),
+        )
+
+
+#: Exception class -> structured wire code, most-derived first. The scan
+#: order matters: ``RevisionError`` must map to ``"revision"`` although it
+#: is also a ``BidError``.
+ERROR_CODES: tuple = (
+    (RevisionError, "revision"),
+    (BidError, "bid"),
+    (MechanismError, "mechanism"),
+    (GameConfigError, "game-config"),
+    (SchemaError, "schema"),
+    (QueryError, "query"),
+    (ProtocolError, "protocol"),
+    (ReproError, "internal"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The structured code for one exception (``"internal"`` fallback)."""
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    for cls, code in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+@dataclass(frozen=True)
+class ErrorReply(Reply):
+    """A request failed; ``code`` is stable across releases, ``message``
+    is human-oriented and free to change."""
+
+    code: str
+    message: str
+    request_kind: str = ""
+
+    @classmethod
+    def of(cls, exc: BaseException, request_kind: str = "") -> "ErrorReply":
+        """Map one exception onto its wire reply."""
+        return cls(
+            code=error_code(exc), message=str(exc), request_kind=request_kind
+        )
+
+
+# --------------------------------------------------------- wire encoding --
+
+_REQUESTS = {
+    cls.__name__: cls
+    for cls in (
+        Configure,
+        SubmitBids,
+        ReviseBid,
+        AdvanceSlots,
+        RunQuery,
+        AdviseRequest,
+        LedgerQuery,
+    )
+}
+
+_REPLIES = {
+    cls.__name__: cls
+    for cls in (
+        ConfigReply,
+        BidsReply,
+        ReviseReply,
+        SlotReply,
+        QueryReply,
+        AdviseReply,
+        LedgerReply,
+        ErrorReply,
+    )
+}
+
+
+def _jsonable(value):
+    """Envelope field -> JSON-able (tuples nest as lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _tupled(value):
+    """JSON field -> envelope-normal form (lists nest as tuples)."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
+def to_dict(envelope) -> dict:
+    """One envelope -> its flat JSON-able dictionary."""
+    cls = type(envelope)
+    if cls.__name__ not in _REQUESTS and cls.__name__ not in _REPLIES:
+        raise ProtocolError(f"{cls.__name__} is not a gateway envelope")
+    out = {"api": API_VERSION, "kind": cls.__name__}
+    for field in fields(envelope):
+        out[field.name] = _jsonable(getattr(envelope, field.name))
+    return out
+
+
+def _from_dict(d, registry: dict, expected: str):
+    if not isinstance(d, Mapping):
+        raise ProtocolError(
+            f"an envelope must be a JSON object, got {type(d).__name__}"
+        )
+    api = d.get("api")
+    if api != API_VERSION:
+        raise ProtocolError(
+            f"envelope speaks API {api!r}; this gateway speaks {API_VERSION!r}",
+            code="version",
+        )
+    kind = d.get("kind")
+    # Only string tags can name a class; anything else (including
+    # unhashable junk) is malformed, not merely unknown.
+    cls = registry.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ProtocolError(f"unknown {expected} kind {kind!r}")
+    names = {field.name for field in fields(cls)}
+    extra = set(d) - names - {"api", "kind"}
+    if extra:
+        raise ProtocolError(
+            f"{kind} envelope carries unknown fields {sorted(extra)}"
+        )
+    kwargs = {}
+    for field in fields(cls):
+        if field.name in d:
+            kwargs[field.name] = _tupled(d[field.name])
+    try:
+        return cls(**kwargs)
+    except ProtocolError:
+        raise
+    except ReproError:
+        raise
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"malformed {kind} envelope: {exc}") from exc
+
+
+def request_from_dict(d) -> Request:
+    """Decode one request envelope; raises :class:`ProtocolError` on junk."""
+    return _from_dict(d, _REQUESTS, "request")
+
+
+def reply_from_dict(d) -> Reply:
+    """Decode one reply envelope; raises :class:`ProtocolError` on junk."""
+    return _from_dict(d, _REPLIES, "reply")
+
+
+def envelope_from_dict(d):
+    """Decode either direction (requests tried first)."""
+    if isinstance(d, Mapping):
+        kind = d.get("kind")
+        if isinstance(kind, str) and kind in _REPLIES:
+            return reply_from_dict(d)
+    return request_from_dict(d)

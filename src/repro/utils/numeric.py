@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+from repro.errors import GameConfigError
+
 #: Absolute tolerance used for price/bid boundary comparisons.
 ABS_TOL = 1e-9
 #: Relative tolerance used for price/bid boundary comparisons.
@@ -64,12 +66,16 @@ def isclose_or_greater(a: float, b: float) -> bool:
 
 
 def weighted_mean(values: Sequence[float], weights: Iterable[float]) -> float:
-    """Weighted mean; raises ``ValueError`` on empty or zero-weight input."""
+    """Weighted mean; raises ``GameConfigError`` on empty, mismatched, or
+    zero-weight input."""
     total_w = 0.0
     total = 0.0
-    for v, w in zip(values, weights, strict=True):
-        total += v * w
-        total_w += w
+    try:
+        for v, w in zip(values, weights, strict=True):
+            total += v * w
+            total_w += w
+    except ValueError as exc:  # zip(strict=True) length mismatch
+        raise GameConfigError(f"values/weights mismatch: {exc}") from None
     if total_w == 0.0:
-        raise ValueError("weights sum to zero")
+        raise GameConfigError("weights sum to zero")
     return total / total_w

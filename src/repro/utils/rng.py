@@ -12,6 +12,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import GameConfigError
+
 RngLike = Union[None, int, np.random.Generator]
 
 __all__ = ["ensure_rng", "spawn_rngs", "RngLike"]
@@ -39,7 +41,7 @@ def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     not depend on evaluation order.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise GameConfigError(f"count must be non-negative, got {count}")
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]

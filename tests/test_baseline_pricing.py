@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro import GameConfigError
 from repro.baseline import optimal_price
 
 
@@ -69,7 +70,7 @@ class TestLossMinimization:
         assert decision.payers == 2
 
     def test_invalid_cost(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             optimal_price(0.0, [1.0])
 
 

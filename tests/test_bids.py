@@ -163,5 +163,5 @@ class TestRevisableBid:
 
     def test_as_of_before_declaration_raises(self):
         bid = RevisableBid(AdditiveBid.over(3, [1.0]), declared_at=2)
-        with pytest.raises(ValueError):
+        with pytest.raises(RevisionError):
             bid.as_of(1)

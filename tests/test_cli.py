@@ -1,6 +1,14 @@
-"""Tests for the figure-regeneration CLI."""
+"""Tests for the figure-regeneration and gateway CLI.
+
+Every registered command is both parsed and smoked at minimal scale, so
+argument wiring cannot silently rot (ISSUE 5 satellite): ``list``, each
+``fig*``, ``all``, ``fleet`` (both races), ``advise``, and ``replay``/
+``serve``.
+"""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -13,6 +21,8 @@ class TestParser:
         out = capsys.readouterr().out
         for name in FIGURES:
             assert name in out
+        for extra in ("fleet", "advise", "replay"):
+            assert extra in out
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -31,6 +41,35 @@ class TestParser:
         args = build_parser().parse_args(["fig2a", "--trials", "9", "--seed", "3"])
         assert args.trials == 9
         assert args.seed == 3
+
+    @pytest.mark.parametrize("name", sorted(FIGURES) + ["all"])
+    def test_every_figure_command_parses(self, name):
+        args = build_parser().parse_args([name, "--trials", "1", "--summary"])
+        assert args.command == name
+
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--games", "3", "--users", "50", "--gateway"]
+        )
+        assert (args.games, args.users, args.gateway) == (3, 50, True)
+
+    def test_advise_flags(self):
+        args = build_parser().parse_args(
+            ["advise", "--particles", "500", "--engine-mode", "iterator"]
+        )
+        assert args.particles == 500
+        assert args.engine_mode == "iterator"
+
+    def test_replay_flags(self):
+        args = build_parser().parse_args(
+            ["replay", "t.jsonl", "--strict", "--particles", "100"]
+        )
+        assert str(args.trace) == "t.jsonl"
+        assert args.strict and args.particles == 100
+
+    def test_serve_alias(self):
+        args = build_parser().parse_args(["serve", "t.jsonl"])
+        assert str(args.trace) == "t.jsonl"
 
 
 class TestExecution:
@@ -55,3 +94,88 @@ class TestExecution:
         assert main(["fig1", "--samples", "3", "--rows", "4"]) == 0
         out = capsys.readouterr().out
         assert "Baseline Cost" in out
+
+    @pytest.mark.parametrize(
+        "name", ["fig2b", "fig2c", "fig2d", "fig3b", "fig4", "fig5b"]
+    )
+    def test_remaining_figures_smoke(self, name, capsys):
+        assert main([name, "--trials", "1", "--summary"]) == 0
+        assert "mean" in capsys.readouterr().out
+
+    def test_fleet_smoke(self, capsys):
+        assert main(
+            ["fleet", "--games", "2", "--users", "60", "--slots", "20",
+             "--repeats", "1", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_fleet_gateway_smoke(self, capsys):
+        assert main(
+            ["fleet", "--games", "2", "--users", "60", "--slots", "20",
+             "--repeats", "1", "--gateway"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dispatch overhead" in out
+
+    def test_advise_smoke(self, capsys):
+        assert main(
+            ["advise", "--particles", "800", "--snapshots", "2", "--slots", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "metered workload cost" in out
+        assert "candidates mined" in out
+
+
+class TestReplayCommand:
+    TRACE = [
+        {"api": "1.2", "kind": "Configure",
+         "optimizations": [["idx", 40.0]], "horizon": 3, "shards": 1},
+        {"api": "1.2", "kind": "SubmitBids", "tenant": "ann",
+         "bids": [["idx", 1, [30.0, 15.0]]]},
+        {"api": "1.2", "kind": "SubmitBids", "tenant": "bob",
+         "bids": [["idx", 1, [20.0]]]},
+        {"api": "1.2", "kind": "AdvanceSlots", "slots": 3},
+        {"api": "1.2", "kind": "LedgerQuery", "tenant": "ann"},
+    ]
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return path
+
+    def test_replay_smoke(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.TRACE)
+        replies = tmp_path / "replies.jsonl"
+        assert main(["replay", str(path), "--replies", str(replies)]) == 0
+        out = capsys.readouterr().out
+        assert "5 replies" in out
+        written = [json.loads(line) for line in replies.read_text().splitlines()]
+        assert [w["kind"] for w in written] == [
+            "ConfigReply", "BidsReply", "BidsReply", "SlotReply", "LedgerReply",
+        ]
+
+    def test_serve_alias_runs_replay(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.TRACE)
+        assert main(["serve", str(path)]) == 0
+        assert "5 replies" in capsys.readouterr().out
+
+    def test_strict_fails_on_errors(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, self.TRACE + [{"api": "1.2", "kind": "Mystery"}]
+        )
+        assert main(["replay", str(path)]) == 0  # tolerant by default
+        capsys.readouterr()
+        assert main(["replay", str(path), "--strict"]) == 1
+        assert "protocol" in capsys.readouterr().out
+
+    def test_replay_with_universe_queries(self, tmp_path, capsys):
+        trace = [
+            {"api": "1.2", "kind": "RunQuery", "tenant": "ada",
+             "query": "members", "table": "snap_02", "halo": 0},
+        ]
+        path = self._write(tmp_path, trace)
+        assert main(["replay", str(path), "--particles", "300",
+                     "--snapshots", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "QueryReply" in out

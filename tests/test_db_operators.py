@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import QueryError
+from repro import GameConfigError, QueryError
 from repro.db import (
     Catalog,
     Col,
@@ -220,7 +220,7 @@ class TestCostModel:
         assert model.minutes(meter) == pytest.approx(1.0)
 
     def test_calibration_requires_work(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             CostModel().calibrated(60.0, CostMeter())
 
     def test_meter_merge_and_reset(self):

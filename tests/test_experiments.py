@@ -52,7 +52,8 @@ class TestCommon:
         result = ExperimentResult("e", "x", "y", (s,))
         assert result.get("a") is s
         assert result.names == ["a"]
-        with pytest.raises(KeyError):
+        from repro import GameConfigError
+        with pytest.raises(GameConfigError):
             result.get("zzz")
 
     def test_cost_grid(self):

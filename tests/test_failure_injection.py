@@ -143,7 +143,7 @@ class TestRegretEdgeCases:
         assert outcome.total_cost == 0.0
 
     def test_pricing_rejects_bad_cost(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             optimal_price(-1.0, [1.0])
 
     def test_pricing_ignores_negative_residuals(self):

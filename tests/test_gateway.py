@@ -1,0 +1,747 @@
+"""The tenant gateway: envelope round-trips, facade semantics, hot path.
+
+Three contracts from DESIGN.md's "Gateway conventions":
+
+* every envelope and every public value object survives
+  ``from_dict(to_dict(x)) == x`` — including a real JSON hop;
+* ``PricingService.dispatch_many`` produces outcomes and metered costs
+  bit-identical to driving the ``FleetEngine`` directly;
+* no malformed envelope can make the gateway raise anything outside the
+  ``ReproError`` hierarchy — the wire entry point never raises at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdditiveBid,
+    GameConfigError,
+    PricingService,
+    ProtocolError,
+    ReproError,
+    run_addoff,
+    run_addon,
+    run_shapley,
+    run_substoff,
+    run_subston,
+)
+from repro.bids.substitutive import SubstitutableBid
+from repro.cloudsim import CloudService, OptimizationCatalog
+from repro.db import CandidateView, Catalog, SavingsEstimator, Schema, Table
+from repro.errors import (
+    BidError,
+    MechanismError,
+    QueryError,
+    RevisionError,
+    SchemaError,
+)
+from repro.fleet import TenantWorkload, build_service
+from repro.fleet.engine import FleetEngine
+from repro.gateway import (
+    API_VERSION,
+    AdvanceSlots,
+    AdviseRequest,
+    Configure,
+    ErrorReply,
+    LedgerQuery,
+    ReviseBid,
+    RunQuery,
+    SubmitBids,
+    error_code,
+    from_dict,
+    replay,
+    request_from_dict,
+    to_dict,
+    write_trace,
+)
+from repro.gateway.trace import iter_trace
+from repro.workloads.fleet import (
+    fleet_arrival_trace,
+    fleet_batches,
+    fleet_game_costs,
+)
+
+
+def roundtrip(obj):
+    """to_dict -> real JSON hop -> from_dict."""
+    return from_dict(json.loads(json.dumps(to_dict(obj))))
+
+
+# ------------------------------------------------------------- envelopes --
+
+ENVELOPE_EXAMPLES = [
+    Configure(optimizations=(("idx", 40.0), (("t", 1), 3.5)), horizon=6, shards=2),
+    SubmitBids(tenant="ann", bids=(("idx", 1, (30.0, 2.5)), ("v", 2, (1.0,)))),
+    SubmitBids(tenant=7, bids=(), revisable=True),
+    ReviseBid(tenant="bob", optimization="idx", new_values={3: 5.0, 4: 6.5}),
+    AdvanceSlots(slots=3),
+    RunQuery(tenant="t", query="members", table="snap_02", halo=3),
+    RunQuery(tenant="t", query="chain", tables=("s2", "s1"), halo=0, record=False),
+    RunQuery(tenant="t", query="histogram", table="s1", pids=(1, 2, 3)),
+    AdviseRequest(horizon=5, dollars_per_byte=1e-7),
+    AdviseRequest(),
+    LedgerQuery(tenant=("compound", 3)),
+]
+
+
+class TestEnvelopeRoundTrips:
+    @pytest.mark.parametrize("envelope", ENVELOPE_EXAMPLES, ids=lambda e: type(e).__name__)
+    def test_request_round_trips_through_json(self, envelope):
+        assert roundtrip(envelope) == envelope
+
+    def test_replies_round_trip(self):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        replies = [
+            service.dispatch(SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))),
+            service.dispatch(AdvanceSlots(slots=3)),
+            service.dispatch(LedgerQuery(tenant="ann")),
+            service.dispatch(SubmitBids(tenant="x", bids=(("nope", 1, (1.0,)),))),
+        ]
+        for reply in replies:
+            assert roundtrip(reply) == reply
+        assert isinstance(replies[-1], ErrorReply)
+
+    def test_version_is_stamped_and_checked(self):
+        wire = to_dict(AdvanceSlots(slots=1))
+        assert wire["api"] == API_VERSION
+        wire["api"] = "0.9"
+        with pytest.raises(ProtocolError) as excinfo:
+            request_from_dict(wire)
+        assert excinfo.value.code == "version"
+
+    def test_unknown_fields_rejected(self):
+        wire = to_dict(AdvanceSlots(slots=1))
+        wire["extra"] = True
+        with pytest.raises(ProtocolError):
+            request_from_dict(wire)
+
+
+# ---------------------------------------------------------- value objects --
+
+
+def _query_result():
+    catalog = Catalog()
+    table = Table("t", Schema.of(pid="int", halo="int"))
+    table.extend((i, i % 3 - 1) for i in range(30))
+    catalog.create_table(table)
+    from repro.db import QueryEngine
+
+    return QueryEngine(catalog).halo_members("t", 1)
+
+
+def _fleet_report():
+    engine = FleetEngine(
+        OptimizationCatalog.from_costs({"a": 10.0, ("b", 2): 5.0}), horizon=4
+    )
+    engine.place_bid("ann", "a", AdditiveBid.over(1, [6.0, 6.0]))
+    engine.place_bid(3, "a", AdditiveBid.over(2, [5.0]))
+    engine.place_bid("eve", ("b", 2), AdditiveBid.over(1, [1.0]))
+    return engine.run_to_end()
+
+
+VALUE_EXAMPLES = [
+    run_shapley(cost=100.0, bids={"ann": 60.0, "bob": 55.0, "eve": 20.0}),
+    run_addoff(
+        costs={"idx": 100.0, "view": 90.0},
+        bids={"idx": {1: 70.0, 2: 60.0}, "view": {2: 30.0}},
+    ),
+    run_addon(
+        cost=100.0,
+        bids={1: AdditiveBid.over(1, [101.0]), 2: AdditiveBid.over(1, [16.0] * 3)},
+        horizon=3,
+    ),
+    run_substoff(
+        costs={"v1": 60.0, "v2": 100.0},
+        bids={1: {"v1": 50.0, "v2": 50.0}, 2: {"v1": 40.0, "v2": 0.0}},
+    ),
+    run_subston(
+        costs={"v1": 60.0, "v2": 50.0},
+        bids={
+            1: SubstitutableBid.over(1, [50.0, 50.0], {"v1", "v2"}),
+            2: SubstitutableBid.over(2, [100.0], {"v2"}),
+        },
+        horizon=2,
+    ),
+    _fleet_report(),
+    _query_result(),
+]
+
+
+class TestValueObjectRoundTrips:
+    @pytest.mark.parametrize("obj", VALUE_EXAMPLES, ids=lambda o: type(o).__name__)
+    def test_round_trips_through_json(self, obj):
+        assert roundtrip(obj) == obj
+
+    def test_savings_quote_round_trips(self):
+        catalog = Catalog()
+        table = Table("events", Schema.of(uid="int", ts="int", payload="str"))
+        table.extend((i, i * 7, f"p{i}") for i in range(200))
+        catalog.create_table(table)
+        estimator = SavingsEstimator(catalog)
+        quote = estimator.quote(CandidateView("v", "events", ("uid", "ts")))
+        assert roundtrip(quote) == quote
+
+    def test_fleet_report_round_trip_covers_ledger_and_events(self):
+        report = _fleet_report()
+        back = roundtrip(report)
+        assert back.ledger == report.ledger
+        assert back.events == report.events
+        assert back.ledger.balance == report.ledger.balance
+
+    @given(
+        cost=st.floats(min_value=0.5, max_value=500.0, allow_nan=False),
+        bids=st.dictionaries(
+            st.one_of(st.integers(0, 50), st.text(max_size=4)),
+            st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shapley_round_trip_property(self, cost, bids):
+        result = run_shapley(cost=cost, bids=bids)
+        assert roundtrip(result) == result
+
+
+# --------------------------------------------------- facade vs direct fleet --
+
+
+class TestGatewayPreservesFleetPath:
+    GAMES, USERS, SLOTS = 20, 1500, 150
+
+    def _population(self, seed=2012):
+        costs = fleet_game_costs(seed, self.GAMES, 30.0)
+        batches = fleet_batches(seed + 1, self.USERS, self.GAMES, self.SLOTS, 4)
+        trace = fleet_arrival_trace(seed + 1, self.USERS, self.GAMES, self.SLOTS, 4)
+        return costs, batches, trace
+
+    def test_dispatch_many_bit_identical_to_direct_engine(self):
+        costs, batches, trace = self._population()
+        direct = FleetEngine(
+            OptimizationCatalog.from_costs(costs), horizon=self.SLOTS, shards=4
+        )
+        for batch in batches:
+            direct.ingest(batch)
+        direct_report = direct.run_to_end()
+
+        service = PricingService(
+            OptimizationCatalog.from_costs(costs), horizon=self.SLOTS, shards=4
+        )
+        requests = [
+            SubmitBids(
+                tenant=a.user,
+                bids=((a.optimization, a.bid.start, a.bid.schedule.values),),
+            )
+            for a in trace
+        ]
+        replies = service.dispatch_many(requests)
+        assert all(not isinstance(r, ErrorReply) for r in replies)
+        report = service.run_to_end()
+
+        assert dict(report.payments) == dict(direct_report.payments)
+        assert dict(report.granted_at) == dict(direct_report.granted_at)
+        assert dict(report.implemented) == dict(direct_report.implemented)
+        assert dict(report.game_revenue) == dict(direct_report.game_revenue)
+        assert report.ledger == direct_report.ledger
+        assert report.events == direct_report.events
+
+    def test_per_request_dispatch_matches_place_bid_path(self):
+        costs, _, trace = self._population(seed=77)
+        direct = FleetEngine(OptimizationCatalog.from_costs(costs), horizon=self.SLOTS)
+        service = PricingService(
+            OptimizationCatalog.from_costs(costs), horizon=self.SLOTS
+        )
+        for arrival in trace[:300]:
+            direct.place_bid(arrival.user, arrival.optimization, arrival.bid)
+            reply = service.dispatch(
+                SubmitBids(
+                    tenant=arrival.user,
+                    bids=(
+                        (
+                            arrival.optimization,
+                            arrival.bid.start,
+                            arrival.bid.schedule.values,
+                        ),
+                    ),
+                )
+            )
+            assert not isinstance(reply, ErrorReply)
+        assert dict(direct.run_to_end().payments) == dict(
+            service.run_to_end().payments
+        )
+
+    def test_mixed_batch_flushes_in_order(self):
+        service = PricingService({"idx": 40.0}, horizon=4)
+        replies = service.dispatch_many(
+            [
+                SubmitBids(tenant="ann", bids=(("idx", 1, (30.0, 15.0)),)),
+                SubmitBids(tenant="bob", bids=(("idx", 1, (20.0,)),)),
+                AdvanceSlots(slots=4),
+                LedgerQuery(tenant="ann"),
+            ]
+        )
+        kinds = [type(r).__name__ for r in replies]
+        assert kinds == ["BidsReply", "BidsReply", "SlotReply", "LedgerReply"]
+        assert replies[3].total > 0.0
+
+    def test_revisable_bids_skip_bulk_and_stay_revisable(self):
+        service = PricingService({"idx": 40.0}, horizon=4)
+        replies = service.dispatch_many(
+            [
+                SubmitBids(
+                    tenant="ann", bids=(("idx", 1, (10.0, 10.0)),), revisable=True
+                ),
+                SubmitBids(tenant="bob", bids=(("idx", 1, (5.0,)),)),
+                ReviseBid(tenant="ann", optimization="idx", new_values={2: 35.0}),
+            ]
+        )
+        assert [type(r).__name__ for r in replies] == [
+            "BidsReply",
+            "BidsReply",
+            "ReviseReply",
+        ]
+        report = service.run_to_end()
+        # Unrevised, slot-1 residuals (20 + 5) fall short of 40; the
+        # revision lifts ann's residual to 45 and funds the game.
+        assert report.implemented == {"idx": 1}
+
+    def test_bulk_submitted_bids_cannot_be_revised(self):
+        service = PricingService({"idx": 40.0}, horizon=4)
+        replies = service.dispatch_many(
+            [
+                SubmitBids(tenant="ann", bids=(("idx", 1, (10.0, 10.0)),)),
+                ReviseBid(tenant="ann", optimization="idx", new_values={2: 35.0}),
+            ]
+        )
+        assert isinstance(replies[1], ErrorReply)
+        assert replies[1].code == "game-config"
+
+    def test_bulk_run_shares_one_verdict_on_error(self):
+        service = PricingService({"idx": 40.0}, horizon=4)
+        replies = service.dispatch_many(
+            [
+                SubmitBids(tenant="ann", bids=(("idx", 1, (30.0,)),)),
+                SubmitBids(tenant="bob", bids=(("nope", 1, (1.0,)),)),
+            ]
+        )
+        assert [type(r).__name__ for r in replies] == ["ErrorReply", "ErrorReply"]
+        assert all(r.code == "game-config" for r in replies)
+
+    def test_failed_bulk_run_commits_nothing(self):
+        # All-or-nothing across duration batches: a later batch failing
+        # must not leave an earlier one scheduled (and later invoiced).
+        service = PricingService({"idx": 40.0, "v": 10.0}, horizon=2)
+        replies = service.dispatch_many(
+            [
+                SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),)),
+                # duration 3 ends beyond the horizon: the run must fail whole
+                SubmitBids(tenant="bob", bids=(("v", 1, (1.0, 1.0, 1.0)),)),
+            ]
+        )
+        assert all(isinstance(r, ErrorReply) for r in replies)
+        report = service.run_to_end()
+        assert not report.implemented
+        assert dict(report.payments) in ({}, {"ann": 0.0})
+        assert service.dispatch(LedgerQuery(tenant="ann")).total == 0.0
+        # ...and the failed run must not squat on the (tenant, game) pair.
+        service2 = PricingService({"idx": 40.0, "v": 10.0}, horizon=2)
+        service2.dispatch_many(
+            [SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),)),
+             SubmitBids(tenant="bob", bids=(("v", 1, (1.0,) * 3),))]
+        )
+        retry = service2.dispatch_many(
+            [SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))]
+        )
+        assert retry.failed is None
+
+    def test_multi_bid_submit_is_atomic(self):
+        # A duplicate inside one envelope must not leave the first bid
+        # committed behind the ErrorReply, and a retry must then succeed.
+        service = PricingService({"x": 10.0}, horizon=2)
+        bad = SubmitBids(tenant="a", bids=(("x", 1, (5.0,)), ("x", 1, (5.0,))))
+        reply = service.dispatch(bad)
+        assert isinstance(reply, ErrorReply)
+        retry = service.dispatch(SubmitBids(tenant="a", bids=(("x", 1, (5.0,)),)))
+        assert not isinstance(retry, ErrorReply)
+
+    def test_attach_fleet_seeds_duplicate_guard(self):
+        import numpy as np
+
+        from repro.fleet.engine import FleetBatch
+
+        engine = FleetEngine(OptimizationCatalog.from_costs({"x": 10.0}), horizon=2)
+        engine.ingest(
+            FleetBatch(
+                users=("ann",),
+                opt_ranks=np.array([0]),
+                starts=np.array([1]),
+                values=np.array([[20.0]]),
+            )
+        )
+        service = PricingService(fleet=engine)
+        acks = service.dispatch_many(
+            [SubmitBids(tenant="ann", bids=(("x", 1, (20.0,)),))]
+        )
+        assert acks.failed is not None and acks[0].code == "game-config"
+        report = service.run_to_end()
+        assert report.payments.get("ann", 0.0) <= 10.0  # never double-invoiced
+
+    def test_oversized_advance_moves_nothing(self):
+        # An ErrorReply must mean the clock did not move: no partial
+        # advance (and no settlement) behind a "period is over" error.
+        service = PricingService({"idx": 40.0}, horizon=2)
+        service.dispatch(SubmitBids(tenant="a", bids=(("idx", 1, (50.0,)),)))
+        reply = service.dispatch(AdvanceSlots(slots=5))
+        assert isinstance(reply, ErrorReply) and reply.code == "mechanism"
+        assert service.slot == 0
+        assert service.dispatch(LedgerQuery(tenant="a")).total == 0.0
+        assert not isinstance(service.dispatch(AdvanceSlots(slots=2)), ErrorReply)
+
+    def test_configure_rejects_duplicate_ids(self):
+        service = PricingService()
+        reply = service.dispatch(
+            Configure(optimizations=(("idx", 40.0), ("idx", 25.0)), horizon=3)
+        )
+        assert isinstance(reply, ErrorReply) and reply.code == "game-config"
+        assert service.fleet is None
+
+    def test_malformed_construction_raises_protocol_error(self):
+        # In-process construction (TenantSession included) must not leak
+        # bare ValueError for request-shaped mistakes.
+        for build in (
+            lambda: SubmitBids(tenant="a", bids=(("x", 1),)),  # short triple
+            lambda: SubmitBids(tenant="a", bids=(("x", "one", (1.0,)),)),
+            lambda: Configure(optimizations=(("x",),), horizon=2),
+            lambda: AdvanceSlots(slots="three"),
+            lambda: ReviseBid(tenant="a", optimization="x", new_values=((1,),)),
+        ):
+            with pytest.raises(ProtocolError):
+                build()
+
+    def test_unhashable_ids_rejected_as_data(self):
+        # Tenant/optimization ids key dicts throughout the engine; an
+        # unhashable id must fail at envelope construction as a
+        # ProtocolError (ErrorReply on the wire), never a TypeError
+        # mid-dispatch.
+        service = PricingService({"idx": 40.0}, horizon=2)
+        for build in (
+            lambda: SubmitBids(tenant=["ann"], bids=(("idx", 1, (5.0,)),)),
+            lambda: SubmitBids(tenant="a", bids=((["idx"], 1, (5.0,)),)),
+            lambda: ReviseBid(tenant={}, optimization="idx", new_values={2: 1.0}),
+            lambda: LedgerQuery(tenant=["x"]),
+            lambda: Configure(optimizations=((["a"], 5.0),), horizon=2),
+        ):
+            with pytest.raises(ProtocolError):
+                build()
+        # On the wire, JSON lists decode to (hashable) tuples; a JSON
+        # object is the unhashable case and must come back as data.
+        reply = service.dispatch_dict(
+            {"api": "1.2", "kind": "LedgerQuery", "tenant": {"a": 1}}
+        )
+        assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
+
+    def test_error_codes_match_across_submit_paths(self):
+        # The identical invalid envelope must yield the same stable code
+        # whether it travels the per-bid or the bulk path.
+        for bids in (
+            (("idx", 1, ()),),        # empty schedule
+            (("idx", 0, (1.0,)),),    # start before slot 1
+            (("idx", 1, (-1.0,)),),   # negative value
+        ):
+            request = SubmitBids(tenant="a", bids=bids)
+            per_bid = PricingService({"idx": 40.0}, horizon=2).dispatch(request)
+            bulk = PricingService({"idx": 40.0}, horizon=2).dispatch_many(
+                [request]
+            )[0]
+            assert isinstance(per_bid, ErrorReply)
+            assert per_bid.code == bulk.code == "bid", (bids, per_bid, bulk)
+
+    def test_badly_typed_wire_fields_become_error_replies(self):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        for payload in (
+            {"api": "1.2", "kind": "AdvanceSlots", "slots": "three"},
+            {"api": "1.2", "kind": "Configure", "optimizations": [], "horizon": "x"},
+            {"api": "1.2", "kind": "RunQuery", "tenant": "t", "query": "members",
+             "halo": "zero"},
+            {"api": "1.2", "kind": "AdviseRequest", "horizon": [1]},
+        ):
+            reply = service.dispatch_dict(payload)
+            assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
+
+    def test_bulk_duplicates_rejected_not_double_invoiced(self):
+        # dispatch() rejects a duplicate bid; the bulk path must not
+        # silently accept (and double-invoice) the same envelope list.
+        dup = SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))
+        service = PricingService({"idx": 40.0}, horizon=1)
+        replies = service.dispatch_many([dup, dup])
+        assert [type(r).__name__ for r in replies] == ["ErrorReply", "ErrorReply"]
+        # Across two bulk runs as well.
+        service2 = PricingService({"idx": 40.0}, horizon=1)
+        assert service2.dispatch_many([dup]).failed is None
+        second = service2.dispatch_many([dup])
+        assert second.failed is not None and second[0].code == "game-config"
+        report = service2.run_to_end()
+        assert report.payments.get("ann", 0.0) <= 40.0
+
+
+# ------------------------------------------------------------ the facade --
+
+
+class TestPricingService:
+    def test_requires_open_period(self):
+        service = PricingService()
+        reply = service.dispatch(LedgerQuery(tenant="ann"))
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "game-config"
+        reply = service.dispatch(
+            Configure(optimizations=(("idx", 40.0),), horizon=3)
+        )
+        assert type(reply).__name__ == "ConfigReply"
+        assert not isinstance(service.dispatch(LedgerQuery(tenant="ann")), ErrorReply)
+
+    def test_session_binds_tenant(self):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        session = service.session("ann")
+        assert not isinstance(
+            session.submit_bids([("idx", 1, (50.0,))]), ErrorReply
+        )
+        assert not isinstance(session.revise_bid("idx", {2: 60.0}), ErrorReply)
+        service.dispatch(AdvanceSlots(slots=3))
+        ledger = session.ledger()
+        assert ledger.tenant == "ann"
+        assert ledger.total == pytest.approx(40.0)
+
+    def test_queries_and_advice_through_envelopes(self):
+        import numpy as np
+
+        db = Catalog()
+        rng = np.random.default_rng(11)
+        for name in ("snap_01", "snap_02"):
+            db.create_table(
+                Table.from_columns(
+                    name,
+                    Schema.of(pid="int", halo="int"),
+                    {
+                        "pid": np.arange(150),
+                        "halo": rng.integers(-1, 4, size=150),
+                    },
+                )
+            )
+        service = PricingService(db_catalog=db)
+        session = service.session("ada")
+        members = session.run_query("members", table="snap_02", halo=0)
+        assert members.units > 0 and len(members.rows) > 0
+        top = session.run_query("top", tables=("snap_02", "snap_01"), halo=0)
+        assert len(top.rows) == 1
+        chain = session.run_query("chain", tables=("snap_02", "snap_01"), halo=0)
+        assert len(chain.rows) == 2
+        advice = service.dispatch(AdviseRequest(horizon=4, dollars_per_byte=1e-9))
+        assert type(advice).__name__ == "AdviseReply"
+        assert set(advice.adopted) <= set(advice.candidates)
+        # record=False executions must not grow the workload log.
+        before = len(service.log)
+        session.run_query("members", table="snap_02", halo=1, record=False)
+        assert len(service.log) == before
+
+    def test_cloudservice_additive_rides_the_gateway(self):
+        catalog = OptimizationCatalog.from_costs({"opt": 100.0})
+        cloud = CloudService(catalog, horizon=3, mode="additive")
+        cloud.place_additive_bid(1, "opt", AdditiveBid.over(1, [101.0]))
+        gateway = cloud.gateway
+        assert gateway.fleet is cloud._fleet
+        reply = gateway.dispatch(SubmitBids(tenant=2, bids=(("opt", 2, (26.0,)),)))
+        assert not isinstance(reply, ErrorReply)
+        report = cloud.run_to_end()
+        assert report.payments[1] == pytest.approx(100.0)
+
+    def test_pipeline_build_service(self):
+        catalog = Catalog()
+        table = Table("events", Schema.of(uid="int", ts="int", payload="str"))
+        table.extend((i, i * 7, f"p{i}") for i in range(1000))
+        catalog.create_table(table)
+        estimator = SavingsEstimator(catalog)
+        narrow = CandidateView("v_uid", "events", ("uid", "ts"))
+        tenants = [
+            TenantWorkload(f"t{i}", "events", ("uid",), start=1, end=6)
+            for i in range(4)
+        ]
+        service = build_service(
+            estimator, tenants, [narrow], horizon=6, dollars_per_byte=1e-4
+        )
+        assert isinstance(service, PricingService)
+        assert service.db is catalog
+        report = service.run_to_end()
+        assert report.implemented == {"v_uid": 1}
+        statement = service.dispatch(LedgerQuery(tenant="t0"))
+        assert statement.total > 0.0
+
+
+# ----------------------------------------------------------------- errors --
+
+
+class TestErrorMapping:
+    CASES = [
+        (RevisionError("x"), "revision"),
+        (BidError("x"), "bid"),
+        (MechanismError("x"), "mechanism"),
+        (GameConfigError("x"), "game-config"),
+        (SchemaError("x"), "schema"),
+        (QueryError("x"), "query"),
+        (ProtocolError("x"), "protocol"),
+        (ProtocolError("x", code="version"), "version"),
+        (ReproError("x"), "internal"),
+    ]
+
+    @pytest.mark.parametrize("exc,code", CASES, ids=lambda c: str(c))
+    def test_hierarchy_maps_to_stable_codes(self, exc, code):
+        if isinstance(exc, BaseException):
+            assert error_code(exc) == code
+            assert ErrorReply.of(exc).code == code
+
+    def test_every_repro_error_subclass_has_a_code(self):
+        def walk(cls):
+            yield cls
+            for sub in cls.__subclasses__():
+                yield from walk(sub)
+
+        for cls in walk(ReproError):
+            exc = cls.__new__(cls)
+            assert error_code(exc) != "", cls
+
+
+class TestMalformedEnvelopeFuzz:
+    """No malformed envelope may surface anything but ErrorReply/ReproError."""
+
+    def _base_wires(self):
+        return [to_dict(e) for e in ENVELOPE_EXAMPLES]
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_decode_only_raises_repro_errors(self, data):
+        wire = dict(data.draw(st.sampled_from(self._base_wires())))
+        mutation = data.draw(st.sampled_from(["drop", "retype", "junk", "version"]))
+        if mutation == "drop" and len(wire) > 2:
+            del wire[data.draw(st.sampled_from(sorted(wire)))]
+        elif mutation == "retype":
+            key = data.draw(st.sampled_from(sorted(wire)))
+            wire[key] = data.draw(
+                st.one_of(st.none(), st.integers(), st.text(max_size=3), st.booleans())
+            )
+        elif mutation == "junk":
+            wire[data.draw(st.text(min_size=1, max_size=6))] = data.draw(
+                st.one_of(st.integers(), st.lists(st.integers(), max_size=3))
+            )
+        else:
+            wire["api"] = data.draw(st.one_of(st.none(), st.text(max_size=4)))
+        try:
+            request_from_dict(wire)
+        except ReproError:
+            pass  # the only acceptable exception family
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_wire_dispatch_is_total(self, data):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        payload = data.draw(
+            st.one_of(
+                st.none(),
+                st.integers(),
+                st.text(max_size=5),
+                st.lists(st.integers(), max_size=3),
+                st.dictionaries(st.text(max_size=6), st.integers(), max_size=4),
+                st.sampled_from(self._base_wires()).map(dict),
+            )
+        )
+        if isinstance(payload, dict) and data.draw(st.booleans()):
+            payload.pop("tenant", None)
+        if isinstance(payload, dict) and payload and data.draw(st.booleans()):
+            # Retype one field: badly-typed scalars must become
+            # ErrorReply data, never a raw TypeError.
+            key = data.draw(st.sampled_from(sorted(payload)))
+            payload[key] = data.draw(
+                st.one_of(st.none(), st.text(max_size=3), st.lists(st.integers(), max_size=2))
+            )
+        reply = service.dispatch_dict(payload)
+        assert isinstance(reply, dict)
+        assert reply["kind"] in {
+            "ConfigReply",
+            "BidsReply",
+            "ReviseReply",
+            "SlotReply",
+            "QueryReply",
+            "AdviseReply",
+            "LedgerReply",
+            "ErrorReply",
+        }
+
+    def test_decoded_garbage_value_objects(self):
+        for junk in (
+            {"type": "ShapleyResult"},
+            {"type": "ShapleyResult", "serviced": 3, "price": "x", "payments": [], "rounds": 1},
+            {"type": "Nope"},
+            {"kind": None},
+            [],
+            "hello",
+        ):
+            with pytest.raises(ReproError):
+                from_dict(junk)
+
+
+# ----------------------------------------------------------------- traces --
+
+
+class TestTraces:
+    def test_write_then_replay_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        requests = [
+            Configure(optimizations=(("idx", 40.0),), horizon=4),
+            SubmitBids(tenant="ann", bids=(("idx", 1, (30.0, 15.0)),)),
+            SubmitBids(tenant="bob", bids=(("idx", 1, (20.0,)),)),
+            AdvanceSlots(slots=4),
+            LedgerQuery(tenant="ann"),
+        ]
+        assert write_trace(path, requests) == 5
+        result = replay(iter_trace(path))
+        assert len(result.replies) == 5
+        assert not result.errors
+        assert result.counts()["BidsReply"] == 2
+        assert result.service.report().implemented == {"idx": 1}
+
+    def test_replay_never_raises_on_junk_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    "this is not json",
+                    '{"api": "1.2", "kind": "Mystery"}',
+                    '{"api": "9.9", "kind": "AdvanceSlots", "slots": 1}',
+                    '{"api": "1.2", "kind": "AdvanceSlots", "slots": 1}',
+                ]
+            )
+            + "\n"
+        )
+        result = replay(iter_trace(path))
+        assert len(result.replies) == 4
+        codes = [r["code"] for r in result.errors]
+        assert codes == ["protocol", "protocol", "version", "game-config"]
+
+    def test_replay_equals_direct_dispatch(self, tmp_path):
+        requests = [
+            Configure(optimizations=(("a", 20.0), ("b", 30.0)), horizon=5, shards=2),
+            SubmitBids(tenant="u1", bids=(("a", 1, (15.0, 10.0)),)),
+            SubmitBids(tenant="u2", bids=(("a", 2, (12.0,)), ("b", 1, (5.0,)))),
+            AdvanceSlots(slots=5),
+        ]
+        path = tmp_path / "t.jsonl"
+        write_trace(path, requests)
+        replayed = replay(iter_trace(path)).service.report()
+
+        service = PricingService()
+        service.dispatch_many(requests)
+        direct = service.run_to_end()
+        assert dict(replayed.payments) == dict(direct.payments)
+        assert replayed.ledger == direct.ledger

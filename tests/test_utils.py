@@ -7,6 +7,7 @@ import math
 import numpy as np
 import pytest
 
+from repro import GameConfigError
 from repro.utils import close, ensure_rng, isclose_or_greater, spawn_rngs, weighted_mean
 from repro.utils.numeric import is_positive_finite_or_inf
 
@@ -48,7 +49,7 @@ class TestSpawnRngs:
         assert spawn_rngs(1, 0) == []
 
     def test_negative_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             spawn_rngs(1, -1)
 
 
@@ -67,11 +68,11 @@ class TestNumericHelpers:
         assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
 
     def test_weighted_mean_zero_weights(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             weighted_mean([1.0], [0.0])
 
     def test_weighted_mean_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GameConfigError):
             weighted_mean([1.0, 2.0], [1.0])
 
     @pytest.mark.parametrize(

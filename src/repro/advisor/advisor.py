@@ -53,13 +53,19 @@ class AdvisorConfig:
 
 @dataclass(frozen=True)
 class AdvisorOutcome:
-    """Everything one advising round produced."""
+    """Everything one advising round produced.
+
+    ``epoch`` is the catalog epoch after adoption — the first epoch at
+    which queries can see the funded designs. Queries pinned at earlier
+    epochs keep running their old plans untouched.
+    """
 
     candidates: CandidateSet
     quotes: Mapping
     report: object  # FleetReport, or None when nothing was priceable
     adopted: tuple
     build_meter: CostMeter = field(default_factory=CostMeter)
+    epoch: int | None = None
 
     @property
     def funded(self) -> tuple:
@@ -166,8 +172,21 @@ class OptimizationAdvisor:
         adoption is not free, it is simply *funded*. Names are adopted in
         sorted order for determinism; designs already present in the
         catalog (either kind) are skipped and not reported as adopted.
+
+        The whole batch installs inside one
+        :meth:`~repro.db.catalog.Catalog.epoch_batch`, so the catalog
+        epoch moves exactly once: in-flight queries pinned before the
+        boundary never see a half-installed design set, and the first
+        query pinned after it sees all of them.
         """
         build_meter = meter if meter is not None else CostMeter()
+        with self.catalog.epoch_batch():
+            adopted = self._adopt_locked(candidates, funded, build_meter)
+        return adopted
+
+    def _adopt_locked(
+        self, candidates: CandidateSet, funded, build_meter: CostMeter
+    ) -> tuple:
         adopted = []
         for name in sorted(funded):
             candidate = candidates.by_name(name)
@@ -207,7 +226,11 @@ class OptimizationAdvisor:
         engine = self.build_games(log, candidates)
         if engine is None:
             return AdvisorOutcome(
-                candidates=candidates, quotes=quotes, report=None, adopted=()
+                candidates=candidates,
+                quotes=quotes,
+                report=None,
+                adopted=(),
+                epoch=self.catalog.epoch,
             )
         report = engine.run_to_end()
         build_meter = CostMeter()
@@ -218,4 +241,5 @@ class OptimizationAdvisor:
             report=report,
             adopted=adopted,
             build_meter=build_meter,
+            epoch=self.catalog.epoch,
         )

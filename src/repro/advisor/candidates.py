@@ -64,7 +64,7 @@ class ViewSpec:
                 plan = Filter(plan, predicate)
             return Project(plan, list(columns))
 
-        return MaterializedView(name, definition)
+        return MaterializedView(name, definition, depends_on=(self.table_name,))
 
 
 @dataclass(frozen=True)

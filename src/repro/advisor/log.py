@@ -59,11 +59,15 @@ class TemplateUsage:
 
     ``passes`` counts full executions of the template; ``probes`` the
     total key probes those passes issued (a semi-join probing ``k`` keys
-    adds ``k`` per pass).
+    adds ``k`` per pass). ``last_epoch`` is the catalog epoch of the most
+    recent recorded execution (None until a recording supplies one), so
+    mined templates — and the savings quotes priced from them — are
+    attributable to the catalog state they were observed under.
     """
 
     passes: float = 0.0
     probes: float = 0.0
+    last_epoch: int | None = None
 
     @property
     def probes_per_pass(self) -> float:
@@ -110,6 +114,7 @@ class WorkloadLog:
         excluded=(),
         probes: float = 1.0,
         passes: float = 1.0,
+        epoch: int | None = None,
     ) -> QueryTemplate:
         """Record one executed query under the current tenant.
 
@@ -125,14 +130,19 @@ class WorkloadLog:
             key_column=key_column,
             excluded=tuple(excluded),
         )
-        self.record(template, probes=probes, passes=passes)
+        self.record(template, probes=probes, passes=passes, epoch=epoch)
         return template
 
     def record(
-        self, template: QueryTemplate, probes: float = 1.0, passes: float = 1.0
+        self,
+        template: QueryTemplate,
+        probes: float = 1.0,
+        passes: float = 1.0,
+        epoch: int | None = None,
     ) -> None:
         """Aggregate ``passes`` executions of ``template`` (with their
-        total ``probes``) under the current tenant."""
+        total ``probes``) under the current tenant. ``epoch``, when given,
+        stamps the usage's ``last_epoch``."""
         if passes <= 0:
             raise GameConfigError(f"passes must be > 0, got {passes}")
         if probes < 0:
@@ -143,6 +153,8 @@ class WorkloadLog:
             usage = self._usage[key] = TemplateUsage()
         usage.passes += passes
         usage.probes += probes
+        if epoch is not None:
+            usage.last_epoch = epoch
 
     # ------------------------------------------------------------ queries --
 

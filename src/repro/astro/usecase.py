@@ -140,6 +140,7 @@ class AstronomyUseCase:
                 Filter(SeqScan(base), Ne(Col("halo"), Const(-1))),
                 ["pid", "halo"],
             ),
+            depends_on=(table_name,),
         )
 
 
@@ -171,6 +172,7 @@ def build_use_case(config: UseCaseConfig = UseCaseConfig()) -> AstronomyUseCase:
                 Filter(SeqScan(base), Ne(Col("halo"), Const(-1))),
                 ["pid", "halo"],
             ),
+            depends_on=(table_name,),
         )
         view.refresh()
         view_sizes[view.name] = view.byte_size

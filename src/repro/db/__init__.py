@@ -15,7 +15,7 @@ index probe), which is what the pricing mechanisms consume.
 """
 
 from repro.db.schema import Column, Schema
-from repro.db.table import Table
+from repro.db.table import Table, TableSnapshot
 from repro.db.expr import And, Col, Const, Eq, Ge, Gt, In, Le, Lt, Ne, Not, Or
 from repro.db.index import HashIndex, SortedIndex
 from repro.db.operators import (
@@ -40,6 +40,7 @@ from repro.db.vec_operators import (
 )
 from repro.db.view import MaterializedView
 from repro.db.catalog import Catalog
+from repro.db.snapshot import CatalogSnapshot, ViewSnapshot
 from repro.db.costmodel import CostMeter, CostModel
 from repro.db.engine import ENGINE_MODES, QueryEngine, QueryResult
 from repro.db.savings import (
@@ -55,6 +56,7 @@ __all__ = [
     "Column",
     "Schema",
     "Table",
+    "TableSnapshot",
     "Col",
     "Const",
     "Eq",
@@ -96,6 +98,8 @@ __all__ = [
     "TableStats",
     "analyze",
     "Catalog",
+    "CatalogSnapshot",
+    "ViewSnapshot",
     "CostMeter",
     "CostModel",
     "QueryEngine",

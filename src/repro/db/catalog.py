@@ -1,9 +1,23 @@
-"""Catalog: the registry of tables, indexes, views and statistics."""
+"""Catalog: the registry of tables, indexes, views and statistics.
+
+Every mutation — registering or dropping a table, view or index,
+re-running ANALYZE, and inserting rows into a registered table — bumps a
+monotonically increasing **epoch**.
+:meth:`Catalog.snapshot` pins the whole registry at the current epoch as
+a frozen :class:`~repro.db.snapshot.CatalogSnapshot`, which is how
+readers get a consistent picture while mutators keep going. Multi-step
+installs (the advisor adopting a batch of designs) wrap themselves in
+:meth:`Catalog.epoch_batch` so the batch lands as a single epoch
+boundary.
+"""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.db.costmodel import CostMeter
 from repro.db.index import HashIndex, SortedIndex
+from repro.db.snapshot import CatalogSnapshot
 from repro.db.stats import TableStats, analyze
 from repro.db.table import Table
 from repro.db.view import MaterializedView
@@ -21,6 +35,42 @@ class Catalog:
         self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
         self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
         self._stats: dict[str, TableStats] = {}
+        self._epoch = 0
+        self._batch_depth = 0
+        self._batch_dirty = False
+
+    # -------------------------------------------------------------- epoch --
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version counter; bumped by every catalog mutation."""
+        return self._epoch
+
+    def _bump(self) -> None:
+        if self._batch_depth:
+            self._batch_dirty = True
+        else:
+            self._epoch += 1
+
+    @contextmanager
+    def epoch_batch(self):
+        """Coalesce the mutations inside the block into one epoch bump.
+
+        Nested batches join the outermost one; if nothing inside the block
+        mutates, the epoch does not move.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_dirty:
+                self._batch_dirty = False
+                self._epoch += 1
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Pin the registry at the current epoch as a frozen facade."""
+        return CatalogSnapshot(self)
 
     # ------------------------------------------------------------- tables --
 
@@ -29,6 +79,10 @@ class Catalog:
         if table.name in self._tables or table.name in self._views:
             raise SchemaError(f"name {table.name!r} already exists")
         self._tables[table.name] = table
+        # Data mutations must move the epoch too — an epoch identifies an
+        # exact data state, and the gateway caches snapshots keyed by it.
+        table._watchers.append(self._bump)
+        self._bump()
         return table
 
     def table(self, name: str) -> Table:
@@ -39,14 +93,28 @@ class Catalog:
             raise QueryError(f"no table named {name!r}") from None
 
     def drop_table(self, name: str) -> None:
-        """Remove a table and any indexes or statistics built on it."""
-        self.table(name)
+        """Remove a table plus the indexes, statistics and dependent views.
+
+        Views whose definitions read the dropped table (``depends_on``)
+        are dropped with it — leaving them registered would keep serving
+        stale rows from a table that no longer exists.
+        """
+        table = self.table(name)
         del self._tables[name]
+        try:
+            table._watchers.remove(self._bump)
+        except ValueError:
+            pass
         for key in [k for k in self._hash_indexes if k[0] == name]:
             del self._hash_indexes[key]
         for key in [k for k in self._sorted_indexes if k[0] == name]:
             del self._sorted_indexes[key]
         self._stats.pop(name, None)
+        for view_name in [
+            v for v, view in self._views.items() if name in view.depends_on
+        ]:
+            del self._views[view_name]
+        self._bump()
 
     @property
     def table_names(self) -> list[str]:
@@ -64,6 +132,7 @@ class Catalog:
         build_meter = meter if meter is not None else CostMeter()
         view.refresh(build_meter)
         self._views[view.name] = view
+        self._bump()
         return view
 
     def view(self, name: str) -> MaterializedView:
@@ -81,6 +150,7 @@ class Catalog:
         """Remove a view."""
         self.view(name)
         del self._views[name]
+        self._bump()
 
     @property
     def view_names(self) -> list[str]:
@@ -98,11 +168,25 @@ class Catalog:
             return existing
         index = HashIndex(self.table(table_name), key, meter)
         self._hash_indexes[(table_name, key)] = index
+        self._bump()
         return index
 
     def hash_index(self, table_name: str, key: str) -> HashIndex | None:
         """The hash index on ``table.key`` if one exists."""
         return self._hash_indexes.get((table_name, key))
+
+    def drop_hash_index(self, table_name: str, key: str) -> None:
+        """Retire the hash index on ``table.key``.
+
+        The advisor can adopt designs; this is the missing other half —
+        without it an installed index outlives the workload that justified
+        its storage rent. Raises :class:`~repro.errors.QueryError` when no
+        such index exists.
+        """
+        if (table_name, key) not in self._hash_indexes:
+            raise QueryError(f"no hash index on {table_name}.{key}")
+        del self._hash_indexes[(table_name, key)]
+        self._bump()
 
     def create_sorted_index(
         self, table_name: str, key: str, meter: CostMeter | None = None
@@ -113,11 +197,19 @@ class Catalog:
             return existing
         index = SortedIndex(self.table(table_name), key, meter)
         self._sorted_indexes[(table_name, key)] = index
+        self._bump()
         return index
 
     def sorted_index(self, table_name: str, key: str) -> SortedIndex | None:
         """The sorted index on ``table.key`` if one exists."""
         return self._sorted_indexes.get((table_name, key))
+
+    def drop_sorted_index(self, table_name: str, key: str) -> None:
+        """Retire the sorted index on ``table.key``; raises when absent."""
+        if (table_name, key) not in self._sorted_indexes:
+            raise QueryError(f"no sorted index on {table_name}.{key}")
+        del self._sorted_indexes[(table_name, key)]
+        self._bump()
 
     # --------------------------------------------------------- statistics --
 
@@ -131,6 +223,7 @@ class Catalog:
         """
         stats = analyze(self.table(name), columns)
         self._stats[name] = stats
+        self._bump()
         return stats
 
     def stats(self, name: str) -> TableStats | None:

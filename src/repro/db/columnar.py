@@ -5,6 +5,11 @@ equal length. Vector operators (:mod:`repro.db.vec_operators`) consume and
 produce batches; ``to_rows`` converts back to the row-tuple form the
 iterator engine emits, with plain Python values (``int``/``float``/``str``)
 so results from the two paths compare equal bit for bit.
+
+Batches are immutable: the arrays a batch holds are read-only views, so a
+batch captured by a reader can never be torn by a concurrent table append.
+Each batch carries the ``epoch`` of the storage state it was derived from,
+which derived batches (``take``/``filter``/``project``) inherit.
 """
 
 from __future__ import annotations
@@ -28,12 +33,25 @@ def column_dtype(dtype: str):
     return NUMPY_DTYPES[dtype]
 
 
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (the caller's array is not altered)."""
+    view = array[:]
+    view.flags.writeable = False
+    return view
+
+
 class ColumnBatch:
-    """An ordered set of equal-length column arrays under one schema."""
+    """An ordered set of equal-length, read-only column arrays.
 
-    __slots__ = ("schema", "columns")
+    ``epoch`` tags the storage epoch the batch was pinned at; batches built
+    ad hoc (operator outputs, literals) default to epoch ``0``.
+    """
 
-    def __init__(self, schema: Schema, columns: Sequence[np.ndarray]) -> None:
+    __slots__ = ("schema", "columns", "epoch")
+
+    def __init__(
+        self, schema: Schema, columns: Sequence[np.ndarray], epoch: int = 0
+    ) -> None:
         if len(columns) != len(schema.columns):
             raise SchemaError(
                 f"batch has {len(columns)} arrays for {len(schema.columns)} columns"
@@ -42,7 +60,8 @@ class ColumnBatch:
         if len(lengths) > 1:
             raise SchemaError(f"column arrays disagree on length: {sorted(lengths)}")
         self.schema = schema
-        self.columns = tuple(columns)
+        self.columns = tuple(_frozen(np.asarray(c)) for c in columns)
+        self.epoch = epoch
 
     def __len__(self) -> int:
         return len(self.columns[0]) if self.columns else 0
@@ -53,16 +72,22 @@ class ColumnBatch:
 
     def take(self, indices: np.ndarray) -> "ColumnBatch":
         """Row gather: a new batch of the rows at ``indices``, in order."""
-        return ColumnBatch(self.schema, [c[indices] for c in self.columns])
+        return ColumnBatch(
+            self.schema, [c[indices] for c in self.columns], epoch=self.epoch
+        )
 
     def filter(self, mask: np.ndarray) -> "ColumnBatch":
         """Boolean row selection preserving order."""
-        return ColumnBatch(self.schema, [c[mask] for c in self.columns])
+        return ColumnBatch(
+            self.schema, [c[mask] for c in self.columns], epoch=self.epoch
+        )
 
     def project(self, names: Sequence[str]) -> "ColumnBatch":
         """Column selection in the requested order."""
         return ColumnBatch(
-            self.schema.project(names), [self.column(n) for n in names]
+            self.schema.project(names),
+            [self.column(n) for n in names],
+            epoch=self.epoch,
         )
 
     def to_rows(self) -> list[tuple]:
@@ -77,4 +102,4 @@ class ColumnBatch:
         return list(zip(*[c.tolist() for c in self.columns]))
 
     def __repr__(self) -> str:
-        return f"ColumnBatch(rows={len(self)}, {self.schema!r})"
+        return f"ColumnBatch(rows={len(self)}, epoch={self.epoch}, {self.schema!r})"

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.db.catalog import Catalog
+from repro.db.catalog import Catalog  # noqa: F401 - re-exported surface
 from repro.db.costmodel import CostMeter, CostModel
+from repro.db.snapshot import CatalogSnapshot  # noqa: F401 - annotation
 from repro.db.operators import Operator
 from repro.db.planner import histogram_plan, members_plan
 from repro.db.vec_operators import to_vector
@@ -19,11 +20,16 @@ ENGINE_MODES = ("auto", "vector", "iterator")
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Rows plus the metered cost of producing them."""
+    """Rows plus the metered cost of producing them.
+
+    ``epoch`` is the catalog epoch the query's snapshot was pinned at —
+    every row in ``rows`` reflects exactly that catalog state.
+    """
 
     rows: list
     meter: CostMeter
     source: str
+    epoch: int = 0
 
     def scalar(self):
         """The single value of a single-row, single-column result."""
@@ -54,11 +60,21 @@ class QueryEngine:
     *normalized template* — shape, table, touched columns, probed key —
     through ``log.record_query(...)``, never its constants. The advisor
     mines those templates into candidate optimizations.
+
+    Every query pins one :meth:`Catalog.snapshot
+    <repro.db.catalog.Catalog.snapshot>` before planning and executes
+    entirely against it, so concurrent catalog mutation cannot change a
+    query mid-flight; multi-step queries (:meth:`top_contributor`,
+    :meth:`halo_chain`, :meth:`contributors_to`) pin one snapshot for all
+    their steps. The pinned epoch is recorded on the result and in the
+    workload log. The single-step methods accept ``at`` — an existing
+    :class:`~repro.db.snapshot.CatalogSnapshot` — to run at an earlier
+    pinned state instead.
     """
 
     def __init__(
         self,
-        catalog: Catalog,
+        catalog: "Catalog | CatalogSnapshot",
         cost_model: CostModel | None = None,
         mode: str = "auto",
         log=None,
@@ -92,8 +108,13 @@ class QueryEngine:
 
     # ------------------------------------------------------------ queries --
 
-    def halo_members(self, table_name: str, halo_id: int) -> QueryResult:
+    def pin(self):
+        """Pin the current catalog state for use as an ``at`` argument."""
+        return self.catalog.snapshot()
+
+    def halo_members(self, table_name: str, halo_id: int, at=None) -> QueryResult:
         """Particle ids of one halo in one snapshot."""
+        snap = at if at is not None else self.catalog.snapshot()
         if self.log is not None:
             self.log.record_query(
                 kind="members",
@@ -101,16 +122,20 @@ class QueryEngine:
                 columns=("pid", "halo"),
                 key_column="halo",
                 excluded=(("halo", -1),),
+                epoch=snap.epoch,
             )
         meter = CostMeter()
-        choice = members_plan(self.catalog, table_name, halo_id)
+        choice = members_plan(snap, table_name, halo_id)
         rows = self.execute_plan(choice.plan, meter)
-        return QueryResult(rows=rows, meter=meter, source=choice.source)
+        return QueryResult(
+            rows=rows, meter=meter, source=choice.source, epoch=snap.epoch
+        )
 
     def progenitor_histogram(
-        self, table_name: str, member_pids
+        self, table_name: str, member_pids, at=None
     ) -> QueryResult:
         """(halo, count) pairs for ``member_pids`` within one snapshot."""
+        snap = at if at is not None else self.catalog.snapshot()
         keys = frozenset(member_pids)
         if self.log is not None:
             # Logged probes match what the plan will actually issue: one
@@ -122,11 +147,14 @@ class QueryEngine:
                 key_column="pid",
                 excluded=(("halo", -1),),
                 probes=float(len(keys)),
+                epoch=snap.epoch,
             )
         meter = CostMeter()
-        choice = histogram_plan(self.catalog, table_name, keys)
+        choice = histogram_plan(snap, table_name, keys)
         rows = self.execute_plan(choice.plan, meter)
-        return QueryResult(rows=rows, meter=meter, source=choice.source)
+        return QueryResult(
+            rows=rows, meter=meter, source=choice.source, epoch=snap.epoch
+        )
 
     def top_contributor(
         self,
@@ -134,6 +162,7 @@ class QueryEngine:
         halo_id: int,
         to_table: str,
         exclude_unclustered: bool = True,
+        at=None,
     ) -> tuple[int | None, CostMeter]:
         """The halo in ``to_table`` contributing most particles to
         ``halo_id`` of ``from_table`` — the merger-tree step query.
@@ -143,14 +172,15 @@ class QueryEngine:
         halo id for determinism. Unclustered particles (halo == -1) are
         skipped unless ``exclude_unclustered`` is False.
         """
+        snap = at if at is not None else self.catalog.snapshot()
         total = CostMeter()
-        members = self.halo_members(from_table, halo_id)
+        members = self.halo_members(from_table, halo_id, at=snap)
         total.merge(members.meter)
         pids = frozenset(row[0] for row in members.rows)
         if not pids:
             return None, total
 
-        histogram = self.progenitor_histogram(to_table, pids)
+        histogram = self.progenitor_histogram(to_table, pids, at=snap)
         total.merge(histogram.meter)
         best: tuple[int, int] | None = None
         for halo, count in histogram.rows:
@@ -161,7 +191,7 @@ class QueryEngine:
         return (best[0] if best is not None else None), total
 
     def halo_chain(
-        self, tables_newest_first: list[str], halo_id: int
+        self, tables_newest_first: list[str], halo_id: int, at=None
     ) -> tuple[list, CostMeter]:
         """Recursive progenitor chain (paper Section 7.2 part (b)).
 
@@ -173,6 +203,7 @@ class QueryEngine:
         """
         if not tables_newest_first:
             raise QueryError("need at least one snapshot table")
+        snap = at if at is not None else self.catalog.snapshot()
         total = CostMeter()
         chain: list = [halo_id]
         current = halo_id
@@ -180,14 +211,14 @@ class QueryEngine:
             if current is None:
                 chain.append(None)
                 continue
-            progenitor, meter = self.top_contributor(newer, current, older)
+            progenitor, meter = self.top_contributor(newer, current, older, at=snap)
             total.merge(meter)
             chain.append(progenitor)
             current = progenitor
         return chain, total
 
     def contributors_to(
-        self, final_table: str, halo_id: int, earlier_tables: list[str]
+        self, final_table: str, halo_id: int, earlier_tables: list[str], at=None
     ) -> tuple[dict, CostMeter]:
         """Part (a) of the workload: for each earlier snapshot, the halo
         contributing the most particles to ``halo_id`` of ``final_table``.
@@ -197,10 +228,11 @@ class QueryEngine:
         which is why the final snapshot's view is so much more valuable
         than the others (the paper's 44-minute vs 2.5-minute savings).
         """
+        snap = at if at is not None else self.catalog.snapshot()
         total = CostMeter()
         result: dict = {}
         for older in earlier_tables:
-            top, meter = self.top_contributor(final_table, halo_id, older)
+            top, meter = self.top_contributor(final_table, halo_id, older, at=snap)
             total.merge(meter)
             result[older] = top
         return result, total

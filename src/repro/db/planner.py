@@ -26,6 +26,12 @@ over the base table (it can never estimate worse than the wide fallback).
 The ``what_if_*`` helpers estimate the byte cost of the alternatives
 without executing anything — that difference, run through the cost model
 and the pricing layer, is a user's *value* for an optimization.
+
+Every function here reads the catalog only through its lookup surface
+(``table``/``view``/``has_view``/``hash_index``/``stats``), so a frozen
+:class:`~repro.db.snapshot.CatalogSnapshot` works everywhere a live
+:class:`~repro.db.catalog.Catalog` does — plan choice against a snapshot
+is plan choice at that snapshot's epoch.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from dataclasses import dataclass
 from typing import AbstractSet
 
 from repro.db.catalog import Catalog
+from repro.db.snapshot import CatalogSnapshot
 from repro.db.costmodel import CostModel
 from repro.db.expr import Col, Const, Eq, In, Ne
 from repro.db.operators import (
@@ -76,7 +83,7 @@ class PlanChoice:
     source: str
 
 
-def _narrow_source(catalog: Catalog, table_name: str) -> PlanChoice:
+def _narrow_source(catalog: Catalog | CatalogSnapshot, table_name: str) -> PlanChoice:
     """The cheapest relation exposing clustered (pid, halo) rows.
 
     The view materializes exactly the clustered rows (halo != -1), so the
@@ -100,7 +107,7 @@ def _narrow_source(catalog: Catalog, table_name: str) -> PlanChoice:
     return PlanChoice(plan=plan, source="base")
 
 
-def _narrow_scan_units(catalog: Catalog, table_name: str) -> float:
+def _narrow_scan_units(catalog: Catalog | CatalogSnapshot, table_name: str) -> float:
     """Estimated cost units of one narrow (pid, halo) pass."""
     view_name = view_name_for(table_name)
     if catalog.has_view(view_name):
@@ -111,14 +118,14 @@ def _narrow_scan_units(catalog: Catalog, table_name: str) -> float:
 
 
 def what_if_index_units(
-    catalog: Catalog, table_name: str, expected_matches: float, probes: int = 1
+    catalog: Catalog | CatalogSnapshot, table_name: str, expected_matches: float, probes: int = 1
 ) -> float:
     """Estimated cost units of answering via a hash index instead of a scan."""
     return probes * _COST.probe_weight + expected_matches * _COST.emit_weight
 
 
 def _expected_eq_matches(
-    catalog: Catalog, table_name: str, column: str, fallback: float
+    catalog: Catalog | CatalogSnapshot, table_name: str, column: str, fallback: float
 ) -> float:
     """Expected rows one equality probe on ``column`` fetches.
 
@@ -132,7 +139,7 @@ def _expected_eq_matches(
     return fallback
 
 
-def members_plan(catalog: Catalog, table_name: str, halo_id: int) -> PlanChoice:
+def members_plan(catalog: Catalog | CatalogSnapshot, table_name: str, halo_id: int) -> PlanChoice:
     """Plan producing the particle ids belonging to ``halo_id``.
 
     Access paths, cheapest estimated first: a hash index on ``halo`` (one
@@ -163,7 +170,7 @@ def members_plan(catalog: Catalog, table_name: str, halo_id: int) -> PlanChoice:
 
 
 def histogram_plan(
-    catalog: Catalog, table_name: str, member_pids: AbstractSet
+    catalog: Catalog | CatalogSnapshot, table_name: str, member_pids: AbstractSet
 ) -> PlanChoice:
     """Plan counting rows per halo among ``member_pids`` in ``table_name``.
 
@@ -198,7 +205,7 @@ def histogram_plan(
     return PlanChoice(plan=plan, source=choice.source)
 
 
-def what_if_scan_bytes(catalog: Catalog, table_name: str) -> tuple[float, float]:
+def what_if_scan_bytes(catalog: Catalog | CatalogSnapshot, table_name: str) -> tuple[float, float]:
     """Estimated bytes for one (pid, halo) pass: (without view, with view).
 
     Note the base-table cost is the *wide* row width: projection does not

@@ -115,7 +115,10 @@ class SavingsQuote:
     operation order), so batch consumers like the fleet pipeline get
     bit-identical numbers at a fraction of the calls. For index candidates
     the ``view_rows``/``view_bytes`` fields hold the index's covered rows
-    and storage footprint (``kind`` tells the two apart).
+    and storage footprint (``kind`` tells the two apart). ``epoch`` is the
+    catalog epoch the quote was priced at (None when the catalog predates
+    epoch versioning): quotes are estimates over mutable state, and the
+    epoch says exactly which state.
     """
 
     view_rows: int
@@ -123,6 +126,7 @@ class SavingsQuote:
     build_units: float
     saving_units_per_run: float
     kind: str = "view"
+    epoch: int | None = None
 
     def saving_seconds(self, runs: float, seconds_per_unit: float) -> float:
         """Simulated seconds ``runs`` optimized passes save under this quote."""
@@ -244,7 +248,13 @@ class SavingsEstimator:
     # -------------------------------------------------------------- batch --
 
     def quote(self, candidate: Candidate) -> SavingsQuote:
-        """Fully price one candidate of either kind."""
+        """Fully price one candidate of either kind.
+
+        The quote is stamped with the catalog epoch it was priced at, so
+        downstream consumers (pricing games, gateway replies) can tell
+        which catalog state the estimate describes.
+        """
+        epoch = getattr(self.catalog, "epoch", None)
         if isinstance(candidate, CandidateIndex):
             return SavingsQuote(
                 view_rows=self.index_rows(candidate),
@@ -252,6 +262,7 @@ class SavingsEstimator:
                 build_units=self.index_build_units(candidate),
                 saving_units_per_run=self.index_saving_units_per_run(candidate),
                 kind=candidate.kind,
+                epoch=epoch,
             )
         return SavingsQuote(
             view_rows=self.view_rows(candidate),
@@ -259,6 +270,7 @@ class SavingsEstimator:
             build_units=self.build_units(candidate),
             saving_units_per_run=self.saving_units_per_run(candidate),
             kind="view",
+            epoch=epoch,
         )
 
     def price_many(

@@ -1,0 +1,158 @@
+"""Frozen catalog snapshots: the read side of copy-on-write storage.
+
+A :class:`CatalogSnapshot` pins the whole catalog — tables, views,
+indexes, statistics — at one epoch. It mirrors the read surface of
+:class:`~repro.db.catalog.Catalog` exactly (``table``/``view``/
+``has_view``/``hash_index``/``sorted_index``/``stats`` and the name
+listings), so the planner and both execution engines run against a
+snapshot unchanged. Construction is O(catalog entries), not O(data):
+tables are wrapped in length-pinned
+:class:`~repro.db.table.TableSnapshot` facades over the shared
+append-only buffers, nothing is copied.
+
+Mutating the live catalog after a snapshot is taken — drops included —
+never disturbs the snapshot: registry dicts are copied at construction,
+table reads are bounded by the pinned row counts, index objects cover
+only the rows present at their build, and a view refresh installs a new
+materialized table rather than touching the one the snapshot pinned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.stats import TableStats
+from repro.db.table import TableSnapshot
+from repro.errors import QueryError
+
+if TYPE_CHECKING:
+    from repro.db.catalog import Catalog
+    from repro.db.view import MaterializedView
+
+__all__ = ["CatalogSnapshot", "ViewSnapshot"]
+
+
+class ViewSnapshot:
+    """A materialized view pinned at snapshot time.
+
+    Exposes the attributes plans and pricing read from a live
+    :class:`~repro.db.view.MaterializedView`; the materialized ``table``
+    is itself a :class:`~repro.db.table.TableSnapshot`, so a concurrent
+    refresh or append cannot change what the snapshot serves.
+    """
+
+    __slots__ = ("name", "table", "depends_on", "build_cost_units")
+
+    def __init__(self, view: "MaterializedView") -> None:
+        self.name = view.name
+        self.table = view.table.snapshot() if view.table is not None else None
+        self.depends_on = view.depends_on
+        self.build_cost_units = view.build_cost_units
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when the view had been materialized at snapshot time."""
+        return self.table is not None
+
+    @property
+    def byte_size(self) -> int:
+        """Logical storage footprint; raises if not materialized."""
+        if self.table is None:
+            raise QueryError(f"view {self.name!r} is not materialized")
+        return self.table.byte_size
+
+    def __repr__(self) -> str:
+        return f"ViewSnapshot({self.name!r}, rows={len(self.table or ())})"
+
+
+class CatalogSnapshot:
+    """The catalog's read API, frozen at one epoch."""
+
+    __slots__ = (
+        "_epoch",
+        "_tables",
+        "_views",
+        "_hash_indexes",
+        "_sorted_indexes",
+        "_stats",
+    )
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self._epoch = catalog.epoch
+        self._tables: dict[str, TableSnapshot] = {
+            name: table.snapshot() for name, table in catalog._tables.items()
+        }
+        self._views: dict[str, ViewSnapshot] = {
+            name: ViewSnapshot(view) for name, view in catalog._views.items()
+        }
+        self._hash_indexes: dict[tuple[str, str], HashIndex] = dict(
+            catalog._hash_indexes
+        )
+        self._sorted_indexes: dict[tuple[str, str], SortedIndex] = dict(
+            catalog._sorted_indexes
+        )
+        self._stats: dict[str, TableStats] = dict(catalog._stats)
+
+    @property
+    def epoch(self) -> int:
+        """The catalog epoch this snapshot was pinned at."""
+        return self._epoch
+
+    def snapshot(self) -> "CatalogSnapshot":
+        """Snapshots are already pinned; snapshotting one is the identity."""
+        return self
+
+    # ------------------------------------------------------------- tables --
+
+    def table(self, name: str) -> TableSnapshot:
+        """Look a pinned table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table named {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        """All table names registered at snapshot time, sorted."""
+        return sorted(self._tables)
+
+    # -------------------------------------------------------------- views --
+
+    def view(self, name: str) -> ViewSnapshot:
+        """Look a pinned view up by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise QueryError(f"no view named {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        """True when a view of that name existed at snapshot time."""
+        return name in self._views
+
+    @property
+    def view_names(self) -> list[str]:
+        """All view names registered at snapshot time, sorted."""
+        return sorted(self._views)
+
+    # ------------------------------------------------------------ indexes --
+
+    def hash_index(self, table_name: str, key: str) -> HashIndex | None:
+        """The hash index on ``table.key`` pinned at snapshot time."""
+        return self._hash_indexes.get((table_name, key))
+
+    def sorted_index(self, table_name: str, key: str) -> SortedIndex | None:
+        """The sorted index on ``table.key`` pinned at snapshot time."""
+        return self._sorted_indexes.get((table_name, key))
+
+    # --------------------------------------------------------- statistics --
+
+    def stats(self, name: str) -> TableStats | None:
+        """The statistics registered for one table at snapshot time."""
+        return self._stats.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"CatalogSnapshot(epoch={self._epoch}, "
+            f"tables={len(self._tables)}, views={len(self._views)})"
+        )

@@ -1,7 +1,17 @@
-"""In-memory row-store tables, with a columnar shadow for the vector path."""
+"""In-memory row-store tables, with a copy-on-write columnar shadow.
+
+The columnar shadow is kept as per-column capacity buffers that are only
+ever appended to: sealing copies the rows the shadow has not seen yet into
+positions past every view previously handed out, and buffer growth
+reallocates, leaving the old buffer to any reader still holding a view of
+it. Mutation therefore never touches an array a reader holds, and an
+interleaved insert/scan workload costs O(delta) per seal instead of the
+O(n) full rebuild the old invalidate-and-rebuild cache paid.
+"""
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -10,17 +20,21 @@ from repro.db.columnar import ColumnBatch, column_dtype
 from repro.db.schema import Schema
 from repro.errors import SchemaError
 
-__all__ = ["Table"]
+__all__ = ["Table", "TableSnapshot"]
+
+#: Smallest shadow buffer allocated; growth doubles from here.
+_MIN_CAPACITY = 8
 
 
 class Table:
     """A named, schema-validated list of row tuples.
 
     Rows are stored in insertion order and addressed by integer row id
-    (their position), which is what the indexes store. A columnar shadow
-    (one numpy array per column) is built lazily on first vectorized
-    access and invalidated by inserts, so the row API stays authoritative
-    and every existing caller keeps working unchanged.
+    (their position), which is what the indexes store. The row API stays
+    authoritative; the columnar shadow is sealed lazily on vectorized
+    access and is append-only, so arrays handed to readers are stable.
+    Every mutation bumps :attr:`version`, the table-local epoch stamped
+    onto the batches it produces.
     """
 
     def __init__(self, name: str, schema: Schema) -> None:
@@ -29,7 +43,14 @@ class Table:
         self.name = name
         self.schema = schema
         self._rows: list[tuple] = []
-        self._column_cache: tuple[np.ndarray, ...] | None = None
+        self._buffers: list[np.ndarray] | None = None
+        self._shadow_len = 0
+        self._version = 0
+        # Mutation observers (zero-argument callables). A catalog holding
+        # this table registers one so data mutations move the catalog
+        # epoch: an epoch must identify an exact data state, not just an
+        # exact registry state.
+        self._watchers: list = []
 
     @classmethod
     def from_columns(
@@ -66,19 +87,39 @@ class Table:
         table = cls(name, schema)
         batch = ColumnBatch(schema, arrays)
         table._rows = batch.to_rows()
-        table._column_cache = batch.columns
+        # The validated arrays are fresh copies, so they can seed the
+        # shadow directly; the seal path appends past them from here on.
+        table._buffers = arrays
+        table._shadow_len = len(table._rows)
         return table
+
+    @property
+    def version(self) -> int:
+        """Table-local epoch: bumped once per mutating call."""
+        return self._version
 
     def insert(self, row: Sequence) -> int:
         """Validate and append one row; returns its row id."""
         self._rows.append(self.schema.validate_row(row))
-        self._column_cache = None
+        self._version += 1
+        for watcher in self._watchers:
+            watcher()
         return len(self._rows) - 1
 
     def extend(self, rows: Iterable[Sequence]) -> None:
-        """Validate and append many rows."""
-        for row in rows:
-            self.insert(row)
+        """Validate all rows first, then append them in one pass.
+
+        Either every row is appended or none is: a bad row anywhere in the
+        batch raises before the table changes, and the whole batch costs
+        one version bump and one shadow catch-up instead of one per row.
+        """
+        validated = [self.schema.validate_row(row) for row in rows]
+        if not validated:
+            return
+        self._rows.extend(validated)
+        self._version += 1
+        for watcher in self._watchers:
+            watcher()
 
     def row(self, rid: int) -> tuple:
         """Fetch one row by id."""
@@ -96,24 +137,59 @@ class Table:
     # --------------------------------------------------------- columnar --
 
     def column_array(self, name: str) -> np.ndarray:
-        """One column as a numpy array (built lazily, cached until insert)."""
-        return self._arrays()[self.schema.position(name)]
+        """One column as a read-only numpy array over all current rows."""
+        return self._array_views()[self.schema.position(name)]
 
     def as_batch(self) -> ColumnBatch:
         """The whole table as a :class:`~repro.db.columnar.ColumnBatch`."""
-        return ColumnBatch(self.schema, self._arrays())
+        return ColumnBatch(self.schema, self._array_views(), epoch=self._version)
 
-    def _arrays(self) -> tuple[np.ndarray, ...]:
-        if self._column_cache is None:
-            self._column_cache = tuple(
-                np.fromiter(
-                    (row[pos] for row in self._rows),
-                    dtype=column_dtype(column.dtype),
-                    count=len(self._rows),
-                )
-                for pos, column in enumerate(self.schema.columns)
-            )
-        return self._column_cache
+    def snapshot(self) -> "TableSnapshot":
+        """A read-only view pinned at the current row count and version."""
+        return TableSnapshot(self)
+
+    def _seal(self) -> None:
+        """Catch the columnar shadow up to the row store.
+
+        Only positions ``>= _shadow_len`` are written, so any view handed
+        out earlier (always of length ``<= _shadow_len`` at hand-out time)
+        is never overwritten. Growth reallocates rather than resizing in
+        place, leaving old buffers intact for old readers.
+        """
+        n = len(self._rows)
+        if self._buffers is None:
+            self._buffers = [
+                np.empty(max(n, _MIN_CAPACITY), dtype=column_dtype(c.dtype))
+                for c in self.schema.columns
+            ]
+        if self._shadow_len == n:
+            return
+        start = self._shadow_len
+        for pos in range(len(self.schema.columns)):
+            buf = self._buffers[pos]
+            if len(buf) < n:
+                fresh = np.empty(max(n, 2 * len(buf)), dtype=buf.dtype)
+                fresh[:start] = buf[:start]
+                self._buffers[pos] = buf = fresh
+            for i in range(start, n):
+                buf[i] = self._rows[i][pos]
+        self._shadow_len = n
+
+    def _array_views(self, n: int | None = None) -> tuple[np.ndarray, ...]:
+        """Read-only length-``n`` views of the sealed shadow buffers.
+
+        Values at positions below any previously observed length are
+        immutable (the store is append-only), so views re-derived after a
+        buffer reallocation are bit-identical to the originals.
+        """
+        self._seal()
+        stop = len(self._rows) if n is None else n
+        views = []
+        for buf in self._buffers:
+            view = buf[:stop]
+            view.flags.writeable = False
+            views.append(view)
+        return tuple(views)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -127,12 +203,89 @@ class Table:
         return len(self._rows) * self.schema.row_width
 
 
+class TableSnapshot:
+    """A frozen, fixed-length facade over a :class:`Table`.
+
+    Pins the row count and version at construction; later appends to the
+    underlying table are invisible through the snapshot. Exposes the
+    table's whole read surface (``rows``/``row``/``column_array``/
+    ``as_batch``/``byte_size``), so plans and operators built against a
+    ``Table`` run unchanged against a snapshot of it.
+    """
+
+    __slots__ = ("_table", "_n", "_version")
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._n = len(table)
+        self._version = table.version
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def schema(self) -> Schema:
+        return self._table.schema
+
+    @property
+    def version(self) -> int:
+        """The table version this snapshot was pinned at."""
+        return self._version
+
+    def row(self, rid: int) -> tuple:
+        """Fetch one row by id, bounds-checked against the pinned length."""
+        if rid >= self._n or rid < -self._n:
+            raise IndexError(
+                f"row id {rid} out of range for snapshot of {self._n} rows"
+            )
+        return self._table.row(rid if rid >= 0 else rid + self._n)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate the pinned prefix of rows in insertion order."""
+        return islice(self._table.rows(), self._n)
+
+    def column_values(self, name: str) -> list:
+        """Pinned values of one column, in row order."""
+        pos = self._table.schema.position(name)
+        return [row[pos] for row in self.rows()]
+
+    def column_array(self, name: str) -> np.ndarray:
+        """One column as a read-only array over the pinned rows."""
+        views = self._table._array_views(self._n)
+        return views[self._table.schema.position(name)]
+
+    def as_batch(self) -> ColumnBatch:
+        """The pinned rows as a :class:`~repro.db.columnar.ColumnBatch`."""
+        return ColumnBatch(
+            self.schema, self._table._array_views(self._n), epoch=self._version
+        )
+
+    def snapshot(self) -> "TableSnapshot":
+        """Snapshots are already pinned; snapshotting one is the identity."""
+        return self
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return (
+            f"TableSnapshot({self.name!r}, rows={self._n}, "
+            f"version={self._version})"
+        )
+
+    @property
+    def byte_size(self) -> int:
+        """Logical size in bytes of the pinned rows."""
+        return self._n * self.schema.row_width
+
+
 def _validate_column(values, column) -> np.ndarray:
     """Coerce one column's values to its storage array, type-checked.
 
-    Always returns a fresh array: the result seeds the table's column
-    cache, and aliasing a caller-owned array would let later in-place
-    mutation of that array silently diverge the columnar shadow from the
+    Always returns a fresh array: the result seeds the table's columnar
+    shadow, and aliasing a caller-owned array would let later in-place
+    mutation of that array silently diverge the shadow from the
     authoritative row store.
     """
     if column.dtype == "str":

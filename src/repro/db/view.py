@@ -28,13 +28,22 @@ class MaterializedView:
         Zero-argument callable returning the defining plan
         (:class:`~repro.db.operators.Operator`). Called at build time and
         on every refresh, so the plan re-reads current base data.
+    depends_on:
+        Names of the base tables the definition reads. The catalog uses
+        this to cascade ``drop_table`` to dependent views.
     """
 
-    def __init__(self, name: str, definition: Callable[[], Operator]) -> None:
+    def __init__(
+        self,
+        name: str,
+        definition: Callable[[], Operator],
+        depends_on: Sequence[str] = (),
+    ) -> None:
         if not name:
             raise QueryError("view name must be non-empty")
         self.name = name
         self.definition = definition
+        self.depends_on = tuple(depends_on)
         self.table: Table | None = None
         self.build_cost_units: float = 0.0
 
@@ -43,7 +52,11 @@ class MaterializedView:
         cls, name: str, base: Table, columns: Sequence[str]
     ) -> "MaterializedView":
         """The common case: a narrow projection of a base table."""
-        return cls(name, lambda: Project(SeqScan(base), columns))
+        return cls(
+            name,
+            lambda: Project(SeqScan(base), columns),
+            depends_on=(base.name,),
+        )
 
     @property
     def is_materialized(self) -> bool:

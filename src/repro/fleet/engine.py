@@ -128,7 +128,12 @@ class FleetBatch:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """End-of-period summary of one fleet run."""
+    """End-of-period summary of one fleet run.
+
+    ``epoch`` is the engine's mutation counter at report time (see
+    :attr:`FleetEngine.epoch`), so a report is attributable to an exact
+    point in the bid/slot history.
+    """
 
     horizon: int
     games: tuple
@@ -138,6 +143,7 @@ class FleetReport:
     granted_at: Mapping[tuple, int]
     payments: Mapping[UserId, float]
     game_revenue: Mapping[OptId, float]
+    epoch: int = 0
 
     @property
     def cloud_balance(self) -> float:
@@ -176,6 +182,11 @@ class FleetEngine:
         self.catalog = catalog
         self.horizon = horizon
         self.slot = 0  # last processed slot; slot 1 is processed first
+        # Mutation counter, content-deterministic: +1 per accepted bid
+        # (placed, revised, or bulk-ingested — batching does not matter)
+        # and +1 per processed slot. Mirrors the db catalog's epoch so
+        # fleet state is addressable the same way.
+        self.epoch = 0
         self.ledger = BillingLedger()
         self.events = EventLog()
         self._opt_ids: list = list(catalog)
@@ -327,6 +338,7 @@ class FleetEngine:
         self.events.record(
             BidPlaced(self.slot + 1, user, detail=f"opt={optimization!r}")
         )
+        self.epoch += 1
         return handle
 
     def revise_bid(
@@ -358,6 +370,7 @@ class FleetEngine:
         self.events.record(
             BidRevised(self.slot + 1, user, detail=f"opt={optimization!r}")
         )
+        self.epoch += 1
 
     def _schedule_residuals(
         self, user: UserId, rank: int, bid: AdditiveBid, from_slot: int
@@ -449,6 +462,7 @@ class FleetEngine:
             total += len(batch)
         if checked:
             self._bulk_taken = None  # new bulk bids: rebuild guard on demand
+        self.epoch += total
         return total
 
     def _validate_batch(self, batch: FleetBatch):
@@ -705,6 +719,7 @@ class FleetEngine:
 
         self._invoice_departures(t)
         self.slot = t
+        self.epoch += 1
         return t
 
     def _dispatch_merged(self, t: int, walk, overlay: dict | None) -> None:
@@ -944,6 +959,7 @@ class FleetEngine:
                 for r, j in enumerate(self._opt_ids)
                 if self._game_revenue[r] != 0.0
             },
+            epoch=self.epoch,
         )
 
 

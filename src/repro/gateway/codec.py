@@ -234,16 +234,19 @@ def _enc_quote(q: SavingsQuote) -> dict:
         "build_units": q.build_units,
         "saving_units_per_run": q.saving_units_per_run,
         "kind": q.kind,
+        "epoch": q.epoch,
     }
 
 
 def _dec_quote(d: dict) -> SavingsQuote:
+    epoch = d.get("epoch")
     return SavingsQuote(
         view_rows=int(_field(d, "view_rows")),
         view_bytes=float(_field(d, "view_bytes")),
         build_units=float(_field(d, "build_units")),
         saving_units_per_run=float(_field(d, "saving_units_per_run")),
         kind=str(_field(d, "kind")),
+        epoch=None if epoch is None else int(epoch),
     )
 
 
@@ -272,6 +275,7 @@ def _enc_query_result(r: QueryResult) -> dict:
         "rows": [encode_value(row) for row in r.rows],
         "meter": encode(r.meter),
         "source": r.source,
+        "epoch": r.epoch,
     }
 
 
@@ -283,6 +287,7 @@ def _dec_query_result(d: dict) -> QueryResult:
         rows=[decode_value(row) for row in rows],
         meter=decode(_field(d, "meter")),
         source=str(_field(d, "source")),
+        epoch=int(d.get("epoch", 0)),
     )
 
 
@@ -378,6 +383,7 @@ def _enc_fleet_report(r: FleetReport) -> dict:
         "granted_at": encode_value(dict(r.granted_at)),
         "payments": encode_value(dict(r.payments)),
         "game_revenue": encode_value(dict(r.game_revenue)),
+        "epoch": r.epoch,
     }
 
 
@@ -391,6 +397,7 @@ def _dec_fleet_report(d: dict) -> FleetReport:
         granted_at=_decoded_map(_field(d, "granted_at")),
         payments=_decoded_map(_field(d, "payments")),
         game_revenue=_decoded_map(_field(d, "game_revenue")),
+        epoch=int(d.get("epoch", 0)),
     )
 
 

@@ -11,7 +11,7 @@ Wire shape
 ----------
 A serialized envelope is a flat JSON object::
 
-    {"api": "1.2", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
+    {"api": "1.3", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
 
 ``api`` is :data:`API_VERSION` (checked on decode; a mismatch raises
 :class:`~repro.errors.ProtocolError` with code ``"version"``), ``kind``
@@ -72,7 +72,9 @@ __all__ = [
 
 #: Protocol version every envelope carries. Bumped on any incompatible
 #: change to an envelope's fields or semantics; decode rejects mismatches.
-API_VERSION = "1.2"
+#: 1.3 added epoch plumbing: ``RunQuery.as_of`` and the ``epoch`` field on
+#: :class:`QueryReply` and :class:`AdviseReply`.
+API_VERSION = "1.3"
 
 #: Query kinds :class:`RunQuery` accepts (the astronomy workload surface).
 QUERY_KINDS = ("members", "histogram", "top", "chain", "contributors")
@@ -230,6 +232,9 @@ class RunQuery(Request):
     ``pids`` parameterize it (see
     :meth:`repro.gateway.service.PricingService.dispatch`). ``record``
     controls whether the execution feeds the advisor's workload log.
+    ``as_of`` pins the query to an earlier catalog epoch the service still
+    retains (None — the default — reads the current state); the reply
+    echoes the epoch actually served.
     """
 
     tenant: object
@@ -239,6 +244,7 @@ class RunQuery(Request):
     halo: int | None = None
     pids: tuple = ()
     record: bool = True
+    as_of: int | None = None
 
     def _normalize(self) -> None:
         _require_hashable(self.tenant, "a tenant id")
@@ -249,6 +255,8 @@ class RunQuery(Request):
             object.__setattr__(self, "halo", int(self.halo))
         object.__setattr__(self, "pids", tuple(int(p) for p in self.pids))
         object.__setattr__(self, "record", bool(self.record))
+        if self.as_of is not None:
+            object.__setattr__(self, "as_of", int(self.as_of))
 
 
 @dataclass(frozen=True)
@@ -333,31 +341,43 @@ class SlotReply(Reply):
 
 @dataclass(frozen=True)
 class QueryReply(Reply):
-    """Rows plus the metered cost units of producing them."""
+    """Rows plus the metered cost units of producing them.
+
+    ``epoch`` is the catalog epoch the query was served at — the snapshot
+    all of its rows reflect.
+    """
 
     tenant: object
     query: str
     rows: tuple
     units: float
     source: str = ""
+    epoch: int = 0
 
     def _normalize(self) -> None:
         object.__setattr__(self, "rows", tuple(tuple(r) for r in self.rows))
+        object.__setattr__(self, "epoch", int(self.epoch))
 
 
 @dataclass(frozen=True)
 class AdviseReply(Reply):
-    """One advising round's verdict."""
+    """One advising round's verdict.
+
+    ``epoch`` is the catalog epoch after adoption — queries from this
+    epoch on can see the newly funded designs.
+    """
 
     candidates: tuple
     funded: tuple
     adopted: tuple
     build_units: float
+    epoch: int = 0
 
     def _normalize(self) -> None:
         object.__setattr__(self, "candidates", tuple(self.candidates))
         object.__setattr__(self, "funded", tuple(self.funded))
         object.__setattr__(self, "adopted", tuple(self.adopted))
+        object.__setattr__(self, "epoch", int(self.epoch))
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,12 @@ Contracts (tested in ``tests/test_gateway.py``):
   15% at 50,000 users).
 * **Slot-synchronized.** One :class:`AdvanceSlots` request moves every
   game in lock step; there is no per-game clock to drift.
+* **Snapshot-isolated reads.** Every :class:`RunQuery` pins one catalog
+  epoch (:meth:`~repro.db.catalog.Catalog.snapshot`) and runs a
+  per-request engine against it: interleaved ``SubmitBids``/
+  ``AdvanceSlots``/advice adoption cannot change a query mid-flight, the
+  reply echoes the epoch served, and ``as_of`` re-reads a retained
+  earlier epoch (``tests/test_snapshot_isolation.py``).
 """
 
 from __future__ import annotations
@@ -43,11 +49,13 @@ from repro.cloudsim.catalog import OptimizationCatalog
 from repro.db.catalog import Catalog
 from repro.db.costmodel import CostModel
 from repro.db.engine import QueryEngine
+from repro.db.snapshot import CatalogSnapshot
 from repro.errors import (
     BidError,
     GameConfigError,
     MechanismError,
     ProtocolError,
+    QueryError,
     ReproError,
 )
 from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
@@ -74,7 +82,11 @@ from repro.gateway.envelopes import (
     to_dict,
 )
 
-__all__ = ["PricingService", "TenantSession", "BulkAcks"]
+__all__ = ["PricingService", "TenantSession", "BulkAcks", "SNAPSHOT_RETENTION"]
+
+#: Catalog snapshots the service retains for ``as_of`` time travel. Each
+#: pinned epoch keeps its tables' buffers alive, so retention is bounded.
+SNAPSHOT_RETENTION = 16
 
 
 class BulkAcks(Sequence):
@@ -208,6 +220,7 @@ class PricingService:
         )
         self.last_advice = None  # full AdvisorOutcome of the latest round
         self._bulk_submitted: set = set()  # (tenant, rank) taken by bulk runs
+        self._snapshots: dict[int, CatalogSnapshot] = {}  # epoch -> snapshot
         if fleet is not None:
             if catalog is not None:
                 raise GameConfigError(
@@ -439,28 +452,66 @@ class PricingService:
         )
         return SlotReply(slot=fleet.slot, implemented=tuple(implemented))
 
+    # -------------------------------------------------------- snapshots --
+
+    def _pin_snapshot(self) -> CatalogSnapshot:
+        """The current-epoch snapshot, cached so repeated reads share it."""
+        epoch = self.db.epoch
+        snap = self._snapshots.get(epoch)
+        if snap is None:
+            snap = self.db.snapshot()
+            self._snapshots[epoch] = snap
+            while len(self._snapshots) > SNAPSHOT_RETENTION:
+                self._snapshots.pop(next(iter(self._snapshots)))
+        return snap
+
+    def _snapshot_for(self, as_of: int | None) -> CatalogSnapshot:
+        """Resolve a request's ``as_of`` to a pinned snapshot.
+
+        None (and the current epoch) read current state. An earlier epoch
+        is served if the service still retains its snapshot — epochs are
+        retained when a query pinned them, up to :data:`SNAPSHOT_RETENTION`
+        — and rejected with a ``query``-coded error otherwise.
+        """
+        if as_of is None or as_of == self.db.epoch:
+            return self._pin_snapshot()
+        snap = self._snapshots.get(as_of)
+        if snap is None:
+            retained = sorted(self._snapshots)
+            raise QueryError(
+                f"epoch {as_of} is not retained (current epoch is "
+                f"{self.db.epoch}; retained epochs: {retained})"
+            )
+        return snap
+
     def _run_query(self, request: RunQuery) -> QueryReply:
         if request.query not in QUERY_KINDS:
             raise ProtocolError(
                 f"query must be one of {QUERY_KINDS}, got {request.query!r}"
             )
-        previous_log = self.engine.log
-        self.engine.log = self.log if request.record else None
-        try:
-            with self.log.tenant(request.tenant):
-                rows, units, source = self._execute_query(request)
-        finally:
-            self.engine.log = previous_log
+        snap = self._snapshot_for(request.as_of)
+        # A per-request engine over the pinned snapshot: no shared mutable
+        # engine state, so concurrent-style interleavings with mutating
+        # requests cannot tear a query (and the log swap the shared engine
+        # used to need is gone).
+        engine = QueryEngine(
+            snap,
+            self.cost_model,
+            mode=self.engine.mode,
+            log=self.log if request.record else None,
+        )
+        with self.log.tenant(request.tenant):
+            rows, units, source = self._execute_query(engine, request)
         return QueryReply(
             tenant=request.tenant,
             query=request.query,
             rows=tuple(rows),
             units=units,
             source=source,
+            epoch=snap.epoch,
         )
 
-    def _execute_query(self, request: RunQuery):
-        engine = self.engine
+    def _execute_query(self, engine: QueryEngine, request: RunQuery):
         if request.query == "members":
             self._require_params(request, halo=True, table=True)
             result = engine.halo_members(request.table, request.halo)
@@ -527,6 +578,7 @@ class PricingService:
             funded=outcome.funded,
             adopted=outcome.adopted,
             build_units=self.cost_model.units(outcome.build_meter),
+            epoch=self.db.epoch if outcome.epoch is None else outcome.epoch,
         )
 
     def _ledger(self, request: LedgerQuery) -> LedgerReply:

@@ -440,7 +440,7 @@ class TestGatewayPreservesFleetPath:
         # On the wire, JSON lists decode to (hashable) tuples; a JSON
         # object is the unhashable case and must come back as data.
         reply = service.dispatch_dict(
-            {"api": "1.2", "kind": "LedgerQuery", "tenant": {"a": 1}}
+            {"api": "1.3", "kind": "LedgerQuery", "tenant": {"a": 1}}
         )
         assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
 
@@ -463,11 +463,11 @@ class TestGatewayPreservesFleetPath:
     def test_badly_typed_wire_fields_become_error_replies(self):
         service = PricingService({"idx": 40.0}, horizon=3)
         for payload in (
-            {"api": "1.2", "kind": "AdvanceSlots", "slots": "three"},
-            {"api": "1.2", "kind": "Configure", "optimizations": [], "horizon": "x"},
-            {"api": "1.2", "kind": "RunQuery", "tenant": "t", "query": "members",
+            {"api": "1.3", "kind": "AdvanceSlots", "slots": "three"},
+            {"api": "1.3", "kind": "Configure", "optimizations": [], "horizon": "x"},
+            {"api": "1.3", "kind": "RunQuery", "tenant": "t", "query": "members",
              "halo": "zero"},
-            {"api": "1.2", "kind": "AdviseRequest", "horizon": [1]},
+            {"api": "1.3", "kind": "AdviseRequest", "horizon": [1]},
         ):
             reply = service.dispatch_dict(payload)
             assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
@@ -717,9 +717,9 @@ class TestTraces:
             "\n".join(
                 [
                     "this is not json",
-                    '{"api": "1.2", "kind": "Mystery"}',
+                    '{"api": "1.3", "kind": "Mystery"}',
                     '{"api": "9.9", "kind": "AdvanceSlots", "slots": 1}',
-                    '{"api": "1.2", "kind": "AdvanceSlots", "slots": 1}',
+                    '{"api": "1.3", "kind": "AdvanceSlots", "slots": 1}',
                 ]
             )
             + "\n"

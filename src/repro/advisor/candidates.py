@@ -64,7 +64,9 @@ class ViewSpec:
                 plan = Filter(plan, predicate)
             return Project(plan, list(columns))
 
-        return MaterializedView(name, definition, depends_on=(self.table_name,))
+        view = MaterializedView(name, definition, depends_on=(self.table_name,))
+        view.spec = self
+        return view
 
 
 @dataclass(frozen=True)

@@ -244,6 +244,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any request came back as an ErrorReply",
     )
     replay.add_argument("--seed", type=int, default=2012, help="universe RNG seed")
+    replay.add_argument(
+        "--wal-dir", type=Path, default=None, dest="wal_dir",
+        help="make the service durable: write-ahead log every request to "
+        "this directory (must not already hold a WAL)",
+    )
+    replay.add_argument(
+        "--checkpoint-every", type=int, default=None, dest="checkpoint_every",
+        help="checkpoint automatically after this many WAL records "
+        "(with --wal-dir)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a durable pricing service from its WAL directory",
+    )
+    recover.add_argument(
+        "wal_dir", type=Path, help="directory holding wal.jsonl + checkpoints"
+    )
+    recover.add_argument(
+        "--checkpoint", action="store_true",
+        help="write a fresh checkpoint covering the whole WAL after recovery",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="recover a WAL directory and checkpoint it (compacts replay)",
+    )
+    checkpoint.add_argument(
+        "wal_dir", type=Path, help="directory holding wal.jsonl + checkpoints"
+    )
     return parser
 
 
@@ -342,6 +372,11 @@ def _run_replay(args) -> int:
             f"[universe: {args.particles} particles x "
             f"{args.snapshots} snapshots -> {service.db.table_names}]"
         )
+    if args.wal_dir is not None:
+        # Attach after the universe load so the base checkpoint covers
+        # the preloaded tables; every replayed envelope is then durable.
+        service.attach_wal(args.wal_dir, checkpoint_every=args.checkpoint_every)
+        print(f"[write-ahead log at {args.wal_dir}]")
     result = replay(iter_trace(args.trace), service=service)
     counts = result.counts()
     total = len(result.replies)
@@ -372,6 +407,36 @@ def _run_replay(args) -> int:
     return 0
 
 
+def _run_recover(args, write_checkpoint: bool) -> int:
+    from repro.errors import RecoveryError
+    from repro.gateway.service import PricingService
+    from repro.gateway.wal.records import WAL_FILENAME
+    from repro.gateway.wal.recovery import read_wal
+
+    try:
+        service = PricingService.recover(args.wal_dir)
+        records, _ = read_wal(args.wal_dir / WAL_FILENAME)
+        print(f"== recover: {args.wal_dir} ==")
+        print(f"wal records      {len(records):>6}")
+        print(f"db epoch         {service.db.epoch:>6}")
+        print(f"tables           {len(service.db.table_names):>6}")
+        if service.fleet is not None:
+            print(
+                f"period: slot {service.fleet.slot}/{service.fleet.horizon}, "
+                f"cloud balance {service.fleet.ledger.balance:.2f}"
+            )
+        else:
+            print("period: none open")
+        if write_checkpoint:
+            path = service.checkpoint()
+            print(f"[checkpoint written to {path}]")
+        service.close()
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}")
+        return 1
+    return 0
+
+
 def _emit(result, args) -> None:
     text = format_summary(result) if args.summary else format_result(result, max_rows=args.rows)
     print(text)
@@ -391,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         print("fleet   (engine)       fleet engine vs independent services")
         print("advise  (advisor)      closed optimization loop on astronomy")
         print("replay  (gateway)      drive the pricing gateway from a JSONL trace")
+        print("recover (durability)   rebuild a durable service from its WAL")
+        print("checkpoint (durability) recover a WAL directory and checkpoint it")
         return 0
     if args.command == "fleet":
         return _run_fleet(args)
@@ -398,6 +465,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_advise(args)
     if args.command in ("replay", "serve"):
         return _run_replay(args)
+    if args.command == "recover":
+        return _run_recover(args, write_checkpoint=args.checkpoint)
+    if args.command == "checkpoint":
+        return _run_recover(args, write_checkpoint=True)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

@@ -12,6 +12,7 @@ two paths are indistinguishable to the cost model.
 from __future__ import annotations
 
 import bisect
+from itertools import islice
 from typing import Iterator
 
 import numpy as np
@@ -46,18 +47,25 @@ class HashIndex:
     and the bulk path snapshots the same row range.
     """
 
-    def __init__(self, table: Table, key: str, meter: CostMeter | None = None) -> None:
+    def __init__(
+        self,
+        table: Table,
+        key: str,
+        meter: CostMeter | None = None,
+        *,
+        covered: int | None = None,
+    ) -> None:
         self.table = table
         self.key = key
         pos = table.schema.position(key)
-        self._covered_rows = len(table)
+        self._covered_rows = len(table) if covered is None else covered
         self._buckets: dict = {}
-        for rid, row in enumerate(table.rows()):
+        for rid, row in enumerate(islice(table.rows(), self._covered_rows)):
             self._buckets.setdefault(row[pos], []).append(rid)
         self._sorted_keys: np.ndarray | None = None
         self._sorted_rids: np.ndarray | None = None
         if meter is not None:
-            meter.charge_build(len(table), table.schema.row_width)
+            meter.charge_build(self._covered_rows, table.schema.row_width)
 
     def lookup(self, value, meter: CostMeter) -> Iterator[tuple]:
         """Yield rows whose key equals ``value``."""
@@ -105,18 +113,27 @@ class HashIndex:
 class SortedIndex:
     """A sorted (key, rid) list answering range queries via binary search."""
 
-    def __init__(self, table: Table, key: str, meter: CostMeter | None = None) -> None:
+    def __init__(
+        self,
+        table: Table,
+        key: str,
+        meter: CostMeter | None = None,
+        *,
+        covered: int | None = None,
+    ) -> None:
         self.table = table
         self.key = key
         pos = table.schema.position(key)
+        self._covered_rows = len(table) if covered is None else covered
         pairs = sorted(
-            (row[pos], rid) for rid, row in enumerate(table.rows())
+            (row[pos], rid)
+            for rid, row in enumerate(islice(table.rows(), self._covered_rows))
         )
         self._keys = [k for k, _ in pairs]
         self._rids = [r for _, r in pairs]
         self._rids_arr = np.asarray(self._rids, dtype=np.int64)
         if meter is not None:
-            meter.charge_build(len(table), table.schema.row_width)
+            meter.charge_build(self._covered_rows, table.schema.row_width)
 
     def _bounds(self, low, high) -> tuple[int, int]:
         if low is not None and high is not None and low > high:

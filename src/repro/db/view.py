@@ -46,6 +46,10 @@ class MaterializedView:
         self.depends_on = tuple(depends_on)
         self.table: Table | None = None
         self.build_cost_units: float = 0.0
+        # Serializable recipe for this view's definition, when one exists
+        # (set by the advisor's ViewSpec.build); checkpoints persist it so
+        # recovery can rebuild the definition closure.
+        self.spec = None
 
     @classmethod
     def projection_of(

@@ -16,6 +16,7 @@ __all__ = [
     "SchemaError",
     "QueryError",
     "ProtocolError",
+    "RecoveryError",
 ]
 
 
@@ -45,6 +46,14 @@ class SchemaError(ReproError):
 
 class QueryError(ReproError):
     """A malformed or unanswerable query against the mini database engine."""
+
+
+class RecoveryError(ReproError):
+    """Durable state cannot be trusted: a corrupt, torn, or inconsistent
+    write-ahead log or checkpoint was detected during recovery (or a
+    checkpoint was requested of state that cannot be captured). Recovery
+    never silently repairs past this — wrong pricing state is worse than
+    no state."""
 
 
 class ProtocolError(ReproError):

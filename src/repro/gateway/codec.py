@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
+from repro.advisor.log import QueryTemplate, TemplateUsage, WorkloadLog
 from repro.cloudsim import events as _ev
 from repro.cloudsim.ledger import BillingLedger
 from repro.core.outcome import (
@@ -35,10 +36,16 @@ from repro.core.outcome import (
     SubstOffOutcome,
     SubstOnOutcome,
 )
+from repro.db.catalog import Catalog
 from repro.db.costmodel import CostMeter
 from repro.db.engine import QueryResult
+from repro.db.index import HashIndex, SortedIndex
 from repro.db.savings import SavingsQuote
-from repro.errors import ProtocolError
+from repro.db.schema import Column, Schema
+from repro.db.stats import ColumnStats, TableStats
+from repro.db.table import Table
+from repro.db.view import MaterializedView
+from repro.errors import ProtocolError, QueryError
 from repro.fleet.engine import FleetReport
 
 __all__ = ["encode", "decode", "encode_value", "decode_value", "CODECS"]
@@ -401,6 +408,242 @@ def _dec_fleet_report(d: dict) -> FleetReport:
     )
 
 
+# ------------------------------------------ durable state (checkpoints) --
+#
+# The Catalog and WorkloadLog codecs exist for the WAL checkpoint path
+# (:mod:`repro.gateway.wal.checkpoint`): unlike the reply codecs above
+# they serialize *internal* engine state, so decoding reconstructs the
+# private structures directly instead of replaying mutations — replay
+# would bump table versions and the catalog epoch, and a recovered
+# service must report the exact epochs the crashed one did.
+
+
+def _enc_table(t: Table) -> dict:
+    return {
+        "name": t.name,
+        "schema": [[c.name, c.dtype] for c in t.schema.columns],
+        "version": t.version,
+        "rows": [list(row) for row in t.rows()],
+    }
+
+
+def _dec_table(d: dict) -> Table:
+    raw_schema = _field(d, "schema")
+    if not isinstance(raw_schema, list):
+        raise ProtocolError("'schema' must be a list of [name, dtype] pairs")
+    schema = Schema([Column(str(n), str(dt)) for n, dt in raw_schema])
+    table = Table(str(_field(d, "name")), schema)
+    rows = _field(d, "rows")
+    if not isinstance(rows, list):
+        raise ProtocolError("'rows' must be a list")
+    table._rows = [schema.validate_row(row) for row in rows]
+    table._version = int(_field(d, "version"))
+    return table
+
+
+def _unbuildable(name: str):
+    def definition():
+        raise QueryError(
+            f"view {name!r} was restored without a rebuildable definition; "
+            "it serves its materialized contents but cannot refresh"
+        )
+
+    return definition
+
+
+def _enc_catalog(c: Catalog) -> dict:
+    if c._batch_depth:
+        raise ProtocolError(
+            "cannot encode a catalog inside an open epoch_batch()"
+        )
+    views = []
+    for name, view in c._views.items():
+        spec = view.spec
+        views.append(
+            {
+                "name": name,
+                "depends_on": list(view.depends_on),
+                "spec": None
+                if spec is None
+                else {
+                    "table_name": spec.table_name,
+                    "columns": list(spec.columns),
+                    "excluded": [[col, val] for col, val in spec.excluded],
+                },
+                "build_cost_units": view.build_cost_units,
+                "table": None if view.table is None else _enc_table(view.table),
+            }
+        )
+    return {
+        "epoch": c.epoch,
+        "tables": [_enc_table(t) for t in c._tables.values()],
+        "views": views,
+        "hash_indexes": [
+            [t, k, ix._covered_rows] for (t, k), ix in c._hash_indexes.items()
+        ],
+        "sorted_indexes": [
+            [t, k, ix._covered_rows] for (t, k), ix in c._sorted_indexes.items()
+        ],
+        "stats": [
+            {
+                "table_name": s.table_name,
+                "row_count": s.row_count,
+                "row_width": s.row_width,
+                "columns": [
+                    {
+                        "name": cs.name,
+                        "distinct": cs.distinct,
+                        "minimum": encode_value(cs.minimum),
+                        "maximum": encode_value(cs.maximum),
+                    }
+                    for cs in s.columns.values()
+                ],
+            }
+            for s in c._stats.values()
+        ],
+    }
+
+
+def _dec_catalog(d: dict) -> Catalog:
+    from repro.advisor.candidates import ViewSpec
+
+    catalog = Catalog()
+    tables = _field(d, "tables")
+    views = _field(d, "views")
+    if not isinstance(tables, list) or not isinstance(views, list):
+        raise ProtocolError("'tables' and 'views' must be lists")
+    for raw in tables:
+        table = _dec_table(raw)
+        catalog._tables[table.name] = table
+        table._watchers.append(catalog._bump)
+    for raw in views:
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"malformed view entry {raw!r}")
+        name = str(_field(raw, "name"))
+        raw_spec = _field(raw, "spec")
+        if raw_spec is not None:
+            spec = ViewSpec(
+                table_name=str(_field(raw_spec, "table_name")),
+                columns=tuple(_field(raw_spec, "columns")),
+                excluded=tuple(
+                    (col, val) for col, val in _field(raw_spec, "excluded")
+                ),
+            )
+            view = spec.build(catalog, name)
+        else:
+            view = MaterializedView(
+                name,
+                _unbuildable(name),
+                depends_on=tuple(_field(raw, "depends_on")),
+            )
+        raw_table = _field(raw, "table")
+        view.table = None if raw_table is None else _dec_table(raw_table)
+        view.build_cost_units = float(_field(raw, "build_cost_units"))
+        catalog._views[name] = view
+    for field_name, cls, registry in (
+        ("hash_indexes", HashIndex, catalog._hash_indexes),
+        ("sorted_indexes", SortedIndex, catalog._sorted_indexes),
+    ):
+        entries = _field(d, field_name)
+        if not isinstance(entries, list):
+            raise ProtocolError(f"{field_name!r} must be a list")
+        for entry in entries:
+            if not isinstance(entry, list) or len(entry) != 3:
+                raise ProtocolError(f"malformed index entry {entry!r}")
+            table_name, key, covered = entry
+            table = catalog._tables.get(table_name)
+            if table is None:
+                raise ProtocolError(
+                    f"index over unknown table {table_name!r}"
+                )
+            covered = int(covered)
+            if not 0 <= covered <= len(table):
+                raise ProtocolError(
+                    f"index over {table_name!r} claims to cover {covered} "
+                    f"of {len(table)} rows"
+                )
+            registry[(str(table_name), str(key))] = cls(
+                table, str(key), covered=covered
+            )
+    stats = _field(d, "stats")
+    if not isinstance(stats, list):
+        raise ProtocolError("'stats' must be a list")
+    for raw in stats:
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"malformed stats entry {raw!r}")
+        columns = {
+            str(_field(cs, "name")): ColumnStats(
+                name=str(_field(cs, "name")),
+                distinct=int(_field(cs, "distinct")),
+                minimum=decode_value(_field(cs, "minimum")),
+                maximum=decode_value(_field(cs, "maximum")),
+            )
+            for cs in _field(raw, "columns")
+        }
+        catalog._stats[str(_field(raw, "table_name"))] = TableStats(
+            table_name=str(_field(raw, "table_name")),
+            row_count=int(_field(raw, "row_count")),
+            row_width=int(_field(raw, "row_width")),
+            columns=columns,
+        )
+    catalog._epoch = int(_field(d, "epoch"))
+    return catalog
+
+
+def _enc_log(log: WorkloadLog) -> dict:
+    return {
+        "entries": [
+            {
+                "tenant": encode_value(tenant),
+                "template": {
+                    "kind": template.kind,
+                    "table_name": template.table_name,
+                    "columns": list(template.columns),
+                    "key_column": template.key_column,
+                    "excluded": [
+                        [col, encode_value(val)]
+                        for col, val in template.excluded
+                    ],
+                },
+                "passes": usage.passes,
+                "probes": usage.probes,
+                "last_epoch": usage.last_epoch,
+            }
+            for tenant, template, usage in log.entries()
+        ]
+    }
+
+
+def _dec_log(d: dict) -> WorkloadLog:
+    log = WorkloadLog()
+    entries = _field(d, "entries")
+    if not isinstance(entries, list):
+        raise ProtocolError("'entries' must be a list")
+    for raw in entries:
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"malformed workload entry {raw!r}")
+        raw_template = _field(raw, "template")
+        template = QueryTemplate(
+            kind=str(_field(raw_template, "kind")),
+            table_name=str(_field(raw_template, "table_name")),
+            columns=tuple(_field(raw_template, "columns")),
+            key_column=_field(raw_template, "key_column"),
+            excluded=tuple(
+                (col, decode_value(val))
+                for col, val in _field(raw_template, "excluded")
+            ),
+        )
+        last_epoch = _field(raw, "last_epoch")
+        log._usage[(decode_value(_field(raw, "tenant")), template)] = (
+            TemplateUsage(
+                passes=float(_field(raw, "passes")),
+                probes=float(_field(raw, "probes")),
+                last_epoch=None if last_epoch is None else int(last_epoch),
+            )
+        )
+    return log
+
+
 # ------------------------------------------------------------- dispatch --
 
 #: class -> (type tag, encoder, decoder). Order matters only for lookup by
@@ -417,6 +660,8 @@ CODECS: dict[type, tuple[str, Callable, Callable]] = {
     BillingLedger: ("BillingLedger", _enc_ledger, _dec_ledger),
     _ev.EventLog: ("EventLog", _enc_events, _dec_events),
     FleetReport: ("FleetReport", _enc_fleet_report, _dec_fleet_report),
+    Catalog: ("Catalog", _enc_catalog, _dec_catalog),
+    WorkloadLog: ("WorkloadLog", _enc_log, _dec_log),
 }
 
 _BY_TAG = {tag: dec for _, (tag, _enc, dec) in CODECS.items()}

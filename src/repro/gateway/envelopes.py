@@ -38,6 +38,7 @@ from repro.errors import (
     MechanismError,
     ProtocolError,
     QueryError,
+    RecoveryError,
     ReproError,
     RevisionError,
     SchemaError,
@@ -411,6 +412,7 @@ ERROR_CODES: tuple = (
     (SchemaError, "schema"),
     (QueryError, "query"),
     (ProtocolError, "protocol"),
+    (RecoveryError, "recovery"),
     (ReproError, "internal"),
 )
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections.abc import Sequence
+from pathlib import Path
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.errors import (
     MechanismError,
     ProtocolError,
     QueryError,
+    RecoveryError,
     ReproError,
 )
 from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
@@ -221,6 +223,18 @@ class PricingService:
         self.last_advice = None  # full AdvisorOutcome of the latest round
         self._bulk_submitted: set = set()  # (tenant, rank) taken by bulk runs
         self._snapshots: dict[int, CatalogSnapshot] = {}  # epoch -> snapshot
+        self._closed = False
+        self._wal = None  # WalWriter once attach_wal()/recover() ran
+        self._wal_dir: Path | None = None
+        self._checkpoint_every: int | None = None
+        self._records_since_checkpoint = 0
+        # Ordered envelopes that rebuilt the current fleet; the checkpoint
+        # serializes this (at capture time — appends stay O(1) so the bulk
+        # hot path is untaxed) instead of the engine's internals. None
+        # means the fleet arrived via attach_fleet and has no dispatch
+        # history (such a service cannot be checkpointed).
+        self._fleet_history: list | None = []
+        self.wal_probe = None  # crash-injection seam (tests/crashpoints.py)
         if fleet is not None:
             if catalog is not None:
                 raise GameConfigError(
@@ -250,6 +264,19 @@ class PricingService:
             catalog = OptimizationCatalog.from_costs(dict(catalog))
         self.fleet = FleetEngine(catalog, horizon=horizon, shards=shards)
         self._bulk_submitted = set()
+        # A new period resets the logical fleet history: this Configure
+        # plus the later fleet mutations fully determine engine state.
+        self._fleet_history = [
+            {
+                "request": Configure(
+                    optimizations=tuple(
+                        (j, catalog.get(j).cost) for j in catalog
+                    ),
+                    horizon=horizon,
+                    shards=shards,
+                )
+            }
+        ]
         return self.fleet
 
     def attach_fleet(self, fleet: FleetEngine) -> FleetEngine:
@@ -257,10 +284,19 @@ class PricingService:
 
         The duplicate guard is seeded with whatever bulk bids the engine
         already holds, so a gateway bulk run cannot double-schedule a
-        pair the previous owner ingested.
+        pair the previous owner ingested. An adopted engine has no
+        dispatch history, so a WAL-attached (durable) service refuses it:
+        its state could never be checkpointed or recovered.
         """
+        if self._wal is not None:
+            raise GameConfigError(
+                "a durable (WAL-attached) service must open periods via "
+                "Configure; an externally assembled fleet has no dispatch "
+                "history to checkpoint"
+            )
         self.fleet = fleet
         self._bulk_submitted = set(fleet.bulk_keys())
+        self._fleet_history = None
         return fleet
 
     def _require_fleet(self) -> FleetEngine:
@@ -284,17 +320,53 @@ class PricingService:
         return self._require_fleet().report()
 
     def run_to_end(self) -> FleetReport:
-        """Process every remaining slot and return the report."""
-        return self._require_fleet().run_to_end()
+        """Process every remaining slot and return the report.
+
+        Routed through :meth:`dispatch` (one ``AdvanceSlots`` envelope
+        covering the remaining slots) so a durable service logs the
+        advance like any other state change; outcome-identical to
+        :meth:`FleetEngine.run_to_end`, which advances the same slots
+        then reports.
+        """
+        fleet = self._require_fleet()
+        self._ensure_open()
+        remaining = fleet.horizon - fleet.slot
+        if remaining > 0:
+            reply = self.dispatch(AdvanceSlots(slots=remaining))
+            if isinstance(reply, ErrorReply):
+                raise MechanismError(
+                    f"run_to_end failed: [{reply.code}] {reply.message}"
+                )
+        return fleet.report()
 
     # ----------------------------------------------------------- dispatch --
 
     def dispatch(self, request: Request) -> Reply:
-        """One request in, one reply out; errors come back as data."""
+        """One request in, one reply out; errors come back as data.
+
+        On a durable service the envelope is fsync'd to the write-ahead
+        log **before** any effect applies — a crash after the append
+        replays the request on recovery; a crash before it means the
+        request never happened. Failed dispatches are logged too: replay
+        re-derives the same :class:`ErrorReply` deterministically.
+        """
+        return self._dispatch_one(request, log=True)
+
+    def _dispatch_one(self, request: Request, *, log: bool) -> Reply:
+        """One dispatch; ``log=False`` when a batch record already covers
+        the envelope (:meth:`dispatch_many` group commit)."""
         try:
-            return self._handle(request)
+            self._ensure_open()
+            if log and self._wal is not None:
+                self._wal.append_request(self.db.epoch, to_dict(request))
+                self._records_since_checkpoint += 1
+            reply = self._handle(request)
         except ReproError as exc:
-            return ErrorReply.of(exc, request_kind=type(request).__name__)
+            reply = ErrorReply.of(exc, request_kind=type(request).__name__)
+        self._probe("apply:done")
+        if log:
+            self._maybe_checkpoint()
+        return reply
 
     def dispatch_many(self, requests) -> Sequence[Reply]:
         """Dispatch a batch, preserving the fleet's columnar hot path.
@@ -308,7 +380,25 @@ class PricingService:
         in request order either way; bulk runs stay lazy
         (:class:`BulkAcks` segments, all-or-nothing) whether the batch
         is pure bulk or mixed with other requests.
+
+        On a durable service the whole call is the **group-commit**
+        boundary: one atomic WAL record (one fsync) covers every
+        envelope, appended before any effect applies. Recovery replays
+        the record through ``dispatch_many`` as a unit, so the
+        partitioning below reruns deterministically and the
+        :class:`BulkAcks` all-or-nothing contract holds across a crash
+        at any boundary.
         """
+        if self._closed:
+            # No batching on a closed service: every envelope gets its
+            # own "closed" ErrorReply, nothing touches the WAL.
+            return [self.dispatch(request) for request in requests]
+        requests = list(requests)
+        if self._wal is not None and requests:
+            self._wal.append_batch(
+                self.db.epoch, [to_dict(r) for r in requests]
+            )
+            self._records_since_checkpoint += 1
         parts: list = []
         singles: list[Reply] = []
         pending: list[SubmitBids] = []
@@ -329,17 +419,20 @@ class PricingService:
                     parts.append(singles)
                     singles = []
                 parts.append(self._ingest_bulk(pending))
+                self._probe("apply:done")
                 pending = []
                 pending_append = pending.append
-            singles.append(self.dispatch(request))
+            singles.append(self._dispatch_one(request, log=False))
             bulk_open = self._bulk_open()
         if pending:
             if singles:
                 parts.append(singles)
                 singles = []
             parts.append(self._ingest_bulk(pending))
+            self._probe("apply:done")
         if singles:
             parts.append(singles)
+        self._maybe_checkpoint()
         if not parts:
             return []
         if len(parts) == 1:
@@ -415,6 +508,7 @@ class PricingService:
             checked.append((optimization, rank, bid))
         for optimization, rank, bid in checked:
             fleet.place_checked(request.tenant, rank, optimization, bid)
+        self._note_fleet_mutation(request)
         return BidsReply(
             tenant=request.tenant, accepted=len(request.bids), slot=fleet.slot
         )
@@ -424,6 +518,7 @@ class PricingService:
         fleet.revise_bid(
             request.tenant, request.optimization, dict(request.new_values)
         )
+        self._note_fleet_mutation(request)
         return ReviseReply(
             tenant=request.tenant,
             optimization=request.optimization,
@@ -447,6 +542,7 @@ class PricingService:
             )
         for _ in range(request.slots):
             fleet.advance_slot()
+        self._note_fleet_mutation(request)
         implemented = sorted(
             fleet.implemented.items(), key=lambda kv: str(kv[0])
         )
@@ -591,6 +687,129 @@ class PricingService:
             cloud_balance=fleet.ledger.balance,
         )
 
+    # --------------------------------------------------------- durability --
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ProtocolError(
+                "the service is closed; no further requests are accepted"
+            )
+
+    def close(self) -> None:
+        """Stop accepting requests and release the WAL (idempotent).
+
+        Every further ``dispatch`` returns a ``protocol``-coded
+        :class:`ErrorReply`; a closed durable service is recovered with
+        :meth:`PricingService.recover`, not reused.
+        """
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def _probe(self, stage: str) -> None:
+        if self.wal_probe is not None:
+            self.wal_probe(stage)
+
+    def _note_fleet_mutation(self, request: Request) -> None:
+        if self._fleet_history is not None:
+            self._fleet_history.append({"request": request})
+
+    def attach_wal(self, directory, *, checkpoint_every: int | None = None):
+        """Make this service durable: every dispatch logs to ``directory``.
+
+        Writes a base checkpoint of the *current* state (so state built
+        before attaching — preloaded tables, an open period — is covered)
+        and then appends every accepted envelope to ``wal.jsonl`` before
+        its effects apply. ``checkpoint_every`` automatically checkpoints
+        after that many WAL records. The directory must not already hold
+        a WAL — recover an existing one with :meth:`recover`.
+        """
+        from repro.gateway.wal.records import WAL_FILENAME
+        from repro.gateway.wal.writer import WalWriter
+
+        self._ensure_open()
+        if self._wal is not None:
+            raise GameConfigError(
+                f"a WAL is already attached at {self._wal_dir}"
+            )
+        if self.fleet is not None and self._fleet_history is None:
+            raise RecoveryError(
+                "cannot make this service durable: its fleet was attached "
+                "externally and has no dispatch history to checkpoint"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        existing = [directory / WAL_FILENAME, *directory.glob("checkpoint-*.json")]
+        present = [p.name for p in existing if p.exists()]
+        if present:
+            raise RecoveryError(
+                f"{directory} already holds durable state ({present}); "
+                "use PricingService.recover() instead of attaching a "
+                "fresh WAL over it"
+            )
+        self._wal = WalWriter(directory / WAL_FILENAME, probe=self._probe)
+        self._wal_dir = directory
+        self._checkpoint_every = checkpoint_every
+        self._records_since_checkpoint = 0
+        self.checkpoint()
+        return directory
+
+    def checkpoint(self) -> Path:
+        """Write a checkpoint covering everything logged so far."""
+        from repro.gateway.wal.checkpoint import capture_state, write_checkpoint
+
+        if self._wal is None:
+            raise GameConfigError(
+                "no WAL is attached; attach_wal() before checkpointing"
+            )
+        self._probe("checkpoint:begin")
+        state = capture_state(self, wal_seq=self._wal.last_seq)
+        path = write_checkpoint(self._wal_dir, state, probe=self._probe)
+        self._records_since_checkpoint = 0
+        self._probe("checkpoint:done")
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self._wal is not None
+            and self._checkpoint_every is not None
+            and self._records_since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
+
+    @classmethod
+    def recover(cls, directory, *, checkpoint_every: int | None = None):
+        """Rebuild the service persisted in ``directory`` after a crash.
+
+        Restores the newest valid checkpoint, replays the WAL tail, and
+        returns a live durable service bit-identical to the uncrashed
+        one (see :mod:`repro.gateway.wal.recovery`).
+        """
+        from repro.gateway.wal.recovery import recover as _recover
+
+        return _recover(directory, checkpoint_every=checkpoint_every)
+
+    def _adopt_wal(
+        self,
+        directory,
+        *,
+        next_seq: int,
+        checkpoint_every: int | None,
+        records_since: int,
+    ) -> None:
+        """Re-attach the WAL of a just-recovered service (recovery only)."""
+        from repro.gateway.wal.records import WAL_FILENAME
+        from repro.gateway.wal.writer import WalWriter
+
+        directory = Path(directory)
+        self._wal = WalWriter(
+            directory / WAL_FILENAME, next_seq=next_seq, probe=self._probe
+        )
+        self._wal_dir = directory
+        self._checkpoint_every = checkpoint_every
+        self._records_since_checkpoint = records_since
+
     # ---------------------------------------------------------- bulk path --
 
     def _bulk_open(self) -> bool:
@@ -674,6 +893,10 @@ class PricingService:
             return BulkAcks(
                 requests, fleet.slot, ErrorReply.of(exc, request_kind="SubmitBids")
             )
+        if self._fleet_history is not None:
+            # The caller already must not mutate ``requests`` (the lazy
+            # acks hold it too), so recording the run is one list append.
+            self._fleet_history.append({"requests": requests})
         return BulkAcks(requests, fleet.slot, None)
 
 

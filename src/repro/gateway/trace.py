@@ -35,6 +35,7 @@ from repro.gateway.envelopes import (
     to_dict,
 )
 from repro.gateway.service import PricingService
+from repro.gateway.wal.records import iter_jsonl
 
 __all__ = ["ReplayResult", "iter_trace", "write_trace", "replay", "replay_path"]
 
@@ -72,21 +73,18 @@ def write_trace(path, requests: Iterable[Request]) -> int:
 def iter_trace(path) -> Iterator[dict]:
     """Yield one raw JSON object per non-blank trace line.
 
-    Unparseable lines yield a synthetic ``{"kind": "<unparseable>"}``
+    Unparseable lines — junk bytes that are not UTF-8 just as much as
+    text that is not JSON — yield a synthetic ``{"kind": "<unparseable>"}``
     marker instead of raising, so a replay reports them as protocol
-    errors in position rather than dying mid-file.
+    errors in position rather than dying mid-file. The line discipline is
+    :func:`repro.gateway.wal.records.iter_jsonl`, shared with the
+    write-ahead log.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                yield {"kind": "<unparseable>", "error": str(exc)}
-                continue
-            yield payload
+    for line in iter_jsonl(path):
+        if line.error is not None:
+            yield {"kind": "<unparseable>", "error": line.error}
+        else:
+            yield line.payload
 
 
 def replay(

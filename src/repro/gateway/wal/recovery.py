@@ -1,0 +1,172 @@
+"""Crash recovery: latest valid checkpoint plus the WAL tail.
+
+:func:`recover` rebuilds a :class:`PricingService` whose observable state
+is bit-identical to the uncrashed run: it restores the newest checkpoint
+that verifies (falling back past corrupt ones), re-dispatches every WAL
+record after the checkpoint's ``wal_seq`` in order, truncates a torn
+final line, and hands the service a writer positioned at the next
+sequence number.
+
+The failure policy is strict where it must be and tolerant where a crash
+legitimately leaves debris:
+
+- A **torn final line** (no trailing newline, unparsable or failing its
+  CRC) is the signature of a crash mid-append; the record never became
+  durable, so it is dropped and the file truncated back to the last
+  valid prefix.
+- **Anything wrong earlier in the file** — flipped bytes, duplicated or
+  gapped sequence numbers, junk lines — means the log cannot be trusted
+  and recovery refuses with :class:`~repro.errors.RecoveryError`.
+- A checkpoint whose ``wal_seq`` points **past the end of the WAL** is
+  also fatal: the log has lost durable records and replaying a shorter
+  history would silently un-charge tenants.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import RecoveryError, ReproError
+from repro.gateway.envelopes import request_from_dict
+from repro.gateway.wal.checkpoint import (
+    CHECKPOINT_GLOB,
+    load_checkpoint,
+    restore_service,
+)
+from repro.gateway.wal.records import (
+    WAL_FILENAME,
+    WalRecord,
+    decode_record,
+    iter_jsonl,
+)
+
+__all__ = ["read_wal", "recover"]
+
+
+def read_wal(path) -> tuple[list[WalRecord], int]:
+    """All durable records of one WAL plus the byte length they span.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    offset just past the last valid record — a torn final line (crash
+    mid-append) sits beyond it and is tolerated; every other framing
+    violation raises :class:`~repro.errors.RecoveryError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    records: list[WalRecord] = []
+    valid_bytes = 0
+    lines = list(iter_jsonl(path))
+    for index, line in enumerate(lines):
+        torn_tail_ok = index == len(lines) - 1 and not line.complete
+        if line.error is not None:
+            if torn_tail_ok:
+                break
+            raise RecoveryError(
+                f"WAL line {line.lineno} is corrupt: {line.error}"
+            )
+        try:
+            record = decode_record(line.payload)
+        except RecoveryError as exc:
+            if torn_tail_ok:
+                break
+            raise RecoveryError(f"WAL line {line.lineno}: {exc}") from None
+        expected = records[-1].seq + 1 if records else 1
+        if record.seq == expected - 1 and records:
+            raise RecoveryError(
+                f"WAL line {line.lineno} duplicates sequence number "
+                f"{record.seq}"
+            )
+        if record.seq != expected:
+            raise RecoveryError(
+                f"WAL line {line.lineno} has sequence {record.seq}; "
+                f"expected {expected} (gap or reordering)"
+            )
+        records.append(record)
+        valid_bytes = line.end_offset
+    return records, valid_bytes
+
+
+def _replay_record(service, record: WalRecord) -> None:
+    """Re-dispatch one WAL record exactly as the crashed run did.
+
+    Unlike checkpointed fleet history, the WAL also logs envelopes whose
+    dispatch *failed* — dispatch is deterministic, so those replay to the
+    same :class:`ErrorReply` and the same (unchanged) state; an error
+    here is not divergence. What must not happen is the record failing to
+    decode at all: that is framing-level corruption.
+    """
+    try:
+        requests = [request_from_dict(raw) for raw in record.requests]
+    except ReproError as exc:
+        raise RecoveryError(
+            f"WAL record seq {record.seq} does not decode: {exc}"
+        ) from exc
+    if record.batch:
+        service.dispatch_many(requests)
+    else:
+        service.dispatch(requests[0])
+
+
+def recover(directory, *, checkpoint_every: int | None = None):
+    """Rebuild the service persisted in ``directory`` after a crash.
+
+    Loads the newest checkpoint that verifies, replays the WAL records
+    past its ``wal_seq``, truncates any torn final line, and returns a
+    live :class:`PricingService` with the WAL re-attached (appending at
+    the next sequence number). ``checkpoint_every`` re-arms automatic
+    checkpointing on the recovered service.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise RecoveryError(f"no WAL directory at {directory}")
+    wal_path = directory / WAL_FILENAME
+    records, valid_bytes = read_wal(wal_path)
+    last_seq = records[-1].seq if records else 0
+
+    candidates = sorted(directory.glob(CHECKPOINT_GLOB), reverse=True)
+    if not candidates:
+        raise RecoveryError(
+            f"no checkpoint in {directory}; a durable service always "
+            "writes one at attach time, so this directory is not a WAL "
+            "directory (or the checkpoint was deleted)"
+        )
+    failures: list[str] = []
+    state = None
+    for candidate in candidates:
+        try:
+            loaded = load_checkpoint(candidate)
+        except RecoveryError as exc:
+            failures.append(str(exc))
+            continue
+        if loaded["wal_seq"] > last_seq:
+            raise RecoveryError(
+                f"checkpoint {candidate.name} covers WAL sequence "
+                f"{loaded['wal_seq']} but the log ends at {last_seq}: "
+                "durable records are missing; refusing to serve a "
+                "shorter history"
+            )
+        state = loaded
+        break
+    if state is None:
+        raise RecoveryError(
+            "every checkpoint failed verification: " + "; ".join(failures)
+        )
+
+    service = restore_service(state)
+    for record in records:
+        if record.seq > state["wal_seq"]:
+            _replay_record(service, record)
+
+    if wal_path.exists():
+        size = wal_path.stat().st_size
+        if valid_bytes < size:
+            with open(wal_path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+    service._adopt_wal(
+        directory,
+        next_seq=last_seq + 1,
+        checkpoint_every=checkpoint_every,
+        records_since=last_seq - state["wal_seq"],
+    )
+    return service

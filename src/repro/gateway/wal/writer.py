@@ -1,0 +1,81 @@
+"""Durable append: the write-ahead log's write side.
+
+Every accepted envelope is framed (:mod:`repro.gateway.wal.records`),
+appended, flushed, and fsync'd **before** its effects apply — the fsync
+is the durability point, so a crash leaves either a fully durable record
+or (at worst) a torn final line that recovery truncates away. One bulk
+``dispatch_many`` run is one record and therefore one fsync, which is
+what keeps the steady-state dispatch overhead low
+(``benchmarks/bench_recovery.py`` gates it).
+
+The optional ``probe`` callable is the crash-injection seam: it fires
+with ``"wal:append"`` just before the bytes are written and
+``"wal:appended"`` once they are durable (see ``tests/crashpoints.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.gateway.wal.records import WalRecord, encode_record
+
+__all__ = ["WalWriter"]
+
+
+class WalWriter:
+    """Sequenced, fsync'd appender over one ``wal.jsonl`` file."""
+
+    def __init__(self, path, *, next_seq: int = 1, probe=None) -> None:
+        self.path = Path(path)
+        self._next_seq = int(next_seq)
+        self._probe = probe
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record (0 if none)."""
+        return self._next_seq - 1
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def append_request(self, epoch: int, request: dict) -> int:
+        """Durably log one envelope (wire form); returns its sequence."""
+        return self._append(
+            WalRecord(
+                seq=self._next_seq, epoch=epoch, requests=(request,), batch=False
+            )
+        )
+
+    def append_batch(self, epoch: int, requests: list) -> int:
+        """Durably log one atomic bulk run as a single record/fsync."""
+        return self._append(
+            WalRecord(
+                seq=self._next_seq,
+                epoch=epoch,
+                requests=tuple(requests),
+                batch=True,
+            )
+        )
+
+    def _append(self, record: WalRecord) -> int:
+        line = encode_record(record)
+        if self._probe is not None:
+            self._probe("wal:append")
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._next_seq = record.seq + 1
+        if self._probe is not None:
+            self._probe("wal:appended")
+        return record.seq
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None

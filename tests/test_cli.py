@@ -179,3 +179,49 @@ class TestReplayCommand:
                      "--snapshots", "2"]) == 0
         out = capsys.readouterr().out
         assert "QueryReply" in out
+
+
+class TestDurabilityCommands:
+    TRACE = TestReplayCommand.TRACE
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return path
+
+    def test_replay_with_wal_then_recover(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.TRACE)
+        wal_dir = tmp_path / "wal"
+        assert main(["replay", str(path), "--wal-dir", str(wal_dir),
+                     "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "write-ahead log" in out
+        assert (wal_dir / "wal.jsonl").exists()
+        assert main(["recover", str(wal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "wal records" in out
+        assert "slot 3/3" in out
+
+    def test_recover_parses_checkpoint_flag(self):
+        args = build_parser().parse_args(["recover", "d", "--checkpoint"])
+        assert args.command == "recover" and args.checkpoint
+
+    def test_recover_fails_cleanly_on_a_non_wal_directory(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path)]) == 1
+        assert "recovery failed" in capsys.readouterr().out
+
+    def test_checkpoint_command_compacts_the_wal(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.TRACE)
+        wal_dir = tmp_path / "wal"
+        assert main(["replay", str(path), "--wal-dir", str(wal_dir)]) == 0
+        capsys.readouterr()
+        assert main(["checkpoint", str(wal_dir)]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        # The fresh checkpoint covers every record: recovery still works.
+        assert main(["recover", str(wal_dir)]) == 0
+        assert "slot 3/3" in capsys.readouterr().out
+
+    def test_list_mentions_durability_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "recover" in out and "checkpoint" in out

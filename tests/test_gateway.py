@@ -745,3 +745,83 @@ class TestTraces:
         direct = service.run_to_end()
         assert dict(replayed.payments) == dict(direct.payments)
         assert replayed.ledger == direct.ledger
+
+
+# ---------------------------------------------------- service error paths --
+
+
+class TestServiceErrorPaths:
+    def _db_service(self) -> PricingService:
+        db = Catalog()
+        table = Table("snap_01", Schema.of(pid="int", halo="int"))
+        for i in range(10):
+            table.insert((i, i % 3))
+        db.create_table(table)
+        return PricingService(db_catalog=db)
+
+    def test_dispatch_after_close_is_a_protocol_error(self):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        service.close()
+        reply = service.dispatch(LedgerQuery(tenant="ann"))
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "protocol"
+        assert "closed" in reply.message
+        many = service.dispatch_many(
+            [
+                SubmitBids(tenant="ann", bids=(("idx", 1, (5.0,)),)),
+                AdvanceSlots(slots=1),
+            ]
+        )
+        assert [r.code for r in many] == ["protocol", "protocol"]
+        wire = service.dispatch_dict(to_dict(AdvanceSlots(slots=1)))
+        assert wire["kind"] == "ErrorReply"
+        assert wire["code"] == "protocol"
+        service.close()  # idempotent
+
+    @pytest.mark.parametrize(
+        "wire",
+        [to_dict(e) for e in ENVELOPE_EXAMPLES],
+        ids=lambda w: w["kind"],
+    )
+    def test_unknown_api_version_is_a_version_error_for_every_kind(self, wire):
+        service = PricingService({"idx": 40.0}, horizon=3)
+        reply = service.dispatch_dict(dict(wire, api="9.9"))
+        assert reply["kind"] == "ErrorReply"
+        assert reply["code"] == "version"
+
+    def test_as_of_at_the_snapshot_retention_eviction_boundary(self):
+        from repro.gateway.service import SNAPSHOT_RETENTION
+
+        service = self._db_service()
+        table = service.db.table("snap_01")
+
+        def members(as_of=None):
+            return service.dispatch(
+                RunQuery(
+                    tenant="t", query="members", table="snap_01", halo=0,
+                    as_of=as_of,
+                )
+            )
+
+        pinned = []
+        for i in range(SNAPSHOT_RETENTION):
+            reply = members()
+            assert not isinstance(reply, ErrorReply)
+            pinned.append(reply.epoch)
+            table.insert((100 + i, 0))
+        assert len(set(pinned)) == SNAPSHOT_RETENTION
+        # Exactly at capacity: the oldest pinned epoch is still served.
+        at_boundary = members(as_of=pinned[0])
+        assert not isinstance(at_boundary, ErrorReply)
+        assert at_boundary.epoch == pinned[0]
+        # Pinning one more epoch crosses the boundary and evicts it.
+        over = members()
+        assert not isinstance(over, ErrorReply)
+        assert over.epoch not in pinned
+        evicted = members(as_of=pinned[0])
+        assert isinstance(evicted, ErrorReply)
+        assert evicted.code == "query"
+        assert str(pinned[0]) in evicted.message
+        survivor = members(as_of=pinned[1])
+        assert not isinstance(survivor, ErrorReply)
+        assert survivor.epoch == pinned[1]

@@ -1,0 +1,575 @@
+"""Write-ahead log + checkpointed recovery, proven under crash injection.
+
+The central property: for ANY workload and ANY crash point,
+``PricingService.recover(dir)`` rebuilds a service whose observable
+state — catalog (rows, epochs, indexes, views), workload log, billing
+ledger, event log, fleet slot — is bit-identical to a service that ran
+the same workload without crashing, and finishing the workload on the
+recovered service yields bit-identical replies. Hypothesis drives the
+workload and the crash point; ``tests/crashpoints.py`` supplies the
+deterministic kill switch.
+
+Alongside the property: the all-or-nothing ``BulkAcks`` contract across
+a mid-bulk crash, corruption fuzzing (torn tails, flipped bytes,
+duplicated/gapped sequences, stale checkpoints — every one a structured
+``RecoveryError``, never silent state loss), the shared JSONL reader,
+and round-trips for the new Catalog/WorkloadLog codecs.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from crashpoints import (
+    CrashPoint,
+    SimulatedCrash,
+    continuation,
+    durable_requests,
+    fingerprint,
+    run_steps,
+    run_until_crash,
+)
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import GameConfigError, RecoveryError
+from repro.gateway import codec
+from repro.gateway.envelopes import (
+    AdvanceSlots,
+    AdviseRequest,
+    Configure,
+    ErrorReply,
+    LedgerQuery,
+    ReviseBid,
+    RunQuery,
+    SubmitBids,
+)
+from repro.gateway.service import PricingService
+from repro.gateway.trace import iter_trace, replay_path
+from repro.gateway.wal.records import WAL_FILENAME, iter_jsonl
+
+OPTS = (("idx", 40.0), ("mv", 25.0))
+
+
+def _seed(service: PricingService) -> None:
+    table = Table("snap_01", Schema.of(pid="int", halo="int"))
+    for i in range(24):
+        table.insert((i, i % 5 - 1))
+    service.db.create_table(table)
+
+
+def _service() -> PricingService:
+    service = PricingService()
+    _seed(service)
+    return service
+
+
+def _submit(tenant, opt, start, values, revisable=False) -> SubmitBids:
+    return SubmitBids(
+        tenant=tenant, bids=((opt, start, tuple(values)),), revisable=revisable
+    )
+
+
+# ------------------------------------------------------------ strategies --
+
+_VALUES = st.lists(
+    st.sampled_from([5.0, 10.0, 17.5, 30.0]), min_size=1, max_size=3
+)
+_TENANTS = st.sampled_from(["ann", "bob", "cara", "dan"])
+_OPT_IDS = st.sampled_from(["idx", "mv"])
+
+
+@st.composite
+def workloads(draw):
+    """A Configure followed by a mix of every envelope kind.
+
+    Steps may fail (duplicate bids, over-horizon advances, unrevisable
+    revisions) — deliberately: failed dispatches are logged and must
+    replay to the same ErrorReply.
+    """
+    horizon = draw(st.integers(3, 5))
+    steps: list = [Configure(optimizations=OPTS, horizon=horizon)]
+    for _ in range(draw(st.integers(1, 6))):
+        kind = draw(
+            st.sampled_from(
+                ["bulk", "single", "revise", "advance", "ledger", "query", "advise"]
+            )
+        )
+        if kind == "bulk":
+            steps.append(
+                [
+                    _submit(
+                        draw(_TENANTS), draw(_OPT_IDS), draw(st.integers(1, 2)),
+                        draw(_VALUES),
+                    )
+                    for _ in range(draw(st.integers(1, 3)))
+                ]
+            )
+        elif kind == "single":
+            steps.append(
+                _submit(
+                    draw(_TENANTS), draw(_OPT_IDS), draw(st.integers(1, 2)),
+                    draw(_VALUES), revisable=draw(st.booleans()),
+                )
+            )
+        elif kind == "revise":
+            steps.append(
+                ReviseBid(
+                    tenant=draw(_TENANTS),
+                    optimization=draw(_OPT_IDS),
+                    new_values=((draw(st.integers(1, 3)), 40.0),),
+                )
+            )
+        elif kind == "advance":
+            steps.append(AdvanceSlots(slots=1))
+        elif kind == "ledger":
+            steps.append(LedgerQuery(tenant=draw(_TENANTS)))
+        elif kind == "query":
+            steps.append(
+                RunQuery(
+                    tenant=draw(_TENANTS), query="members", table="snap_01",
+                    halo=draw(st.integers(0, 3)),
+                )
+            )
+        else:
+            steps.append(AdviseRequest())
+    return steps
+
+
+def _assert_recover_equals_serial(steps, crash_at, checkpoint_every):
+    reference = _service()
+    ref_replies = run_steps(reference, steps)
+    ref_fp = fingerprint(reference)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        dut = _service()
+        dut.attach_wal(directory, checkpoint_every=checkpoint_every)
+        probe = CrashPoint(crash_at)
+        dut.wal_probe = probe
+        replies, crashed = run_until_crash(dut, steps)
+        if not crashed:
+            assert replies == ref_replies
+            dut.close()
+
+        done = durable_requests(directory)
+        recovered = PricingService.recover(
+            directory, checkpoint_every=checkpoint_every
+        )
+        tail = run_steps(recovered, continuation(steps, done))
+        assert tail == ref_replies[len(ref_replies) - len(tail) :]
+        assert fingerprint(recovered) == ref_fp
+
+
+# ------------------------------------------------- the central property --
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=workloads(),
+    crash_at=st.one_of(st.none(), st.integers(0, 19)),
+    checkpoint_every=st.sampled_from([1, 3, None]),
+)
+def test_recover_equals_serial(steps, crash_at, checkpoint_every):
+    _assert_recover_equals_serial(steps, crash_at, checkpoint_every)
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=workloads(),
+    crash_at=st.one_of(st.none(), st.integers(0, 49)),
+    checkpoint_every=st.sampled_from([1, 2, 3, 5, None]),
+)
+def test_recover_equals_serial_full_grid(steps, crash_at, checkpoint_every):
+    _assert_recover_equals_serial(steps, crash_at, checkpoint_every)
+
+
+def test_every_crash_point_of_one_workload_recovers():
+    """Exhaustively kill one fixed workload at every probe boundary."""
+    steps = [
+        Configure(optimizations=OPTS, horizon=3),
+        [_submit("ann", "idx", 1, (30.0, 30.0)), _submit("bob", "mv", 1, (25.0,))],
+        AdvanceSlots(slots=1),
+        RunQuery(tenant="ann", query="members", table="snap_01", halo=1),
+        AdvanceSlots(slots=2),
+        LedgerQuery(tenant="ann"),
+    ]
+    clean = CrashPoint(None)
+    dut = _service()
+    with tempfile.TemporaryDirectory() as tmp:
+        dut.attach_wal(Path(tmp), checkpoint_every=2)
+        dut.wal_probe = clean
+        run_steps(dut, steps)
+    assert len(clean.fired) > 10  # the grid is real
+    for crash_at in range(len(clean.fired)):
+        _assert_recover_equals_serial(steps, crash_at, checkpoint_every=2)
+
+
+# ------------------------------------------------------ BulkAcks atomicity --
+
+
+def _bulk_workload():
+    return [
+        Configure(optimizations=OPTS, horizon=3),
+        [
+            _submit("ann", "idx", 1, (30.0, 30.0)),
+            _submit("bob", "idx", 1, (20.0,)),
+            _submit("bob", "mv", 2, (15.0,)),
+        ],
+    ]
+
+
+def _crash_bulk(crash_at):
+    """Run the bulk workload, crash at ``crash_at``, recover; return all."""
+    steps = _bulk_workload()
+    directory = Path(tempfile.mkdtemp())
+    dut = _service()
+    dut.attach_wal(directory, checkpoint_every=None)
+    dut.wal_probe = probe = CrashPoint(crash_at)
+    with pytest.raises(SimulatedCrash):
+        run_steps(dut, steps)
+    return directory, probe
+
+
+def test_bulk_crash_before_append_loses_the_whole_run():
+    # Probes 0-2 are Configure's append/appended/apply; probe 3 is the
+    # batch record's "wal:append" — the crash lands before any byte of
+    # the run is durable.
+    directory, probe = _crash_bulk(3)
+    assert probe.crashed_stage == "wal:append"
+    assert durable_requests(directory) == 1  # just the Configure
+    recovered = PricingService.recover(directory)
+    baseline = _service()
+    run_steps(baseline, [Configure(optimizations=OPTS, horizon=3)])
+    assert fingerprint(recovered) == fingerprint(baseline)
+
+
+def test_bulk_crash_after_append_replays_the_whole_run():
+    # Probe 4 is the batch record's "wal:appended": durable, but the
+    # crash hits before any effect applies. Recovery must apply ALL of
+    # the run — the BulkAcks contract is all-or-nothing across restarts.
+    directory, probe = _crash_bulk(4)
+    assert probe.crashed_stage == "wal:appended"
+    assert durable_requests(directory) == 4  # Configure + the 3-bid run
+    recovered = PricingService.recover(directory)
+    reference = _service()
+    run_steps(reference, _bulk_workload())
+    assert fingerprint(recovered) == fingerprint(reference)
+
+
+# --------------------------------------------------------- corruption fuzz --
+
+
+def _durable_run(checkpoint_every=None, tmp=None):
+    """A closed durable service's directory after a fixed workload."""
+    directory = Path(tmp if tmp is not None else tempfile.mkdtemp())
+    service = _service()
+    service.attach_wal(directory, checkpoint_every=checkpoint_every)
+    run_steps(
+        service,
+        [
+            Configure(optimizations=OPTS, horizon=3),
+            [_submit("ann", "idx", 1, (30.0, 30.0))],
+            _submit("bob", "mv", 1, (25.0,), revisable=True),
+            AdvanceSlots(slots=1),
+            LedgerQuery(tenant="ann"),
+        ],
+    )
+    service.close()
+    return directory
+
+
+def test_truncated_tail_recovers_to_the_last_valid_prefix():
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    data = wal.read_bytes()
+    wal.write_bytes(data[:-9])  # tear the final record mid-line
+    recovered = PricingService.recover(directory)
+    assert durable_requests(directory) == 4  # the torn record is gone
+    # The torn bytes were physically truncated: appending works cleanly.
+    reply = recovered.dispatch(LedgerQuery(tenant="ann"))
+    assert not isinstance(reply, ErrorReply)
+    lines = list(iter_jsonl(wal))
+    assert all(line.error is None for line in lines)
+    assert all(line.complete for line in lines)
+
+
+def test_flipped_byte_mid_file_is_a_recovery_error():
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    data = bytearray(wal.read_bytes())
+    lines = list(iter_jsonl(wal))
+    target = lines[1]  # a complete, non-final record
+    for offset in range(target.end_offset - 12, target.end_offset - 2):
+        if chr(data[offset]).isdigit():
+            data[offset] = ord("7") if data[offset] != ord("7") else ord("3")
+            break
+    wal.write_bytes(bytes(data))
+    with pytest.raises(RecoveryError):
+        PricingService.recover(directory)
+
+
+def test_flipped_byte_in_complete_final_line_is_a_recovery_error():
+    # A final line WITH its newline is not a torn append: corruption
+    # there must refuse, not silently drop the record.
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    data = bytearray(wal.read_bytes())
+    assert data.endswith(b"\n")
+    data[-10] = data[-10] ^ 0x01
+    wal.write_bytes(bytes(data))
+    with pytest.raises(RecoveryError):
+        PricingService.recover(directory)
+
+
+def test_duplicated_sequence_number_is_a_recovery_error():
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    lines = wal.read_bytes().splitlines(keepends=True)
+    wal.write_bytes(b"".join(lines) + lines[-1])  # replay the last record
+    with pytest.raises(RecoveryError, match="duplicates sequence"):
+        PricingService.recover(directory)
+
+
+def test_sequence_gap_is_a_recovery_error():
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    lines = wal.read_bytes().splitlines(keepends=True)
+    del lines[2]  # drop a middle record
+    wal.write_bytes(b"".join(lines))
+    with pytest.raises(RecoveryError, match="sequence"):
+        PricingService.recover(directory)
+
+
+def test_stale_checkpoint_past_wal_end_is_a_recovery_error():
+    # checkpoint_every=1 leaves the newest checkpoint covering the last
+    # record; deleting that record makes every surviving checkpoint claim
+    # more history than the log holds — durable records went missing.
+    directory = _durable_run(checkpoint_every=1)
+    wal = directory / WAL_FILENAME
+    lines = wal.read_bytes().splitlines(keepends=True)
+    wal.write_bytes(b"".join(lines[:-1]))
+    with pytest.raises(RecoveryError, match="ends at"):
+        PricingService.recover(directory)
+
+
+def test_corrupt_latest_checkpoint_falls_back_to_an_older_one():
+    directory = _durable_run(checkpoint_every=2)
+    reference = _service()
+    run_steps(
+        reference,
+        [
+            Configure(optimizations=OPTS, horizon=3),
+            [_submit("ann", "idx", 1, (30.0, 30.0))],
+            _submit("bob", "mv", 1, (25.0,), revisable=True),
+            AdvanceSlots(slots=1),
+            LedgerQuery(tenant="ann"),
+        ],
+    )
+    checkpoints = sorted(directory.glob("checkpoint-*.json"))
+    assert len(checkpoints) >= 2
+    newest = checkpoints[-1]
+    newest.write_bytes(newest.read_bytes()[:-40])  # wreck it
+    recovered = PricingService.recover(directory)
+    assert fingerprint(recovered) == fingerprint(reference)
+
+
+def test_every_checkpoint_corrupt_is_a_recovery_error():
+    directory = _durable_run(checkpoint_every=2)
+    for checkpoint in directory.glob("checkpoint-*.json"):
+        checkpoint.write_text("{not json", encoding="utf-8")
+    with pytest.raises(RecoveryError, match="failed verification"):
+        PricingService.recover(directory)
+
+
+def test_recovering_an_empty_or_missing_directory_is_a_recovery_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        with pytest.raises(RecoveryError, match="no checkpoint"):
+            PricingService.recover(tmp)
+        with pytest.raises(RecoveryError, match="no WAL directory"):
+            PricingService.recover(Path(tmp) / "nope")
+
+
+def test_recovery_error_has_a_stable_wire_code():
+    assert ErrorReply.of(RecoveryError("boom")).code == "recovery"
+
+
+# ----------------------------------------------------- attach-time guards --
+
+
+def test_attach_wal_refuses_a_directory_with_durable_state():
+    directory = _durable_run()
+    fresh = _service()
+    with pytest.raises(RecoveryError, match="already holds durable state"):
+        fresh.attach_wal(directory)
+
+
+def test_attach_wal_twice_is_a_config_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        service = _service()
+        service.attach_wal(tmp)
+        with pytest.raises(GameConfigError, match="already attached"):
+            service.attach_wal(tmp)
+
+
+def test_checkpoint_without_a_wal_is_a_config_error():
+    with pytest.raises(GameConfigError, match="no WAL is attached"):
+        _service().checkpoint()
+
+
+def test_durable_service_refuses_an_externally_attached_fleet():
+    from repro.fleet.engine import FleetEngine
+    from repro.cloudsim.catalog import OptimizationCatalog
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = _service()
+        service.attach_wal(tmp)
+        fleet = FleetEngine(
+            OptimizationCatalog.from_costs({"idx": 40.0}), horizon=3
+        )
+        with pytest.raises(GameConfigError, match="durable"):
+            service.attach_fleet(fleet)
+
+
+def test_run_to_end_is_logged_and_recoverable():
+    with tempfile.TemporaryDirectory() as tmp:
+        service = _service()
+        service.attach_wal(tmp)
+        run_steps(
+            service,
+            [
+                Configure(optimizations=OPTS, horizon=3),
+                [_submit("ann", "idx", 1, (30.0, 30.0))],
+            ],
+        )
+        report = service.run_to_end()
+        assert report.horizon == 3
+        service.close()
+        recovered = PricingService.recover(tmp)
+        assert recovered.fleet.slot == 3
+        assert fingerprint(recovered) == fingerprint(service)
+
+
+# ------------------------------------------------------ shared JSONL reader --
+
+
+def test_binary_junk_in_a_trace_is_an_error_marker_not_a_crash(tmp_path):
+    # Before the shared reader, raw non-UTF-8 bytes surfaced as a bare
+    # UnicodeDecodeError out of iter_trace.
+    path = tmp_path / "trace.jsonl"
+    path.write_bytes(
+        b'\x80\x81\xfe\n{"api": "1.3", "kind": "LedgerQuery", "tenant": "ann"}\n'
+    )
+    payloads = list(iter_trace(path))
+    assert payloads[0]["kind"] == "<unparseable>"
+    assert "UTF-8" in payloads[0]["error"]
+    assert payloads[1]["kind"] == "LedgerQuery"
+    result = replay_path(path)
+    assert [r["kind"] for r in result.replies] == ["ErrorReply", "ErrorReply"]
+    assert result.replies[0]["code"] == "protocol"
+
+
+def test_wal_with_binary_junk_line_is_a_recovery_error():
+    directory = _durable_run()
+    wal = directory / WAL_FILENAME
+    lines = wal.read_bytes().splitlines(keepends=True)
+    lines.insert(1, b"\x80\x81\xfe\xff\n")
+    wal.write_bytes(b"".join(lines))
+    with pytest.raises(RecoveryError, match="UTF-8"):
+        PricingService.recover(directory)
+
+
+def test_iter_jsonl_reports_offsets_and_completeness(tmp_path):
+    path = tmp_path / "lines.jsonl"
+    path.write_bytes(b'{"a": 1}\n\n{"b": 2}\n{"torn": ')
+    lines = list(iter_jsonl(path))
+    assert [line.payload for line in lines[:2]] == [{"a": 1}, {"b": 2}]
+    assert lines[0].complete and lines[1].complete
+    torn = lines[2]
+    assert torn.error is not None and not torn.complete
+    assert torn.end_offset == path.stat().st_size
+    assert lines[1].end_offset == len(b'{"a": 1}\n\n{"b": 2}\n')
+
+
+# ------------------------------------------------- durable-state codecs --
+
+
+def test_catalog_codec_round_trips_bit_identically():
+    service = _service()
+    run_steps(
+        service,
+        [
+            Configure(optimizations=OPTS, horizon=3),
+            RunQuery(tenant="ann", query="members", table="snap_01", halo=1),
+            AdviseRequest(),
+        ],
+    )
+    encoded = codec.encode(service.db)
+    json_hop = json.loads(json.dumps(encoded))
+    decoded = codec.decode(json_hop)
+    assert codec.encode(decoded) == encoded
+    assert decoded.epoch == service.db.epoch
+    assert decoded.table_names == service.db.table_names
+    assert decoded.view_names == service.db.view_names
+
+
+def test_restored_index_covers_only_the_original_rows():
+    from repro.db.costmodel import CostMeter
+
+    service = _service()
+    table = service.db.table("snap_01")
+    service.db.create_hash_index("snap_01", "halo")
+    original_cover = service.db.hash_index("snap_01", "halo")._covered_rows
+    table.insert((100, 2))
+    table.insert((101, 2))
+    decoded = codec.decode(codec.encode(service.db))
+    index = decoded.hash_index("snap_01", "halo")
+    assert index._covered_rows == original_cover == len(table) - 2
+    mine = sorted(index.lookup_rids_many([2], CostMeter()).tolist())
+    theirs = sorted(
+        service.db.hash_index("snap_01", "halo")
+        .lookup_rids_many([2], CostMeter())
+        .tolist()
+    )
+    assert mine == theirs  # neither sees the two post-build rows
+
+
+def test_workload_log_codec_round_trips_in_order():
+    service = _service()
+    run_steps(
+        service,
+        [
+            RunQuery(tenant="bob", query="members", table="snap_01", halo=1),
+            RunQuery(tenant="ann", query="members", table="snap_01", halo=2),
+            RunQuery(tenant="bob", query="members", table="snap_01", halo=3),
+        ],
+    )
+    encoded = codec.encode(service.log)
+    decoded = codec.decode(json.loads(json.dumps(encoded)))
+    assert codec.encode(decoded) == encoded
+    assert [t for t, _, _ in decoded.entries()] == [
+        t for t, _, _ in service.log.entries()
+    ]
+
+
+def test_encoding_a_catalog_inside_an_epoch_batch_is_refused():
+    from repro.errors import ProtocolError
+
+    service = _service()
+    with service.db.epoch_batch():
+        with pytest.raises(ProtocolError, match="epoch_batch"):
+            codec.encode(service.db)

@@ -57,7 +57,7 @@ from repro.errors import (
 from repro.fleet import FleetBatch, FleetEngine, FleetReport
 from repro.gateway import API_VERSION, PricingService, TenantSession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

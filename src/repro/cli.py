@@ -14,10 +14,12 @@ The ``fleet`` command is not a paper figure: it races the fleet engine
 against independent per-optimization services on one synthetic workload
 (asserting identical outcomes) and prints both timings; ``--gateway``
 races the gateway facade against the direct engine instead. The
-``replay`` command (alias ``serve``) drives a
-:class:`~repro.gateway.PricingService` from a JSONL request trace::
+``replay`` command drives a :class:`~repro.gateway.PricingService` from
+a JSONL request trace, and ``serve`` (which in earlier releases was
+merely an alias of ``replay``) now starts the real network server::
 
     python -m repro replay trace.jsonl --replies replies.jsonl
+    python -m repro serve --port 8321 --wal-dir wal/
 """
 
 from __future__ import annotations
@@ -220,8 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     replay = sub.add_parser(
         "replay",
-        aliases=["serve"],
-        help="drive the pricing gateway from a JSONL request trace",
+        help="drive the pricing gateway from a JSONL request trace "
+        "(note: 'serve' was once an alias of this command; it now "
+        "starts the network server instead)",
     )
     replay.add_argument(
         "trace", type=Path, help="request trace, one envelope per line"
@@ -254,6 +257,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint automatically after this many WAL records "
         "(with --wal-dir)",
     )
+    replay.add_argument(
+        "--retain-checkpoints", type=int, default=None,
+        dest="retain_checkpoints",
+        help="rotate the WAL at every checkpoint and keep only this many "
+        "checkpoints, deleting fully-covered segments (with --wal-dir)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the pricing gateway over HTTP (asyncio server with "
+        "admission control, deadlines, group commit, graceful drain)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--particles", type=int, default=0,
+        help="simulate an astronomy universe of this many particles into "
+        "the catalog before serving (0 = none; ignored when recovering)",
+    )
+    serve.add_argument(
+        "--snapshots", type=int, default=4,
+        help="snapshots of the simulated universe (with --particles)",
+    )
+    serve.add_argument("--seed", type=int, default=2012, help="universe RNG seed")
+    serve.add_argument(
+        "--wal-dir", type=Path, default=None, dest="wal_dir",
+        help="durable serving: recover this WAL directory if it holds "
+        "one, attach a fresh WAL otherwise",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=None, dest="checkpoint_every",
+        help="checkpoint automatically after this many WAL records "
+        "(with --wal-dir)",
+    )
+    serve.add_argument(
+        "--retain-checkpoints", type=int, default=None,
+        dest="retain_checkpoints",
+        help="rotate the WAL at every checkpoint and keep only this many "
+        "checkpoints (with --wal-dir)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, dest="max_pending",
+        help="admission bound: total queued or in-flight envelopes",
+    )
+    serve.add_argument(
+        "--tenant-pending", type=int, default=16, dest="tenant_pending",
+        help="per-tenant fair-share admission bound",
+    )
+    serve.add_argument(
+        "--max-delay", type=float, default=0.002, dest="max_delay",
+        help="seconds an envelope may wait to join a group commit",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=5.0, dest="read_timeout",
+        help="seconds to receive a full request (slow-loris guard)",
+    )
 
     recover = sub.add_parser(
         "recover",
@@ -273,6 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoint.add_argument(
         "wal_dir", type=Path, help="directory holding wal.jsonl + checkpoints"
+    )
+
+    wal_gc = sub.add_parser(
+        "wal-gc",
+        help="compact a WAL directory: checkpoint, rotate, and delete "
+        "history covered by aged-out checkpoints",
+    )
+    wal_gc.add_argument(
+        "wal_dir", type=Path, help="directory holding wal.jsonl + checkpoints"
+    )
+    wal_gc.add_argument(
+        "--retain", type=int, default=2,
+        help="checkpoints to keep (older ones and the segments they "
+        "cover are deleted)",
     )
     return parser
 
@@ -348,6 +424,21 @@ def _run_advise(args) -> int:
     return 0
 
 
+def _load_universe(service, particles: int, snapshots: int, seed: int) -> None:
+    """Pre-load a simulated astronomy universe so RunQuery envelopes have
+    tables to hit; the table names are snap_01 .. snap_NN."""
+    from repro.astro.simulator import UniverseConfig, UniverseSimulator
+
+    for snapshot in UniverseSimulator(
+        UniverseConfig(particles=particles, snapshots=snapshots), rng=seed
+    ).run():
+        service.db.create_table(snapshot.to_table())
+    print(
+        f"[universe: {particles} particles x "
+        f"{snapshots} snapshots -> {service.db.table_names}]"
+    )
+
+
 def _run_replay(args) -> int:
     import json
 
@@ -356,26 +447,15 @@ def _run_replay(args) -> int:
 
     service = PricingService()
     if args.particles > 0:
-        # Pre-load a simulated astronomy universe so RunQuery lines have
-        # tables to hit; the table names are snap_01 .. snap_NN.
-        from repro.astro.simulator import UniverseConfig, UniverseSimulator
-
-        snapshots = UniverseSimulator(
-            UniverseConfig(
-                particles=args.particles, snapshots=args.snapshots
-            ),
-            rng=args.seed,
-        ).run()
-        for snapshot in snapshots:
-            service.db.create_table(snapshot.to_table())
-        print(
-            f"[universe: {args.particles} particles x "
-            f"{args.snapshots} snapshots -> {service.db.table_names}]"
-        )
+        _load_universe(service, args.particles, args.snapshots, args.seed)
     if args.wal_dir is not None:
         # Attach after the universe load so the base checkpoint covers
         # the preloaded tables; every replayed envelope is then durable.
-        service.attach_wal(args.wal_dir, checkpoint_every=args.checkpoint_every)
+        service.attach_wal(
+            args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+            retain_checkpoints=args.retain_checkpoints,
+        )
         print(f"[write-ahead log at {args.wal_dir}]")
     result = replay(iter_trace(args.trace), service=service)
     counts = result.counts()
@@ -407,17 +487,72 @@ def _run_replay(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.gateway.server import ServerConfig, serve
+    from repro.gateway.service import PricingService
+    from repro.gateway.wal.records import WAL_FILENAME
+
+    recovering = (
+        args.wal_dir is not None and (args.wal_dir / WAL_FILENAME).exists()
+    )
+    if recovering:
+        service = PricingService.recover(
+            args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+            retain_checkpoints=args.retain_checkpoints,
+        )
+        print(f"[recovered durable service from {args.wal_dir}]")
+        if args.particles > 0:
+            print("[--particles ignored: recovered state wins]")
+    else:
+        service = PricingService()
+        if args.particles > 0:
+            _load_universe(service, args.particles, args.snapshots, args.seed)
+        if args.wal_dir is not None:
+            service.attach_wal(
+                args.wal_dir,
+                checkpoint_every=args.checkpoint_every,
+                retain_checkpoints=args.retain_checkpoints,
+            )
+            print(f"[write-ahead log at {args.wal_dir}]")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        tenant_pending=args.tenant_pending,
+        max_delay=args.max_delay,
+        read_timeout=args.read_timeout,
+    )
+
+    def ready(address) -> None:
+        print(
+            f"[serving on http://{address[0]}:{address[1]} "
+            "- SIGTERM or Ctrl-C to drain]"
+        )
+
+    server = asyncio.run(serve(service, config, ready=ready))
+    print(
+        f"[drained: {server.dispatched} dispatched, {server.shed} shed, "
+        f"{server.batches} group commits]"
+    )
+    service.close()
+    return 0
+
+
 def _run_recover(args, write_checkpoint: bool) -> int:
     from repro.errors import RecoveryError
     from repro.gateway.service import PricingService
-    from repro.gateway.wal.records import WAL_FILENAME
-    from repro.gateway.wal.recovery import read_wal
+    from repro.gateway.wal.recovery import read_log
 
     try:
         service = PricingService.recover(args.wal_dir)
-        records, _ = read_wal(args.wal_dir / WAL_FILENAME)
+        log = read_log(args.wal_dir)
         print(f"== recover: {args.wal_dir} ==")
-        print(f"wal records      {len(records):>6}")
+        print(f"wal records      {len(log.records):>6}")
+        if log.segments:
+            print(f"wal segments     {len(log.segments):>6}")
         print(f"db epoch         {service.db.epoch:>6}")
         print(f"tables           {len(service.db.table_names):>6}")
         if service.fleet is not None:
@@ -434,6 +569,29 @@ def _run_recover(args, write_checkpoint: bool) -> int:
     except RecoveryError as exc:
         print(f"recovery failed: {exc}")
         return 1
+    return 0
+
+
+def _run_wal_gc(args) -> int:
+    from repro.errors import RecoveryError
+    from repro.gateway.service import PricingService
+
+    try:
+        service = PricingService.recover(args.wal_dir)
+        # A fresh checkpoint covering the whole log first, so compaction
+        # can age out everything older.
+        service.checkpoint()
+        report = service.wal_gc(args.retain)
+        service.close()
+    except RecoveryError as exc:
+        print(f"wal-gc failed: {exc}")
+        return 1
+    print(f"== wal-gc: {args.wal_dir} (retain {args.retain}) ==")
+    print(f"checkpoints kept    {len(report.retained_checkpoints):>6}")
+    print(f"checkpoints removed {len(report.removed_checkpoints):>6}")
+    print(f"segments removed    {len(report.removed_segments):>6}")
+    for path in report.removed_checkpoints + report.removed_segments:
+        print(f"  deleted {path.name}")
     return 0
 
 
@@ -456,19 +614,25 @@ def main(argv: list[str] | None = None) -> int:
         print("fleet   (engine)       fleet engine vs independent services")
         print("advise  (advisor)      closed optimization loop on astronomy")
         print("replay  (gateway)      drive the pricing gateway from a JSONL trace")
+        print("serve   (gateway)      serve the pricing gateway over HTTP")
         print("recover (durability)   rebuild a durable service from its WAL")
         print("checkpoint (durability) recover a WAL directory and checkpoint it")
+        print("wal-gc  (durability)   compact a WAL directory (rotate + delete)")
         return 0
     if args.command == "fleet":
         return _run_fleet(args)
     if args.command == "advise":
         return _run_advise(args)
-    if args.command in ("replay", "serve"):
+    if args.command == "replay":
         return _run_replay(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "recover":
         return _run_recover(args, write_checkpoint=args.checkpoint)
     if args.command == "checkpoint":
         return _run_recover(args, write_checkpoint=True)
+    if args.command == "wal-gc":
+        return _run_wal_gc(args)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

@@ -17,6 +17,8 @@ __all__ = [
     "QueryError",
     "ProtocolError",
     "RecoveryError",
+    "OverloadedError",
+    "DeadlineError",
 ]
 
 
@@ -54,6 +56,23 @@ class RecoveryError(ReproError):
     checkpoint was requested of state that cannot be captured). Recovery
     never silently repairs past this — wrong pricing state is worse than
     no state."""
+
+
+class OverloadedError(ReproError):
+    """The serving layer shed this request under load (or while draining)
+    instead of queueing it unboundedly. Carries a ``retry_after`` hint in
+    seconds; the matching wire code is ``"overloaded"``, which clients may
+    safely retry — the request never reached the pricing core."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineError(ReproError):
+    """The request's deadline expired before its work reached the pricing
+    core, so it was cancelled without effect. The matching wire code is
+    ``"deadline_exceeded"``; safe to retry."""
 
 
 class ProtocolError(ReproError):

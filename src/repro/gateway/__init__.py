@@ -23,6 +23,10 @@ them:
   preserved bit-for-bit through the boundary.
 * :mod:`repro.gateway.trace` — JSONL request traces and the ``replay``
   driver behind the ``python -m repro replay`` command.
+* :mod:`repro.gateway.server` / :mod:`repro.gateway.client` — the
+  asyncio HTTP serving layer behind ``python -m repro serve`` (admission
+  control, deadlines, group commit, graceful drain) and its blocking
+  retry-aware client.
 
 ``to_dict``/``from_dict`` at this package level dispatch over both
 worlds: envelopes (``"kind"``-tagged) and value objects
@@ -60,6 +64,9 @@ from repro.gateway.envelopes import (
     request_from_dict,
     reply_from_dict,
 )
+from repro.gateway.client import GatewayClient, GatewayUnavailable
+from repro.gateway.envelopes import RETRYABLE_CODES
+from repro.gateway.server import GatewayServer, ServerConfig, ServerThread
 from repro.gateway.service import BulkAcks, PricingService, TenantSession
 from repro.gateway.trace import (
     ReplayResult,
@@ -92,6 +99,7 @@ __all__ = [
     "LedgerReply",
     "ErrorReply",
     "ERROR_CODES",
+    "RETRYABLE_CODES",
     "error_code",
     "request_from_dict",
     "reply_from_dict",
@@ -105,6 +113,12 @@ __all__ = [
     "iter_trace",
     "replay",
     "replay_path",
+    # serving layer
+    "GatewayServer",
+    "ServerConfig",
+    "ServerThread",
+    "GatewayClient",
+    "GatewayUnavailable",
 ]
 
 

@@ -1,0 +1,200 @@
+"""Blocking HTTP client for the gateway server, with disciplined retries.
+
+:class:`GatewayClient` is the reference consumer of
+:mod:`repro.gateway.server`: stdlib ``http.client`` over one keep-alive
+connection, envelopes in, envelopes out. Its retry policy is the part
+worth copying:
+
+- An :class:`ErrorReply` is retried **only** when it says so
+  (``retryable: true`` — the ``overloaded`` and ``deadline_exceeded``
+  codes, where the server guarantees the request never reached the
+  pricing core). A rejected bid or malformed envelope is a verdict, not
+  a transient — retrying it could double-submit; it is returned as-is.
+- Transport failures are retried only when they cannot have half-applied
+  a mutation: a refused connection (the request never left) always
+  retries; a *fresh* connection that died mid-exchange retries only for
+  read-only kinds (``RunQuery``, ``AdviseRequest``, ``LedgerQuery``) —
+  a mutating envelope may or may not have been committed, and the
+  caller, not this client, must decide. A **reused** keep-alive
+  connection that closes without a response is the idle-timeout race
+  (the server guarantees a response before closing any connection whose
+  request it processed), so that one retries freshly for every kind.
+- Backoff is capped exponential with **full jitter** (decorrelates a
+  thundering herd after a shed) and never waits less than the server's
+  own ``retry_after`` hint.
+
+When transport-level retries are exhausted the client raises
+:class:`GatewayUnavailable`. A *typed* shed that outlives its retries
+(the server kept answering ``overloaded``) is returned as the final
+:class:`ErrorReply` instead — errors travel as data here, same as
+everywhere else in the gateway.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+
+from repro.errors import ReproError
+from repro.gateway.envelopes import (
+    Reply,
+    Request,
+    reply_from_dict,
+    to_dict,
+)
+from repro.gateway.server import HEALTH_PATH, DEADLINE_HEADER, path_for_kind
+
+__all__ = ["GatewayClient", "GatewayUnavailable", "READ_ONLY_KINDS"]
+
+#: Request kinds with no durable effect: safe to retry after a torn
+#: exchange, because replaying them cannot double-charge anyone.
+READ_ONLY_KINDS = frozenset({"RunQuery", "AdviseRequest", "LedgerQuery"})
+
+
+class GatewayUnavailable(ReproError):
+    """Retries exhausted (or retrying would risk a duplicated effect)."""
+
+
+class GatewayClient:
+    """One keep-alive connection to a gateway server.
+
+    ``max_attempts`` bounds tries per request (first try included);
+    ``base_delay``/``max_delay`` shape the capped-exponential backoff;
+    ``rng`` injects determinism into the jitter for tests. Not
+    thread-safe — one client per thread, like the underlying
+    ``http.client`` connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        max_attempts: int = 5,
+        base_delay: float = 0.02,
+        max_delay: float = 1.0,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------ public --
+
+    def request(self, request: Request, *, deadline: float | None = None) -> Reply:
+        """Send one envelope, honoring the retry policy; returns the
+        decoded reply. ``deadline`` (seconds) is forwarded as the
+        ``X-Repro-Deadline`` header."""
+        payload = to_dict(request)
+        path = path_for_kind(payload["kind"])
+        read_only = payload["kind"] in READ_ONLY_KINDS
+        body = json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"}
+        if deadline is not None:
+            headers[DEADLINE_HEADER] = repr(float(deadline))
+
+        last_failure = ""
+        last_shed: Reply | None = None
+        for attempt in range(self.max_attempts):
+            sent = False
+            fresh = False
+            try:
+                conn, fresh = self._connection()
+                sent = True  # past here a mutation may have landed
+                conn.request("POST", path, body=body, headers=headers)
+                raw = self._read_response(conn)
+            except ConnectionRefusedError as exc:
+                # Nothing listening: the request never left this process.
+                self._drop_connection()
+                last_failure = f"connection refused: {exc}"
+            except (OSError, http.client.HTTPException) as exc:
+                self._drop_connection()
+                if sent and not read_only and fresh:
+                    raise GatewayUnavailable(
+                        f"connection to {self.host}:{self.port} died "
+                        f"mid-exchange on a mutating {payload['kind']}; "
+                        "the server may or may not have committed it — "
+                        "not retrying"
+                    ) from exc
+                last_failure = f"transport failure: {exc}"
+            else:
+                reply = reply_from_dict(raw)
+                if not getattr(reply, "retryable", False):
+                    return reply
+                last_shed = reply  # typed shed; worth another try
+                hint = getattr(reply, "retry_after", 0.0)
+                self._backoff(attempt, floor=hint)
+                continue
+            self._backoff(attempt)
+        if last_shed is not None:
+            return last_shed  # still typed data, not an exception
+        raise GatewayUnavailable(
+            f"{self.max_attempts} attempts to {self.host}:{self.port}"
+            f"{path} all failed; last: {last_failure}"
+        )
+
+    def health(self) -> dict:
+        """One GET of ``/v1/healthz`` (raw counters dict); retried only
+        across the stale keep-alive race, never on a fresh connection."""
+        while True:
+            conn, fresh = self._connection()
+            try:
+                conn.request("GET", HEALTH_PATH)
+                return self._read_response(conn)
+            except (OSError, http.client.HTTPException):
+                self._drop_connection()
+                if fresh:
+                    raise
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # ----------------------------------------------------------- innards --
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The keep-alive connection plus whether it was opened just now
+        (a reused one may have been idle-closed by the server)."""
+        if self._conn is not None:
+            return self._conn, False
+        self._conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        self._conn.connect()
+        return self._conn, True
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def _read_response(self, conn) -> dict:
+        response = conn.getresponse()
+        body = response.read()
+        if response.will_close:
+            self._drop_connection()
+        return json.loads(body)
+
+    def _backoff(self, attempt: int, *, floor: float = 0.0) -> None:
+        """Capped exponential with full jitter, never below ``floor``."""
+        if attempt >= self.max_attempts - 1:
+            return  # no point sleeping before giving up
+        ceiling = min(self.max_delay, self.base_delay * (2**attempt))
+        self._sleep(max(self._rng.uniform(0, ceiling), floor))

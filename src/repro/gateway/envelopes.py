@@ -11,7 +11,7 @@ Wire shape
 ----------
 A serialized envelope is a flat JSON object::
 
-    {"api": "1.3", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
+    {"api": "1.4", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
 
 ``api`` is :data:`API_VERSION` (checked on decode; a mismatch raises
 :class:`~repro.errors.ProtocolError` with code ``"version"``), ``kind``
@@ -34,8 +34,10 @@ from typing import Mapping
 
 from repro.errors import (
     BidError,
+    DeadlineError,
     GameConfigError,
     MechanismError,
+    OverloadedError,
     ProtocolError,
     QueryError,
     RecoveryError,
@@ -64,6 +66,7 @@ __all__ = [
     "LedgerReply",
     "ErrorReply",
     "ERROR_CODES",
+    "RETRYABLE_CODES",
     "error_code",
     "to_dict",
     "request_from_dict",
@@ -74,8 +77,11 @@ __all__ = [
 #: Protocol version every envelope carries. Bumped on any incompatible
 #: change to an envelope's fields or semantics; decode rejects mismatches.
 #: 1.3 added epoch plumbing: ``RunQuery.as_of`` and the ``epoch`` field on
-#: :class:`QueryReply` and :class:`AdviseReply`.
-API_VERSION = "1.3"
+#: :class:`QueryReply` and :class:`AdviseReply`. 1.4 added the serving
+#: layer's load-shedding surface: the ``overloaded``/``deadline_exceeded``
+#: error codes and the ``retryable``/``retry_after`` fields on
+#: :class:`ErrorReply`.
+API_VERSION = "1.4"
 
 #: Query kinds :class:`RunQuery` accepts (the astronomy workload surface).
 QUERY_KINDS = ("members", "histogram", "top", "chain", "contributors")
@@ -413,8 +419,17 @@ ERROR_CODES: tuple = (
     (QueryError, "query"),
     (ProtocolError, "protocol"),
     (RecoveryError, "recovery"),
+    (OverloadedError, "overloaded"),
+    (DeadlineError, "deadline_exceeded"),
     (ReproError, "internal"),
 )
+
+#: Codes a client may retry without risking a duplicated effect: the
+#: request was shed *before* it reached the pricing core. Everything else
+#: (a rejected bid, a malformed envelope, a failed query) is a verdict on
+#: the request itself — retrying a non-idempotent rejected bid could
+#: double-schedule it, so those codes never mark themselves retryable.
+RETRYABLE_CODES = frozenset({"overloaded", "deadline_exceeded"})
 
 
 def error_code(exc: BaseException) -> str:
@@ -430,17 +445,35 @@ def error_code(exc: BaseException) -> str:
 @dataclass(frozen=True)
 class ErrorReply(Reply):
     """A request failed; ``code`` is stable across releases, ``message``
-    is human-oriented and free to change."""
+    is human-oriented and free to change.
+
+    ``retryable`` is *derived* from the code (:data:`RETRYABLE_CODES`) at
+    construction — the wire field exists so remote clients can branch on
+    one boolean without carrying the code table, but a decoded envelope
+    always agrees with its code; a forged mismatch is normalized away.
+    ``retry_after`` is the server's back-off hint in seconds (0 when it
+    has none), only meaningful on retryable codes.
+    """
 
     code: str
     message: str
     request_kind: str = ""
+    retryable: bool = False
+    retry_after: float = 0.0
+
+    def _normalize(self) -> None:
+        object.__setattr__(self, "code", str(self.code))
+        object.__setattr__(self, "retryable", self.code in RETRYABLE_CODES)
+        object.__setattr__(self, "retry_after", float(self.retry_after))
 
     @classmethod
     def of(cls, exc: BaseException, request_kind: str = "") -> "ErrorReply":
         """Map one exception onto its wire reply."""
         return cls(
-            code=error_code(exc), message=str(exc), request_kind=request_kind
+            code=error_code(exc),
+            message=str(exc),
+            request_kind=request_kind,
+            retry_after=getattr(exc, "retry_after", 0.0),
         )
 
 

@@ -227,6 +227,7 @@ class PricingService:
         self._wal = None  # WalWriter once attach_wal()/recover() ran
         self._wal_dir: Path | None = None
         self._checkpoint_every: int | None = None
+        self._retain_checkpoints: int | None = None
         self._records_since_checkpoint = 0
         # Ordered envelopes that rebuilt the current fleet; the checkpoint
         # serializes this (at capture time — appends stay O(1) so the bulk
@@ -715,15 +716,25 @@ class PricingService:
         if self._fleet_history is not None:
             self._fleet_history.append({"request": request})
 
-    def attach_wal(self, directory, *, checkpoint_every: int | None = None):
+    def attach_wal(
+        self,
+        directory,
+        *,
+        checkpoint_every: int | None = None,
+        retain_checkpoints: int | None = None,
+    ):
         """Make this service durable: every dispatch logs to ``directory``.
 
         Writes a base checkpoint of the *current* state (so state built
         before attaching — preloaded tables, an open period — is covered)
         and then appends every accepted envelope to ``wal.jsonl`` before
         its effects apply. ``checkpoint_every`` automatically checkpoints
-        after that many WAL records. The directory must not already hold
-        a WAL — recover an existing one with :meth:`recover`.
+        after that many WAL records. ``retain_checkpoints=N`` turns on
+        log compaction: each checkpoint seals the active file into a
+        rotation segment and deletes checkpoints beyond the newest ``N``
+        plus every segment they made redundant
+        (:mod:`repro.gateway.wal.rotate`). The directory must not already
+        hold a WAL — recover an existing one with :meth:`recover`.
         """
         from repro.gateway.wal.records import WAL_FILENAME
         from repro.gateway.wal.writer import WalWriter
@@ -748,15 +759,27 @@ class PricingService:
                 "use PricingService.recover() instead of attaching a "
                 "fresh WAL over it"
             )
+        if retain_checkpoints is not None and int(retain_checkpoints) < 1:
+            raise GameConfigError(
+                f"retain_checkpoints must be >= 1, got {retain_checkpoints}"
+            )
         self._wal = WalWriter(directory / WAL_FILENAME, probe=self._probe)
         self._wal_dir = directory
         self._checkpoint_every = checkpoint_every
+        self._retain_checkpoints = retain_checkpoints
         self._records_since_checkpoint = 0
         self.checkpoint()
         return directory
 
     def checkpoint(self) -> Path:
-        """Write a checkpoint covering everything logged so far."""
+        """Write a checkpoint covering everything logged so far.
+
+        With ``retain_checkpoints`` set, the checkpoint fsync is followed
+        by log rotation and garbage collection: the active file is sealed
+        into a segment and history fully covered by an aged-out
+        checkpoint is deleted. The order matters — the new checkpoint is
+        durable before anything it replaces is touched.
+        """
         from repro.gateway.wal.checkpoint import capture_state, write_checkpoint
 
         if self._wal is None:
@@ -767,8 +790,29 @@ class PricingService:
         state = capture_state(self, wal_seq=self._wal.last_seq)
         path = write_checkpoint(self._wal_dir, state, probe=self._probe)
         self._records_since_checkpoint = 0
+        if self._retain_checkpoints is not None:
+            self.wal_gc(self._retain_checkpoints)
         self._probe("checkpoint:done")
         return path
+
+    def wal_gc(self, retain_checkpoints: int):
+        """Rotate the active WAL file and garbage-collect covered history.
+
+        Seals the active file into a range-named segment, then deletes
+        checkpoints beyond the newest ``retain_checkpoints`` and every
+        sealed segment fully covered by the oldest survivor. Returns the
+        :class:`~repro.gateway.wal.rotate.GcReport` of what was removed.
+        Nothing the surviving checkpoints might need is ever deleted, so
+        this is safe to run at any point after a checkpoint.
+        """
+        from repro.gateway.wal.rotate import collect_garbage
+
+        if self._wal is None:
+            raise GameConfigError(
+                "no WAL is attached; attach_wal() before compacting"
+            )
+        self._wal.rotate()
+        return collect_garbage(self._wal_dir, retain_checkpoints)
 
     def _maybe_checkpoint(self) -> None:
         if (
@@ -779,7 +823,13 @@ class PricingService:
             self.checkpoint()
 
     @classmethod
-    def recover(cls, directory, *, checkpoint_every: int | None = None):
+    def recover(
+        cls,
+        directory,
+        *,
+        checkpoint_every: int | None = None,
+        retain_checkpoints: int | None = None,
+    ):
         """Rebuild the service persisted in ``directory`` after a crash.
 
         Restores the newest valid checkpoint, replays the WAL tail, and
@@ -788,7 +838,11 @@ class PricingService:
         """
         from repro.gateway.wal.recovery import recover as _recover
 
-        return _recover(directory, checkpoint_every=checkpoint_every)
+        return _recover(
+            directory,
+            checkpoint_every=checkpoint_every,
+            retain_checkpoints=retain_checkpoints,
+        )
 
     def _adopt_wal(
         self,
@@ -797,6 +851,8 @@ class PricingService:
         next_seq: int,
         checkpoint_every: int | None,
         records_since: int,
+        file_first_seq: int | None = None,
+        retain_checkpoints: int | None = None,
     ) -> None:
         """Re-attach the WAL of a just-recovered service (recovery only)."""
         from repro.gateway.wal.records import WAL_FILENAME
@@ -804,10 +860,14 @@ class PricingService:
 
         directory = Path(directory)
         self._wal = WalWriter(
-            directory / WAL_FILENAME, next_seq=next_seq, probe=self._probe
+            directory / WAL_FILENAME,
+            next_seq=next_seq,
+            file_first_seq=file_first_seq,
+            probe=self._probe,
         )
         self._wal_dir = directory
         self._checkpoint_every = checkpoint_every
+        self._retain_checkpoints = retain_checkpoints
         self._records_since_checkpoint = records_since
 
     # ---------------------------------------------------------- bulk path --

@@ -17,6 +17,8 @@ Modules:
   through the gateway codec.
 - :mod:`~repro.gateway.wal.recovery` — checkpoint + tail replay, torn
   line truncation, corruption refusal.
+- :mod:`~repro.gateway.wal.rotate` — segment rotation at checkpoint
+  time and retain-N garbage collection of aged checkpoints/segments.
 
 ``PricingService.attach_wal`` / ``PricingService.recover`` are the
 user-facing entry points; see API.md's "Durability and recovery".
@@ -39,7 +41,15 @@ from repro.gateway.wal.records import (
     encode_record,
     iter_jsonl,
 )
-from repro.gateway.wal.recovery import read_wal, recover
+from repro.gateway.wal.recovery import WalLog, read_log, read_wal, recover
+from repro.gateway.wal.rotate import (
+    SEGMENT_GLOB,
+    GcReport,
+    collect_garbage,
+    list_segments,
+    segment_path,
+    segment_range,
+)
 from repro.gateway.wal.writer import WalWriter
 
 __all__ = [
@@ -58,5 +68,13 @@ __all__ = [
     "load_checkpoint",
     "restore_service",
     "read_wal",
+    "read_log",
+    "WalLog",
     "recover",
+    "SEGMENT_GLOB",
+    "segment_path",
+    "segment_range",
+    "list_segments",
+    "GcReport",
+    "collect_garbage",
 ]

@@ -7,23 +7,34 @@ record after the checkpoint's ``wal_seq`` in order, truncates a torn
 final line, and hands the service a writer positioned at the next
 sequence number.
 
+The log may span several files: sealed, range-named segments from
+rotation (:mod:`repro.gateway.wal.rotate`) plus the active
+``wal.jsonl``. :func:`read_log` stitches them into one contiguous record
+stream; :func:`read_wal` remains the single-file reader trace tooling
+uses.
+
 The failure policy is strict where it must be and tolerant where a crash
 legitimately leaves debris:
 
-- A **torn final line** (no trailing newline, unparsable or failing its
-  CRC) is the signature of a crash mid-append; the record never became
-  durable, so it is dropped and the file truncated back to the last
-  valid prefix.
-- **Anything wrong earlier in the file** — flipped bytes, duplicated or
+- A **torn final line of the active file** (no trailing newline,
+  unparsable or failing its CRC) is the signature of a crash mid-append;
+  the record never became durable, so it is dropped and the file
+  truncated back to the last valid prefix. Sealed segments get no such
+  tolerance — they were fsync'd whole at rotation, so any flaw is
+  corruption.
+- **Anything wrong earlier in a file** — flipped bytes, duplicated or
   gapped sequence numbers, junk lines — means the log cannot be trusted
   and recovery refuses with :class:`~repro.errors.RecoveryError`.
-- A checkpoint whose ``wal_seq`` points **past the end of the WAL** is
+- A checkpoint whose ``wal_seq`` points **past the end of the log** is
   also fatal: the log has lost durable records and replaying a shorter
-  history would silently un-charge tenants.
+  history would silently un-charge tenants. Symmetrically, a log whose
+  first surviving record starts **after** ``wal_seq + 1`` (history
+  garbage-collected past the checkpoint that needs it) is refused.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import RecoveryError, ReproError
@@ -39,17 +50,18 @@ from repro.gateway.wal.records import (
     decode_record,
     iter_jsonl,
 )
+from repro.gateway.wal.rotate import list_segments
 
-__all__ = ["read_wal", "recover"]
+__all__ = ["WalLog", "read_wal", "read_log", "recover"]
 
 
-def read_wal(path) -> tuple[list[WalRecord], int]:
-    """All durable records of one WAL plus the byte length they span.
+def _read_file(path, *, expect_first=None, torn_tail_ok=True):
+    """Durable records of one WAL file plus the byte length they span.
 
-    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
-    offset just past the last valid record — a torn final line (crash
-    mid-append) sits beyond it and is tolerated; every other framing
-    violation raises :class:`~repro.errors.RecoveryError`.
+    ``expect_first`` pins the sequence the file must start with
+    (``None`` accepts any — the caller judges coverage separately);
+    ``torn_tail_ok`` tolerates a crash-torn final line, which is only
+    legitimate in the active file.
     """
     path = Path(path)
     if not path.exists():
@@ -58,33 +70,116 @@ def read_wal(path) -> tuple[list[WalRecord], int]:
     valid_bytes = 0
     lines = list(iter_jsonl(path))
     for index, line in enumerate(lines):
-        torn_tail_ok = index == len(lines) - 1 and not line.complete
+        torn_ok = torn_tail_ok and index == len(lines) - 1 and not line.complete
         if line.error is not None:
-            if torn_tail_ok:
+            if torn_ok:
                 break
             raise RecoveryError(
-                f"WAL line {line.lineno} is corrupt: {line.error}"
+                f"{path.name} line {line.lineno} is corrupt: {line.error}"
             )
         try:
             record = decode_record(line.payload)
         except RecoveryError as exc:
-            if torn_tail_ok:
+            if torn_ok:
                 break
-            raise RecoveryError(f"WAL line {line.lineno}: {exc}") from None
-        expected = records[-1].seq + 1 if records else 1
-        if record.seq == expected - 1 and records:
             raise RecoveryError(
-                f"WAL line {line.lineno} duplicates sequence number "
-                f"{record.seq}"
-            )
-        if record.seq != expected:
+                f"{path.name} line {line.lineno}: {exc}"
+            ) from None
+        expected = records[-1].seq + 1 if records else expect_first
+        if expected is not None and record.seq != expected:
+            if record.seq == expected - 1 and records:
+                raise RecoveryError(
+                    f"{path.name} line {line.lineno} duplicates sequence "
+                    f"number {record.seq}"
+                )
             raise RecoveryError(
-                f"WAL line {line.lineno} has sequence {record.seq}; "
+                f"{path.name} line {line.lineno} has sequence {record.seq}; "
                 f"expected {expected} (gap or reordering)"
             )
         records.append(record)
         valid_bytes = line.end_offset
     return records, valid_bytes
+
+
+def read_wal(path) -> tuple[list[WalRecord], int]:
+    """All durable records of one WAL file plus the byte length they span.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    offset just past the last valid record — a torn final line (crash
+    mid-append) sits beyond it and is tolerated; every other framing
+    violation raises :class:`~repro.errors.RecoveryError`. The file must
+    start at sequence 1; for rotated directories use :func:`read_log`.
+    """
+    return _read_file(path, expect_first=1, torn_tail_ok=True)
+
+
+@dataclass
+class WalLog:
+    """One WAL directory's durable history, stitched across files."""
+
+    records: list[WalRecord]
+    segments: list[Path]
+    active_first_seq: int  # first seq the active file holds (next_seq if none)
+    active_valid_bytes: int  # offset past the active file's last valid record
+
+    @property
+    def first_seq(self) -> int:
+        """Sequence of the oldest surviving record (0 when the log is empty)."""
+        return self.records[0].seq if self.records else 0
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence of the newest surviving record (0 when the log is empty)."""
+        return self.records[-1].seq if self.records else 0
+
+
+def read_log(directory) -> WalLog:
+    """Every durable record of a WAL directory: sealed segments in range
+    order, then the active file, verified contiguous across the seams.
+
+    A sealed segment must hold exactly the range its name claims; only
+    the active file may end in a torn line. The stream may *start* at any
+    sequence (garbage collection deletes from the oldest end) — whether a
+    checkpoint bridges the discarded prefix is :func:`recover`'s call.
+    """
+    directory = Path(directory)
+    records: list[WalRecord] = []
+    segment_paths: list[Path] = []
+    expected = None
+    for first, last, path in list_segments(directory):
+        if expected is not None and first != expected:
+            raise RecoveryError(
+                f"WAL segment {path.name} starts at sequence {first}; "
+                f"expected {expected} (a middle segment is missing)"
+            )
+        seg_records, _ = _read_file(
+            path, expect_first=first, torn_tail_ok=False
+        )
+        if not seg_records or seg_records[-1].seq != last:
+            held = seg_records[-1].seq if seg_records else "none"
+            raise RecoveryError(
+                f"WAL segment {path.name} claims records {first}..{last} "
+                f"but ends at {held}: a sealed segment was truncated"
+            )
+        records.extend(seg_records)
+        segment_paths.append(path)
+        expected = last + 1
+    active_records, valid_bytes = _read_file(
+        directory / WAL_FILENAME, expect_first=expected, torn_tail_ok=True
+    )
+    records.extend(active_records)
+    if active_records:
+        active_first = active_records[0].seq
+    elif expected is not None:
+        active_first = expected
+    else:
+        active_first = 0  # empty file, nothing to anchor; caller decides
+    return WalLog(
+        records=records,
+        segments=segment_paths,
+        active_first_seq=active_first,
+        active_valid_bytes=valid_bytes,
+    )
 
 
 def _replay_record(service, record: WalRecord) -> None:
@@ -108,21 +203,27 @@ def _replay_record(service, record: WalRecord) -> None:
         service.dispatch(requests[0])
 
 
-def recover(directory, *, checkpoint_every: int | None = None):
+def recover(
+    directory,
+    *,
+    checkpoint_every: int | None = None,
+    retain_checkpoints: int | None = None,
+):
     """Rebuild the service persisted in ``directory`` after a crash.
 
     Loads the newest checkpoint that verifies, replays the WAL records
-    past its ``wal_seq``, truncates any torn final line, and returns a
-    live :class:`PricingService` with the WAL re-attached (appending at
-    the next sequence number). ``checkpoint_every`` re-arms automatic
-    checkpointing on the recovered service.
+    past its ``wal_seq``, truncates any torn final line of the active
+    file, and returns a live :class:`PricingService` with the WAL
+    re-attached (appending at the next sequence number).
+    ``checkpoint_every`` re-arms automatic checkpointing and
+    ``retain_checkpoints`` re-arms rotation + garbage collection on the
+    recovered service.
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise RecoveryError(f"no WAL directory at {directory}")
-    wal_path = directory / WAL_FILENAME
-    records, valid_bytes = read_wal(wal_path)
-    last_seq = records[-1].seq if records else 0
+    log = read_log(directory)
+    last_seq = log.last_seq
 
     candidates = sorted(directory.glob(CHECKPOINT_GLOB), reverse=True)
     if not candidates:
@@ -139,13 +240,33 @@ def recover(directory, *, checkpoint_every: int | None = None):
         except RecoveryError as exc:
             failures.append(str(exc))
             continue
-        if loaded["wal_seq"] > last_seq:
+        if log.records and loaded["wal_seq"] > last_seq:
             raise RecoveryError(
                 f"checkpoint {candidate.name} covers WAL sequence "
                 f"{loaded['wal_seq']} but the log ends at {last_seq}: "
                 "durable records are missing; refusing to serve a "
                 "shorter history"
             )
+        if not log.records and loaded["wal_seq"] > 0:
+            # Post-GC steady state: everything the checkpoint covers was
+            # compacted away. Legitimate only if rotation left its fresh
+            # active file behind; a *missing* wal.jsonl means the log was
+            # deleted out from under the checkpoint.
+            if not (directory / WAL_FILENAME).exists():
+                raise RecoveryError(
+                    f"checkpoint {candidate.name} covers WAL sequence "
+                    f"{loaded['wal_seq']} but {WAL_FILENAME} is missing: "
+                    "durable records are missing; refusing to serve a "
+                    "shorter history"
+                )
+        if log.records and loaded["wal_seq"] < log.first_seq - 1:
+            failures.append(
+                f"{candidate.name} covers WAL sequence {loaded['wal_seq']} "
+                f"but the surviving log starts at {log.first_seq}: records "
+                f"{loaded['wal_seq'] + 1}..{log.first_seq - 1} were "
+                "garbage-collected past it"
+            )
+            continue
         state = loaded
         break
     if state is None:
@@ -154,19 +275,23 @@ def recover(directory, *, checkpoint_every: int | None = None):
         )
 
     service = restore_service(state)
-    for record in records:
+    for record in log.records:
         if record.seq > state["wal_seq"]:
             _replay_record(service, record)
 
+    wal_path = directory / WAL_FILENAME
     if wal_path.exists():
         size = wal_path.stat().st_size
-        if valid_bytes < size:
+        if log.active_valid_bytes < size:
             with open(wal_path, "rb+") as handle:
-                handle.truncate(valid_bytes)
+                handle.truncate(log.active_valid_bytes)
+    next_seq = max(last_seq, state["wal_seq"]) + 1
     service._adopt_wal(
         directory,
-        next_seq=last_seq + 1,
+        next_seq=next_seq,
+        file_first_seq=log.active_first_seq or next_seq,
         checkpoint_every=checkpoint_every,
-        records_since=last_seq - state["wal_seq"],
+        retain_checkpoints=retain_checkpoints,
+        records_since=max(last_seq - state["wal_seq"], 0),
     )
     return service

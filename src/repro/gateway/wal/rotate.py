@@ -1,0 +1,157 @@
+"""Log rotation and compaction: sealed WAL segments plus checkpoint GC.
+
+Without rotation a durable service's ``wal.jsonl`` grows forever even
+though every checkpoint makes the records before it redundant. With
+``attach_wal(..., retain_checkpoints=N)`` the service rotates at every
+checkpoint: the active file is sealed into an immutable *segment* named
+for the sequence range it covers::
+
+    wal-000000000001-000000000042.jsonl   (records 1..42, sealed)
+    wal.jsonl                             (active, records 43..)
+
+and :func:`collect_garbage` then deletes (a) checkpoints beyond the
+newest ``N`` and (b) every sealed segment whose records are fully
+covered by the *oldest retained* checkpoint — recovery can never need
+them, because even its deepest fallback starts at that checkpoint.
+
+Deletion is the only destructive operation in the WAL subsystem, so it
+is guarded twice: the newest retained checkpoint must verify
+(:func:`~repro.gateway.wal.checkpoint.load_checkpoint`) before anything
+is removed, and a segment is only removed when its recorded range is
+entirely at or below the retained floor. A directory that was never
+rotated (one monolithic ``wal.jsonl``) gains nothing from GC and loses
+nothing: the active file is never deleted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import RecoveryError
+
+__all__ = [
+    "SEGMENT_GLOB",
+    "segment_path",
+    "segment_range",
+    "list_segments",
+    "checkpoint_seq",
+    "GcReport",
+    "collect_garbage",
+]
+
+#: How sealed segments are named inside a WAL directory. The active file
+#: (``wal.jsonl``) deliberately does not match.
+SEGMENT_GLOB = "wal-*.jsonl"
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{12})-(\d{12})\.jsonl$")
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.json$")
+
+
+def segment_path(directory, first_seq: int, last_seq: int) -> Path:
+    """Where the sealed segment covering ``first_seq..last_seq`` lives."""
+    return Path(directory) / (
+        f"wal-{int(first_seq):012d}-{int(last_seq):012d}.jsonl"
+    )
+
+
+def segment_range(path) -> tuple[int, int]:
+    """The ``(first_seq, last_seq)`` a segment's name claims to cover."""
+    match = _SEGMENT_RE.match(Path(path).name)
+    if match is None:
+        raise RecoveryError(
+            f"{Path(path).name} is not a WAL segment name "
+            "(expected wal-<first>-<last>.jsonl)"
+        )
+    first, last = int(match.group(1)), int(match.group(2))
+    if first < 1 or last < first:
+        raise RecoveryError(
+            f"segment {Path(path).name} claims an impossible range "
+            f"{first}..{last}"
+        )
+    return first, last
+
+
+def list_segments(directory) -> list[tuple[int, int, Path]]:
+    """Every sealed segment of a WAL directory, ordered by first seq.
+
+    Overlapping ranges are a framing violation (two segments cannot both
+    hold the same record) and raise :class:`~repro.errors.RecoveryError`;
+    gaps are legal — GC deletes from the oldest end — and are judged by
+    recovery against the checkpoint floor, not here.
+    """
+    segments = sorted(
+        (*segment_range(path), path)
+        for path in Path(directory).glob(SEGMENT_GLOB)
+    )
+    for (_, last, path), (first, _, nxt) in zip(segments, segments[1:]):
+        if first <= last:
+            raise RecoveryError(
+                f"WAL segments {path.name} and {nxt.name} overlap"
+            )
+    return segments
+
+
+def checkpoint_seq(path) -> int:
+    """The WAL sequence a checkpoint's file name claims to cover."""
+    match = _CHECKPOINT_RE.match(Path(path).name)
+    if match is None:
+        raise RecoveryError(
+            f"{Path(path).name} is not a checkpoint name "
+            "(expected checkpoint-<wal_seq>.json)"
+        )
+    return int(match.group(1))
+
+
+@dataclass
+class GcReport:
+    """What one :func:`collect_garbage` pass removed and kept."""
+
+    retained_checkpoints: list[Path] = field(default_factory=list)
+    removed_checkpoints: list[Path] = field(default_factory=list)
+    removed_segments: list[Path] = field(default_factory=list)
+    floor: int = 0  # wal_seq of the oldest retained checkpoint
+
+    @property
+    def removed(self) -> int:
+        return len(self.removed_checkpoints) + len(self.removed_segments)
+
+
+def collect_garbage(directory, retain_checkpoints: int) -> GcReport:
+    """Age out checkpoints beyond the newest ``retain_checkpoints`` and
+    delete every sealed segment they made redundant.
+
+    Refuses (:class:`~repro.errors.RecoveryError`) when the newest
+    retained checkpoint does not verify — deleting history under a
+    directory whose only good checkpoints are the aged ones would turn a
+    recoverable service into an unrecoverable one.
+    """
+    from repro.gateway.wal.checkpoint import CHECKPOINT_GLOB, load_checkpoint
+
+    retain = int(retain_checkpoints)
+    if retain < 1:
+        raise RecoveryError(
+            f"retain_checkpoints must be >= 1, got {retain_checkpoints}"
+        )
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise RecoveryError(f"no WAL directory at {directory}")
+    checkpoints = sorted(directory.glob(CHECKPOINT_GLOB))
+    report = GcReport()
+    if not checkpoints:
+        return report
+    report.retained_checkpoints = checkpoints[-retain:]
+    aged = checkpoints[: -retain or None] if len(checkpoints) > retain else []
+    # The gate: the newest survivor must actually restore before anything
+    # it supposedly covers is destroyed.
+    load_checkpoint(report.retained_checkpoints[-1])
+    report.floor = checkpoint_seq(report.retained_checkpoints[0])
+    for path in aged:
+        path.unlink()
+        report.removed_checkpoints.append(path)
+    for first, last, path in list_segments(directory):
+        if last <= report.floor:
+            path.unlink()
+            report.removed_segments.append(path)
+    return report

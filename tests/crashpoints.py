@@ -27,8 +27,7 @@ from __future__ import annotations
 
 from repro.gateway import codec
 from repro.gateway.envelopes import to_dict
-from repro.gateway.wal.records import WAL_FILENAME
-from repro.gateway.wal.recovery import read_wal
+from repro.gateway.wal.recovery import read_log
 
 __all__ = [
     "SimulatedCrash",
@@ -98,9 +97,13 @@ def run_until_crash(service, steps) -> tuple[list, bool]:
 
 
 def durable_requests(wal_dir) -> int:
-    """How many request envelopes the WAL holds durably (batch-aware)."""
-    records, _ = read_wal(wal_dir / WAL_FILENAME)
-    return sum(len(record.requests) for record in records)
+    """How many request envelopes the WAL holds durably (batch-aware).
+
+    Reads the whole directory (rotated segments plus the active file) so
+    it stays honest for services running with ``retain_checkpoints``.
+    """
+    log = read_log(wal_dir)
+    return sum(len(record.requests) for record in log.records)
 
 
 def continuation(steps, done: int) -> list:

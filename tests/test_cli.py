@@ -67,9 +67,23 @@ class TestParser:
         assert str(args.trace) == "t.jsonl"
         assert args.strict and args.particles == 100
 
-    def test_serve_alias(self):
-        args = build_parser().parse_args(["serve", "t.jsonl"])
-        assert str(args.trace) == "t.jsonl"
+    def test_serve_is_no_longer_a_replay_alias(self):
+        # 'serve' once aliased 'replay'; it now starts the network
+        # server and takes no trace positional.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "t.jsonl"])
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-pending", "8",
+             "--max-delay", "0.01", "--wal-dir", "w"]
+        )
+        assert args.port == 0 and args.max_pending == 8
+        assert args.max_delay == 0.01 and str(args.wal_dir) == "w"
+
+    def test_wal_gc_flags(self):
+        args = build_parser().parse_args(["wal-gc", "w", "--retain", "3"])
+        assert str(args.wal_dir) == "w" and args.retain == 3
 
 
 class TestExecution:
@@ -129,14 +143,14 @@ class TestExecution:
 
 class TestReplayCommand:
     TRACE = [
-        {"api": "1.3", "kind": "Configure",
+        {"api": "1.4", "kind": "Configure",
          "optimizations": [["idx", 40.0]], "horizon": 3, "shards": 1},
-        {"api": "1.3", "kind": "SubmitBids", "tenant": "ann",
+        {"api": "1.4", "kind": "SubmitBids", "tenant": "ann",
          "bids": [["idx", 1, [30.0, 15.0]]]},
-        {"api": "1.3", "kind": "SubmitBids", "tenant": "bob",
+        {"api": "1.4", "kind": "SubmitBids", "tenant": "bob",
          "bids": [["idx", 1, [20.0]]]},
-        {"api": "1.3", "kind": "AdvanceSlots", "slots": 3},
-        {"api": "1.3", "kind": "LedgerQuery", "tenant": "ann"},
+        {"api": "1.4", "kind": "AdvanceSlots", "slots": 3},
+        {"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"},
     ]
 
     def _write(self, tmp_path, lines):
@@ -155,14 +169,26 @@ class TestReplayCommand:
             "ConfigReply", "BidsReply", "BidsReply", "SlotReply", "LedgerReply",
         ]
 
-    def test_serve_alias_runs_replay(self, tmp_path, capsys):
-        path = self._write(tmp_path, self.TRACE)
-        assert main(["serve", str(path)]) == 0
-        assert "5 replies" in capsys.readouterr().out
+    def test_serve_drains_on_sigterm(self, tmp_path, capsys):
+        # The repointed 'serve' runs the real network server: raise
+        # SIGTERM from a timer thread and the CLI must drain and exit 0.
+        import os
+        import signal
+        import threading
+
+        timer = threading.Timer(0.3, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            assert main(["serve", "--port", "0"]) == 0
+        finally:
+            timer.cancel()
+        out = capsys.readouterr().out
+        assert "serving on http://" in out
+        assert "drained" in out
 
     def test_strict_fails_on_errors(self, tmp_path, capsys):
         path = self._write(
-            tmp_path, self.TRACE + [{"api": "1.3", "kind": "Mystery"}]
+            tmp_path, self.TRACE + [{"api": "1.4", "kind": "Mystery"}]
         )
         assert main(["replay", str(path)]) == 0  # tolerant by default
         capsys.readouterr()
@@ -171,7 +197,7 @@ class TestReplayCommand:
 
     def test_replay_with_universe_queries(self, tmp_path, capsys):
         trace = [
-            {"api": "1.3", "kind": "RunQuery", "tenant": "ada",
+            {"api": "1.4", "kind": "RunQuery", "tenant": "ada",
              "query": "members", "table": "snap_02", "halo": 0},
         ]
         path = self._write(tmp_path, trace)
@@ -221,7 +247,26 @@ class TestDurabilityCommands:
         assert main(["recover", str(wal_dir)]) == 0
         assert "slot 3/3" in capsys.readouterr().out
 
+    def test_wal_gc_compacts_a_replayed_wal(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.TRACE)
+        wal_dir = tmp_path / "wal"
+        assert main(["replay", str(path), "--wal-dir", str(wal_dir),
+                     "--checkpoint-every", "2"]) == 0
+        capsys.readouterr()
+        assert main(["wal-gc", str(wal_dir), "--retain", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints kept" in out and "deleted" in out
+        # Everything before the fresh checkpoint is gone; recovery from
+        # the compacted directory still reproduces the final state.
+        assert main(["recover", str(wal_dir)]) == 0
+        assert "slot 3/3" in capsys.readouterr().out
+
+    def test_wal_gc_fails_cleanly_on_a_non_wal_directory(self, tmp_path, capsys):
+        assert main(["wal-gc", str(tmp_path)]) == 1
+        assert "wal-gc failed" in capsys.readouterr().out
+
     def test_list_mentions_durability_commands(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "recover" in out and "checkpoint" in out
+        assert "recover" in out and "checkpoint" in out and "wal-gc" in out
+        assert "serve" in out

@@ -35,7 +35,9 @@ from repro.cloudsim import CloudService, OptimizationCatalog
 from repro.db import CandidateView, Catalog, SavingsEstimator, Schema, Table
 from repro.errors import (
     BidError,
+    DeadlineError,
     MechanismError,
+    OverloadedError,
     QueryError,
     RevisionError,
     SchemaError,
@@ -49,12 +51,14 @@ from repro.gateway import (
     Configure,
     ErrorReply,
     LedgerQuery,
+    RETRYABLE_CODES,
     ReviseBid,
     RunQuery,
     SubmitBids,
     error_code,
     from_dict,
     replay,
+    reply_from_dict,
     request_from_dict,
     to_dict,
     write_trace,
@@ -440,7 +444,7 @@ class TestGatewayPreservesFleetPath:
         # On the wire, JSON lists decode to (hashable) tuples; a JSON
         # object is the unhashable case and must come back as data.
         reply = service.dispatch_dict(
-            {"api": "1.3", "kind": "LedgerQuery", "tenant": {"a": 1}}
+            {"api": "1.4", "kind": "LedgerQuery", "tenant": {"a": 1}}
         )
         assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
 
@@ -463,11 +467,11 @@ class TestGatewayPreservesFleetPath:
     def test_badly_typed_wire_fields_become_error_replies(self):
         service = PricingService({"idx": 40.0}, horizon=3)
         for payload in (
-            {"api": "1.3", "kind": "AdvanceSlots", "slots": "three"},
-            {"api": "1.3", "kind": "Configure", "optimizations": [], "horizon": "x"},
-            {"api": "1.3", "kind": "RunQuery", "tenant": "t", "query": "members",
+            {"api": "1.4", "kind": "AdvanceSlots", "slots": "three"},
+            {"api": "1.4", "kind": "Configure", "optimizations": [], "horizon": "x"},
+            {"api": "1.4", "kind": "RunQuery", "tenant": "t", "query": "members",
              "halo": "zero"},
-            {"api": "1.3", "kind": "AdviseRequest", "horizon": [1]},
+            {"api": "1.4", "kind": "AdviseRequest", "horizon": [1]},
         ):
             reply = service.dispatch_dict(payload)
             assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
@@ -717,9 +721,9 @@ class TestTraces:
             "\n".join(
                 [
                     "this is not json",
-                    '{"api": "1.3", "kind": "Mystery"}',
+                    '{"api": "1.4", "kind": "Mystery"}',
                     '{"api": "9.9", "kind": "AdvanceSlots", "slots": 1}',
-                    '{"api": "1.3", "kind": "AdvanceSlots", "slots": 1}',
+                    '{"api": "1.4", "kind": "AdvanceSlots", "slots": 1}',
                 ]
             )
             + "\n"
@@ -825,3 +829,127 @@ class TestServiceErrorPaths:
         survivor = members(as_of=pinned[1])
         assert not isinstance(survivor, ErrorReply)
         assert survivor.epoch == pinned[1]
+
+
+# ------------------------------------------------------ retryable contract --
+
+
+class TestRetryableContract:
+    """The serving-layer error codes and the ``retryable`` wire field."""
+
+    def test_serving_exceptions_map_to_their_codes(self):
+        assert error_code(OverloadedError("x")) == "overloaded"
+        assert error_code(DeadlineError("x")) == "deadline_exceeded"
+
+    def test_retryable_is_derived_from_the_code(self):
+        for _exc, code in (
+            (None, "overloaded"),
+            (None, "deadline_exceeded"),
+            (None, "bid"),
+            (None, "protocol"),
+            (None, "internal"),
+        ):
+            reply = ErrorReply(code=code, message="m", request_kind="SubmitBids")
+            assert reply.retryable is (code in RETRYABLE_CODES)
+
+    def test_retryable_codes_are_exactly_the_shed_codes(self):
+        # Only errors where the server *guarantees* the request never
+        # reached the pricing core may invite a retry — anything else
+        # could double-submit.
+        assert RETRYABLE_CODES == frozenset({"overloaded", "deadline_exceeded"})
+
+    def test_retry_after_rides_the_exception_into_the_reply(self):
+        reply = ErrorReply.of(OverloadedError("busy", retry_after=0.25))
+        assert reply.code == "overloaded"
+        assert reply.retryable is True
+        assert reply.retry_after == 0.25
+
+    def test_error_reply_round_trips_retry_fields(self):
+        for code, retry_after in [
+            ("overloaded", 0.05),
+            ("deadline_exceeded", 0.0),
+            ("bid", 0.0),
+        ]:
+            reply = ErrorReply(
+                code=code,
+                message="m",
+                request_kind="SubmitBids",
+                retry_after=retry_after,
+            )
+            wire = json.loads(json.dumps(to_dict(reply)))
+            assert wire["retryable"] is (code in RETRYABLE_CODES)
+            assert reply_from_dict(wire) == reply
+            assert roundtrip(reply) == reply
+
+    def test_legacy_error_wire_without_retryable_still_decodes(self):
+        # Replies recorded before the field existed (e.g. old traces)
+        # decode with retryable derived from their code.
+        wire = {
+            "api": API_VERSION,
+            "kind": "ErrorReply",
+            "code": "overloaded",
+            "message": "m",
+            "request_kind": "SubmitBids",
+        }
+        reply = reply_from_dict(wire)
+        assert reply.retryable is True
+
+
+# -------------------------------------------------- error-path trace replay --
+
+
+class TestErrorPathTraceReplay:
+    """Streams that mix requests with recorded error replies still replay."""
+
+    def _lines(self):
+        return [
+            to_dict(Configure(optimizations=(("idx", 40.0),), horizon=3)),
+            to_dict(SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))),
+            to_dict(
+                ErrorReply(
+                    code="overloaded",
+                    message="shed at the gateway",
+                    request_kind="SubmitBids",
+                    retry_after=0.05,
+                )
+            ),
+            to_dict(
+                ErrorReply(
+                    code="deadline_exceeded",
+                    message="cancelled before dispatch",
+                    request_kind="LedgerQuery",
+                )
+            ),
+            to_dict(AdvanceSlots(slots=3)),
+            to_dict(LedgerQuery(tenant="ann")),
+        ]
+
+    def test_replay_preserves_ordering_and_never_raises(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        lines = self._lines()
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        result = replay(iter_trace(path))
+        # One reply per line, in order: reply records are not requests,
+        # so they come back as typed protocol errors *in position* —
+        # the surrounding requests still apply.
+        assert len(result.replies) == len(lines)
+        kinds = [r["kind"] for r in result.replies]
+        assert kinds == [
+            "ConfigReply",
+            "BidsReply",
+            "ErrorReply",
+            "ErrorReply",
+            "SlotReply",
+            "LedgerReply",
+        ]
+        assert [r["code"] for r in result.errors] == ["protocol", "protocol"]
+        assert result.service.report().implemented == {"idx": 1}
+
+    def test_recorded_error_replies_decode_with_retry_fields(self):
+        for wire in self._lines():
+            if wire["kind"] != "ErrorReply":
+                continue
+            reply = reply_from_dict(json.loads(json.dumps(wire)))
+            assert isinstance(reply, ErrorReply)
+            assert reply.retryable is True
+            assert reply.code in RETRYABLE_CODES

@@ -472,7 +472,7 @@ def test_binary_junk_in_a_trace_is_an_error_marker_not_a_crash(tmp_path):
     # UnicodeDecodeError out of iter_trace.
     path = tmp_path / "trace.jsonl"
     path.write_bytes(
-        b'\x80\x81\xfe\n{"api": "1.3", "kind": "LedgerQuery", "tenant": "ann"}\n'
+        b'\x80\x81\xfe\n{"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"}\n'
     )
     payloads = list(iter_trace(path))
     assert payloads[0]["kind"] == "<unparseable>"
@@ -573,3 +573,161 @@ def test_encoding_a_catalog_inside_an_epoch_batch_is_refused():
     with service.db.epoch_batch():
         with pytest.raises(ProtocolError, match="epoch_batch"):
             codec.encode(service.db)
+
+
+# ---------------------------------------------------- rotation + wal-gc --
+
+
+def _rotated_run(tmp, retain=2):
+    """A compacting durable run: checkpoint every 2 records, retain few.
+
+    Returns ``(directory, fingerprint_of_the_uncrashed_service)``.
+    """
+    directory = Path(tmp)
+    service = _service()
+    service.attach_wal(
+        directory, checkpoint_every=2, retain_checkpoints=retain
+    )
+    run_steps(
+        service,
+        [
+            Configure(optimizations=OPTS, horizon=4),
+            _submit("ann", "idx", 1, (30.0, 30.0)),
+            _submit("bob", "mv", 1, (25.0,), revisable=True),
+            [_submit("cara", "idx", 2, (10.0,)), _submit("dan", "mv", 2, (5.0,))],
+            AdvanceSlots(slots=2),
+            LedgerQuery(tenant="ann"),
+            _submit("ann", "idx", 3, (17.5,)),
+            AdvanceSlots(slots=1),
+        ],
+    )
+    expected = fingerprint(service)
+    service.close()
+    return directory, expected
+
+
+def test_rotation_bounds_checkpoints_and_recovers_bit_identically(tmp_path):
+    directory, expected = _rotated_run(tmp_path, retain=2)
+    checkpoints = sorted(directory.glob("checkpoint-*.json"))
+    segments = sorted(directory.glob("wal-*.jsonl"))
+    assert len(checkpoints) <= 2  # compaction kept the retention bound
+    assert segments  # rotation actually sealed segments
+    recovered = PricingService.recover(directory)
+    assert fingerprint(recovered) == expected
+    recovered.close()
+
+
+def test_recovered_compacted_service_keeps_compacting(tmp_path):
+    directory, _ = _rotated_run(tmp_path, retain=1)
+    recovered = PricingService.recover(
+        directory, checkpoint_every=2, retain_checkpoints=1
+    )
+    run_steps(
+        recovered,
+        [_submit("bob", "mv", 4, (25.0,)), AdvanceSlots(slots=1)],
+    )
+    expected = fingerprint(recovered)
+    recovered.close()
+    assert len(list(directory.glob("checkpoint-*.json"))) == 1
+    again = PricingService.recover(directory)
+    assert fingerprint(again) == expected
+    again.close()
+
+
+def test_wal_gc_on_a_monolithic_log_is_idempotent(tmp_path):
+    # A directory written WITHOUT rotation compacts on demand.
+    directory = _durable_run(tmp=tmp_path)
+    service = PricingService.recover(directory)
+    expected = fingerprint(service)
+    service.checkpoint()
+    first = service.wal_gc(retain_checkpoints=1)
+    assert len(first.retained_checkpoints) == 1
+    assert first.removed  # the pre-gc history went away
+    second = service.wal_gc(retain_checkpoints=1)
+    assert not second.removed  # nothing left to collect
+    service.close()
+    recovered = PricingService.recover(directory)
+    assert fingerprint(recovered) == expected
+    recovered.close()
+
+
+def test_wal_gc_without_a_wal_is_a_config_error():
+    service = _service()
+    with pytest.raises(GameConfigError, match="attach_wal"):
+        service.wal_gc(retain_checkpoints=1)
+    service.close()
+
+
+def test_attach_wal_rejects_a_non_positive_retention():
+    service = _service()
+    with pytest.raises(GameConfigError):
+        service.attach_wal(tempfile.mkdtemp(), retain_checkpoints=0)
+    service.close()
+
+
+def test_gc_refuses_to_delete_when_the_kept_checkpoint_is_corrupt(tmp_path):
+    from repro.gateway.wal.rotate import collect_garbage
+
+    directory, _ = _rotated_run(tmp_path, retain=2)
+    keep = sorted(directory.glob("checkpoint-*.json"))[-1]
+    keep.write_bytes(keep.read_bytes()[:-7])
+    before = sorted(p.name for p in directory.iterdir())
+    with pytest.raises(RecoveryError):
+        collect_garbage(directory, retain_checkpoints=1)
+    # Verify-before-delete: a failed gc removed nothing.
+    assert sorted(p.name for p in directory.iterdir()) == before
+
+
+def test_torn_tail_in_a_sealed_segment_is_a_recovery_error(tmp_path):
+    directory, _ = _rotated_run(tmp_path)
+    segment = sorted(directory.glob("wal-*.jsonl"))[0]
+    segment.write_bytes(segment.read_bytes()[:-9])
+    with pytest.raises(RecoveryError) as excinfo:
+        PricingService.recover(directory)
+    # Only the ACTIVE file may have a torn tail (the crash wrote it);
+    # a sealed segment was fsync'd whole, so damage there is corruption.
+    assert segment.name in str(excinfo.value)
+
+
+def test_missing_segment_under_the_checkpoint_floor_is_tolerated(tmp_path):
+    # GC legitimately deletes covered segments; recovery must not demand
+    # them back as long as a checkpoint covers everything before the
+    # remaining files.
+    directory, expected = _rotated_run(tmp_path, retain=2)
+    recovered = PricingService.recover(directory)
+    assert fingerprint(recovered) == expected
+    recovered.close()
+
+
+def test_gap_between_surviving_segments_is_a_recovery_error(tmp_path):
+    # GC only ever deletes from the oldest end; a hole in the MIDDLE of
+    # the surviving history means someone lost records, not compaction.
+    directory, _ = _rotated_run(tmp_path, retain=10)  # keep everything
+    segments = sorted(directory.glob("wal-*.jsonl"))
+    assert len(segments) >= 3
+    segments[1].unlink()
+    with pytest.raises(RecoveryError):
+        PricingService.recover(directory)
+
+
+def test_overlapping_segment_names_are_a_recovery_error(tmp_path):
+    from repro.gateway.wal.rotate import list_segments
+
+    directory, _ = _rotated_run(tmp_path)
+    segment = sorted(directory.glob("wal-*.jsonl"))[0]
+    first, last = segment.name[len("wal-"):-len(".jsonl")].split("-")
+    clone = directory / f"wal-{first}-{int(last) + 1:012d}.jsonl"
+    clone.write_bytes(segment.read_bytes())
+    with pytest.raises(RecoveryError, match="overlap"):
+        list_segments(directory)
+
+
+def test_read_log_stitches_segments_and_active_file(tmp_path):
+    from repro.gateway.wal.recovery import read_log
+
+    directory, _ = _rotated_run(tmp_path, retain=2)
+    log = read_log(directory)
+    seqs = [record.seq for record in log.records]
+    assert seqs == list(range(log.first_seq, log.last_seq + 1))
+    assert log.segments  # some came from sealed segments
+    assert log.first_seq > 1  # gc really dropped the oldest history

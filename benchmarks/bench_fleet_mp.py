@@ -1,0 +1,125 @@
+"""Multi-process fleet scaling curve: the same period on 1..8 workers.
+
+Builds one columnar population (200 games, 1,000,000 users at full
+scale), runs it through :meth:`repro.fleet.FleetEngine.build` at every
+worker count on the curve, and asserts every pool's report bit-identical
+to the single-process engine's — payments, grants, implementations,
+per-game revenue, ledger, and event log — before any timing is trusted.
+The headline ratio is single-process seconds over 4-worker-pool seconds
+(2-worker in smoke mode).
+
+The speedup floor (>= 2x at 4 workers) is only meaningful on hardware
+that can actually run 4 workers concurrently: on fewer than 4 CPU cores
+the pool degenerates into time-sliced serialization plus pipe traffic,
+so the floor — like every wall-clock floor in smoke mode — is reported
+but not asserted (the recorded entry carries the measured ratio and the
+core count either way). Run as a script for the full curve:
+
+    PYTHONPATH=src python benchmarks/bench_fleet_mp.py
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import harness
+from repro.cloudsim import OptimizationCatalog
+from repro.experiments.fleet_scale import _assert_reports_equal
+from repro.fleet import FleetEngine
+from repro.workloads.fleet import fleet_batches, fleet_game_costs
+
+#: (games, users, slots, shards) of the measured period.
+GAMES, USERS, SLOTS, SHARDS = harness.scale(
+    (200, 1_000_000, 2000, 8), (8, 2_000, 60, 4)
+)
+
+#: Worker counts on the curve; index 0 is the single-process baseline.
+WORKER_CURVE = harness.scale((1, 2, 4, 8), (1, 2))
+
+#: Headline point: single-process vs this pool size.
+HEADLINE_WORKERS = harness.scale(4, 2)
+
+SPEEDUP_FLOOR = 2.0
+SEED = 2012
+
+
+def _run_once(catalog, batches, workers):
+    started = time.perf_counter()
+    fleet = FleetEngine.build(
+        catalog, horizon=SLOTS, shards=SHARDS, workers=workers
+    )
+    try:
+        fleet.ingest_many(batches)
+        report = fleet.run_to_end()
+    finally:
+        fleet.close()
+    return time.perf_counter() - started, report
+
+
+def test_fleet_mp_scaling_curve(emit):
+    """1M users, bit-identical at every worker count; >=2x at 4 workers
+    (asserted only with >= 4 cores on a full run)."""
+    costs = fleet_game_costs(SEED, GAMES, 30.0)
+    catalog = OptimizationCatalog.from_costs(costs)
+    batches = fleet_batches(SEED + 1, USERS, GAMES, SLOTS, 4)
+
+    rows = []
+    baseline_report = None
+    baseline_s = None
+    for workers in WORKER_CURVE:
+        seconds, report = _run_once(catalog, batches, workers)
+        if baseline_report is None:
+            baseline_report, baseline_s = report, seconds
+        else:
+            _assert_reports_equal(
+                baseline_report, report, f"{workers}-worker pool"
+            )
+        rows.append((workers, seconds, baseline_s / seconds))
+        del report
+        gc.collect()
+
+    cores = os.cpu_count() or 1
+    table = "\n".join(
+        [
+            "== multi-process fleet scaling "
+            f"({GAMES} games, {USERS} users, {SLOTS} slots, "
+            f"{cores} cores; bit-identical outcomes asserted) ==",
+            f"{'workers':>8} {'seconds':>9} {'speedup':>9}",
+        ]
+        + [f"{w:>8} {s:>9.3f} {x:>8.2f}x" for w, s, x in rows]
+    )
+    emit("fleet_engine_mp", table)
+
+    by_workers = {w: s for w, s, _ in rows}
+    speedup = baseline_s / by_workers[HEADLINE_WORKERS]
+    gate = harness.enforce_floors() and cores >= HEADLINE_WORKERS
+    harness.record(
+        "fleet_engine_mp",
+        speedup=speedup,
+        n=USERS,
+        seed=SEED,
+        floor=SPEEDUP_FLOOR if gate else None,
+        extra={
+            "games": GAMES,
+            "slots": SLOTS,
+            "shards": SHARDS,
+            "cores": cores,
+            "curve": [[w, round(s, 3), round(x, 3)] for w, s, x in rows],
+        },
+    )
+    if gate:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{HEADLINE_WORKERS}-worker pool only {speedup:.2f}x the "
+            f"single-process engine at {GAMES} games / {USERS} users"
+        )
+
+
+if __name__ == "__main__":
+
+    class _Stdout:
+        def __call__(self, name, text):
+            print(text)
+
+    test_fleet_mp_scaling_curve(_Stdout())

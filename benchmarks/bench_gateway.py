@@ -1,7 +1,7 @@
 """Gateway dispatch overhead vs driving the FleetEngine directly.
 
 The gateway facade (:class:`repro.gateway.PricingService`) must not tax
-the fleet's batched hot path: ``dispatch_many`` regroups one
+the fleet's batched hot path: a batched ``dispatch`` regroups one
 ``SubmitBids`` envelope per user back into the same columnar
 :class:`~repro.fleet.engine.FleetBatch` blocks the direct path ingests,
 so the only added work is envelope handling. This benchmark races the
@@ -10,7 +10,7 @@ two on the identical drawn population:
 * **direct** — pre-built columnar batches ingested into a bare
   ``FleetEngine``, run to the end of the period;
 * **gateway** — one ``SubmitBids`` envelope per user through
-  ``PricingService.dispatch_many``, the same period run through the
+  ``PricingService.dispatch``, the same period run through the
   facade.
 
 Outcomes are asserted bit-identical — payments, grants, implementation

@@ -4,12 +4,12 @@ Three measurements, one harness:
 
 * **Steady-state overhead (gated)** — the same running-period stream is
   driven through a plain :class:`repro.gateway.PricingService` and one
-  with :meth:`attach_wal` active: every round is one ``dispatch_many``
+  with :meth:`attach_wal` active: every round is one batched ``dispatch``
   call mixing a multi-slot ``AdvanceSlots`` tick, an analyst report
   burst of relational ``RunQuery`` envelopes against a six-figure-row
   snapshot table, a ``LedgerQuery`` and a late revisable ``SubmitBids``.
   The snapshot table is warmed (one untimed scan seals its columnar
-  shadow) before either side is measured. ``dispatch_many``
+  shadow) before either side is measured. Batched ``dispatch``
   is the WAL's group-commit boundary — one atomic record, one fsync per
   round — so the durability tax is one serialization pass plus one
   fsync against milliseconds of pricing and query work. The acceptance
@@ -20,7 +20,7 @@ Three measurements, one harness:
   the live service.
 
 * **Bulk-intake burst (reported, not gated)** — the one-off period-open
-  ``dispatch_many`` of one envelope per user. The engine ingests 50k
+  one batched ``dispatch`` of one envelope per user. The engine ingests 50k
   users in tens of milliseconds, so the WAL's single giant record
   (serialize + fsync) dominates; the table reports that burst tax
   honestly instead of hiding it inside the steady-state number.
@@ -108,7 +108,7 @@ def _snapshot_table(rows: int) -> Table:
 def _steady_rounds(
     games: int, slots: int, rounds: int, queries: int, trace
 ) -> list[list]:
-    """The post-intake period as ``dispatch_many`` group-commit rounds.
+    """The post-intake period as batched-``dispatch`` group-commit rounds.
 
     Each round is one multi-slot tick, an analyst report burst of
     ``queries`` membership pulls, one tenant statement, and (while a
@@ -200,13 +200,13 @@ def measure_steady_point(
         gc.disable()
         try:
             started = time.perf_counter()
-            acks = service.dispatch_many(intake)
+            acks = service.dispatch(intake)
             if acks.failed is not None:
                 raise AssertionError(f"bulk intake failed: {acks.failed}")
             burst = time.perf_counter() - started
             started = time.perf_counter()
             for step in rounds_steps:
-                for reply in service.dispatch_many(step):
+                for reply in service.dispatch(step):
                     if isinstance(reply, ErrorReply):
                         raise AssertionError(
                             f"steady-state dispatch failed: [{reply.code}] "

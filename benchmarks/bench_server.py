@@ -2,7 +2,7 @@
 
 The asyncio gateway server (:mod:`repro.gateway.server`) converts
 client concurrency into *batch size*: concurrently arriving envelopes
-share one ``dispatch_many`` call and — on a durable service — one WAL
+share one batched ``dispatch`` call and — on a durable service — one WAL
 fsync. This benchmark drives a durable in-process server over real
 HTTP/1.1 loopback sockets with a pool of blocking clients and reports:
 

@@ -37,6 +37,7 @@ from repro.experiments.fig5_selectivity import (
 )
 from repro.experiments.fleet_scale import (
     FleetScaleConfig,
+    measure_fleet_mp_point,
     measure_fleet_point,
     measure_gateway_point,
     run_fleet_scale,
@@ -67,6 +68,7 @@ __all__ = [
     "Fig5Config",
     "run_fig5_selectivity",
     "FleetScaleConfig",
+    "measure_fleet_mp_point",
     "measure_fleet_point",
     "measure_gateway_point",
     "run_fleet_scale",

@@ -16,6 +16,7 @@ the single-catalog service and the fleet share one mechanism path.
 """
 
 from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
+from repro.fleet.executor import FleetExecutor
 from repro.fleet.pipeline import (
     TenantWorkload,
     build_fleet,
@@ -28,7 +29,9 @@ from repro.fleet.shard import ShardMap
 __all__ = [
     "FleetBatch",
     "FleetEngine",
+    "FleetExecutor",
     "FleetReport",
+    "MultiProcessFleet",
     "ShardMap",
     "TenantWorkload",
     "workload_bid",
@@ -36,3 +39,15 @@ __all__ = [
     "build_fleet",
     "build_service",
 ]
+
+
+def __getattr__(name: str):
+    # MultiProcessFleet resolves lazily: repro.fleet.mp pulls in the
+    # gateway codec, whose package imports the service, which imports
+    # this package — eager import here would close that cycle on a
+    # partially initialized module.
+    if name == "MultiProcessFleet":
+        from repro.fleet.mp import MultiProcessFleet
+
+        return MultiProcessFleet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,86 @@
+"""The executor seam: one protocol over every fleet backend.
+
+A pricing period can run in-process (:class:`repro.fleet.FleetEngine`)
+or sharded across a shared-nothing worker pool
+(:class:`repro.fleet.MultiProcessFleet`); everything above the seam —
+:class:`repro.gateway.PricingService`, the workload-to-bid pipeline,
+the CLI — programs against :class:`FleetExecutor` and cannot tell the
+backends apart.  The contract is strict: for the same intake, every
+backend must produce bit-identical outcomes, metered costs, billing
+ledger, and event log (property-tested in ``tests/test_fleet_mp.py``).
+
+Pick a backend with :meth:`repro.fleet.FleetEngine.build`::
+
+    fleet = FleetEngine.build(catalog, horizon=8, workers=4)
+
+``workers<=1`` returns the in-process engine; anything larger returns a
+:class:`~repro.fleet.mp.MultiProcessFleet` whose workers each own a
+disjoint set of catalog shards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fleet.engine import FleetReport
+
+__all__ = ["FleetExecutor"]
+
+
+class FleetExecutor(ABC):
+    """What a pricing-period backend must implement.
+
+    Implementations also expose the read surface the gateway leans on
+    (``catalog``, ``horizon``, ``slot``, ``epoch``, ``ledger``,
+    ``events``, ``shards``, the bid placement/validation methods), but
+    the four methods below are the lifecycle every caller can rely on
+    regardless of backend.
+    """
+
+    #: Worker processes behind this executor (0 = in-process).
+    workers: int = 0
+
+    @abstractmethod
+    def ingest_many(self, batches) -> int:
+        """Bulk-load columnar :class:`~repro.fleet.engine.FleetBatch`
+        blocks before the first slot; returns the number of bids taken.
+
+        Raises :class:`~repro.errors.ProtocolError` once the executor is
+        closed or when a batch is not shaped like a rectangular columnar
+        block, and :class:`~repro.errors.MechanismError` after the first
+        slot has been processed.
+        """
+
+    @abstractmethod
+    def advance_slots(self, slots: int) -> int:
+        """Process ``slots`` further slots; returns the new clock."""
+
+    @abstractmethod
+    def report(self):
+        """The period outcome so far as a
+        :class:`~repro.fleet.engine.FleetReport` (complete once the
+        horizon is reached)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release backend resources (worker processes, pipes).
+
+        Idempotent. After ``close()`` every mutating method raises
+        :class:`~repro.errors.ProtocolError`; :meth:`report` keeps
+        working so a period's outcome survives its executor.
+        """
+
+    # Sugar shared by every backend ------------------------------------
+
+    def advance_slot(self) -> int:
+        """Process exactly one slot (``advance_slots(1)``)."""
+        return self.advance_slots(1)
+
+    def run_to_end(self) -> "FleetReport":
+        """Advance through the horizon, then report."""
+        remaining = self.horizon - self.slot  # type: ignore[attr-defined]
+        if remaining > 0:
+            self.advance_slots(remaining)
+        return self.report()

@@ -17,7 +17,7 @@ them:
   :class:`~repro.db.savings.SavingsQuote`,
   :class:`~repro.db.engine.QueryResult`).
 * :mod:`repro.gateway.service` — the :class:`PricingService` facade:
-  ``dispatch(request) -> reply`` / ``dispatch_many(batch)`` over one
+  ``dispatch(request_or_batch) -> reply(s)`` over one
   fleet engine, one relational catalog, one advisor; per-tenant
   :class:`TenantSession` handles; the batched columnar hot path
   preserved bit-for-bit through the boundary.

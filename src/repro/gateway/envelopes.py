@@ -11,7 +11,7 @@ Wire shape
 ----------
 A serialized envelope is a flat JSON object::
 
-    {"api": "1.4", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
+    {"api": "1.5", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
 
 ``api`` is :data:`API_VERSION` (checked on decode; a mismatch raises
 :class:`~repro.errors.ProtocolError` with code ``"version"``), ``kind``
@@ -80,8 +80,10 @@ __all__ = [
 #: :class:`QueryReply` and :class:`AdviseReply`. 1.4 added the serving
 #: layer's load-shedding surface: the ``overloaded``/``deadline_exceeded``
 #: error codes and the ``retryable``/``retry_after`` fields on
-#: :class:`ErrorReply`.
-API_VERSION = "1.4"
+#: :class:`ErrorReply`. 1.5 added the executor seam: ``Configure.workers``
+#: picks the fleet backend (0/1 in-process, N > 1 a shared-nothing
+#: multi-process pool) and :class:`ConfigReply` echoes the worker count.
+API_VERSION = "1.5"
 
 #: Query kinds :class:`RunQuery` accepts (the astronomy workload surface).
 QUERY_KINDS = ("members", "histogram", "top", "chain", "contributors")
@@ -147,6 +149,7 @@ class Configure(Request):
     optimizations: tuple
     horizon: int
     shards: int = 1
+    workers: int = 0
 
     def _normalize(self) -> None:
         # Coercion doubles as wire-side type checking: a badly-typed
@@ -161,6 +164,7 @@ class Configure(Request):
         )
         object.__setattr__(self, "horizon", int(self.horizon))
         object.__setattr__(self, "shards", int(self.shards))
+        object.__setattr__(self, "workers", int(self.workers))
 
 
 @dataclass(frozen=True)
@@ -305,11 +309,13 @@ class LedgerQuery(Request):
 
 @dataclass(frozen=True)
 class ConfigReply(Reply):
-    """The period is open: game count and horizon echoed back."""
+    """The period is open: game count, horizon, and the executor shape
+    (``workers == 0`` means the in-process engine) echoed back."""
 
     games: int
     horizon: int
     shards: int
+    workers: int = 0
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ The robustness machinery is the point, not an afterthought:
   result instead — both deadline codes are retryable, so lying about
   committed work would invite a client retry and a double-submit.
 - **Group commit.** Concurrently arriving envelopes are batched into
-  one ``dispatch_many`` call — on a durable service one WAL record and
+  one batched ``dispatch`` call — on a durable service one WAL record and
   one fsync for the whole batch — with ``max_delay`` bounding how long
   an envelope may wait for co-travellers. This is what keeps
   fsyncs/request below 1 under concurrency (``benchmarks/bench_server.py``
@@ -40,7 +40,7 @@ The robustness machinery is the point, not an afterthought:
 
 Malformed input never raises out of the connection handler: undecodable
 envelopes come back as ``protocol``-coded replies exactly as
-``PricingService.dispatch_dict`` would produce, a half-sent request
+``PricingService.dispatch_json`` would produce, a half-sent request
 (mid-body disconnect) is discarded without side effects, and a
 slow-loris read is cut off by ``read_timeout`` with a
 ``deadline_exceeded`` reply. ``tests/netfaults.py`` injects each of
@@ -202,7 +202,7 @@ class GatewayServer:
         self._draining = False
         self.dispatched = 0  # envelopes that reached the service
         self.shed = 0  # envelopes rejected (overloaded or expired)
-        self.batches = 0  # dispatch_many calls (group commits)
+        self.batches = 0  # batched dispatch calls (group commits)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -411,7 +411,7 @@ class GatewayServer:
             return keep_alive
         try:
             request = request_from_dict(payload)
-        except Exception as exc:  # total like dispatch_dict: data, not a raise
+        except Exception as exc:  # total like dispatch_json: data, not a raise
             reply = to_dict(ErrorReply.of(exc, request_kind=str(kind)))
             await self._write_response(
                 writer, _status_of(reply), reply, keep_alive=keep_alive
@@ -550,7 +550,7 @@ class GatewayServer:
                 entry.claimed = True
             self.batches += 1
             try:
-                replies = self.service.dispatch_many(
+                replies = self.service.dispatch(
                     [entry.request for entry in live]
                 )
                 results = [to_dict(reply) for reply in replies]

@@ -13,11 +13,12 @@ Contracts (tested in ``tests/test_gateway.py``):
 * **Typed in, typed out.** ``dispatch`` never raises for request-shaped
   failures — every :class:`~repro.errors.ReproError` comes back as an
   :class:`~repro.gateway.envelopes.ErrorReply` with a structured code.
-  ``dispatch_dict`` is the wire-level twin (dicts in, dicts out) and
+  ``dispatch_json`` is the wire-level twin (dicts in, dicts out) and
   additionally converts decode-time junk into error replies, so a JSONL
   transport never sees an exception at all.
-* **The batched hot path survives the boundary.** ``dispatch_many``
-  groups consecutive pre-period :class:`SubmitBids` envelopes into
+* **The batched hot path survives the boundary.** ``dispatch`` of a
+  request *sequence* groups consecutive pre-period :class:`SubmitBids`
+  envelopes into
   columnar :class:`~repro.fleet.engine.FleetBatch` blocks — duration-major
   and request-ordered, exactly the layout
   :func:`repro.workloads.fleet.fleet_batches` emits — and bulk-ingests
@@ -37,10 +38,11 @@ Contracts (tested in ``tests/test_gateway.py``):
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_right
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -61,6 +63,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
+from repro.fleet.executor import FleetExecutor
 from repro.gateway.envelopes import (
     QUERY_KINDS,
     AdvanceSlots,
@@ -186,6 +189,10 @@ class PricingService:
         Slots in the period (required with ``catalog``).
     shards:
         Fleet shard count for the deterministic processing order.
+    workers:
+        Executor backend selector (:meth:`FleetEngine.build`): 0 or 1
+        runs the period in-process, anything larger scatters it across a
+        shared-nothing multi-process pool with bit-identical outcomes.
     db_catalog:
         The relational catalog queries run against (fresh and empty when
         omitted).
@@ -208,9 +215,10 @@ class PricingService:
         cost_model: CostModel | None = None,
         engine_mode: str = "auto",
         advisor_config: AdvisorConfig | None = None,
-        fleet: FleetEngine | None = None,
+        fleet: FleetExecutor | None = None,
+        workers: int = 0,
     ) -> None:
-        self.fleet: FleetEngine | None = None
+        self.fleet: FleetExecutor | None = None
         self.db = db_catalog if db_catalog is not None else Catalog()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.log = WorkloadLog()
@@ -246,7 +254,7 @@ class PricingService:
         elif catalog is not None:
             if horizon is None:
                 raise GameConfigError("opening a period needs a horizon")
-            self.configure(catalog, horizon, shards)
+            self.configure(catalog, horizon, shards, workers=workers)
 
     # ------------------------------------------------------------- period --
 
@@ -255,15 +263,22 @@ class PricingService:
         catalog: OptimizationCatalog | Mapping,
         horizon: int,
         shards: int = 1,
-    ) -> FleetEngine:
+        workers: int = 0,
+    ) -> FleetExecutor:
         """Open a (new) pricing period over ``catalog``.
 
         Reconfiguring replaces the fleet — the previous period's report
-        stays reachable only if the caller kept it.
+        stays reachable only if the caller kept it. ``workers`` picks the
+        executor backend (:meth:`FleetEngine.build`); a replaced
+        multi-process fleet has its worker pool reclaimed.
         """
         if not isinstance(catalog, OptimizationCatalog):
             catalog = OptimizationCatalog.from_costs(dict(catalog))
-        self.fleet = FleetEngine(catalog, horizon=horizon, shards=shards)
+        if self.fleet is not None and getattr(self.fleet, "workers", 0) > 0:
+            self.fleet.close()
+        self.fleet = FleetEngine.build(
+            catalog, horizon=horizon, shards=shards, workers=workers
+        )
         self._bulk_submitted = set()
         # A new period resets the logical fleet history: this Configure
         # plus the later fleet mutations fully determine engine state.
@@ -275,12 +290,13 @@ class PricingService:
                     ),
                     horizon=horizon,
                     shards=shards,
+                    workers=workers,
                 )
             }
         ]
         return self.fleet
 
-    def attach_fleet(self, fleet: FleetEngine) -> FleetEngine:
+    def attach_fleet(self, fleet: FleetExecutor) -> FleetExecutor:
         """Adopt an externally assembled engine as the current period.
 
         The duplicate guard is seeded with whatever bulk bids the engine
@@ -300,7 +316,7 @@ class PricingService:
         self._fleet_history = None
         return fleet
 
-    def _require_fleet(self) -> FleetEngine:
+    def _require_fleet(self) -> FleetExecutor:
         if self.fleet is None:
             raise GameConfigError(
                 "no pricing period is open; send a Configure request first"
@@ -342,8 +358,17 @@ class PricingService:
 
     # ----------------------------------------------------------- dispatch --
 
-    def dispatch(self, request: Request) -> Reply:
-        """One request in, one reply out; errors come back as data.
+    def dispatch(self, request_or_requests):
+        """The one entry point: a request in, a reply out — or a request
+        sequence in, a reply sequence out; errors come back as data.
+
+        A single :class:`Request` dispatches alone. Any other (non-dict,
+        non-string) iterable dispatches as a **batch**, preserving the
+        fleet's columnar hot path and group-commit semantics (see
+        :meth:`_dispatch_batch`). Wire-level dicts are not accepted here
+        — they go through :meth:`dispatch_json` — and arrive back as a
+        ``protocol``-coded :class:`ErrorReply` like every other
+        request-shaped failure.
 
         On a durable service the envelope is fsync'd to the write-ahead
         log **before** any effect applies — a crash after the append
@@ -351,11 +376,23 @@ class PricingService:
         request never happened. Failed dispatches are logged too: replay
         re-derives the same :class:`ErrorReply` deterministically.
         """
-        return self._dispatch_one(request, log=True)
+        if isinstance(request_or_requests, Request):
+            return self._dispatch_one(request_or_requests, log=True)
+        if isinstance(request_or_requests, Iterable) and not isinstance(
+            request_or_requests, (Mapping, str, bytes)
+        ):
+            return self._dispatch_batch(list(request_or_requests))
+        return ErrorReply.of(
+            ProtocolError(
+                "dispatch() takes one Request or an iterable of Requests; "
+                "wire-level dicts go through dispatch_json()"
+            ),
+            request_kind=type(request_or_requests).__name__,
+        )
 
     def _dispatch_one(self, request: Request, *, log: bool) -> Reply:
         """One dispatch; ``log=False`` when a batch record already covers
-        the envelope (:meth:`dispatch_many` group commit)."""
+        the envelope (batched-:meth:`dispatch` group commit)."""
         try:
             self._ensure_open()
             if log and self._wal is not None:
@@ -369,7 +406,7 @@ class PricingService:
             self._maybe_checkpoint()
         return reply
 
-    def dispatch_many(self, requests) -> Sequence[Reply]:
+    def _dispatch_batch(self, requests: list) -> Sequence[Reply]:
         """Dispatch a batch, preserving the fleet's columnar hot path.
 
         Runs of :class:`SubmitBids` envelopes arriving while bulk intake
@@ -385,7 +422,7 @@ class PricingService:
         On a durable service the whole call is the **group-commit**
         boundary: one atomic WAL record (one fsync) covers every
         envelope, appended before any effect applies. Recovery replays
-        the record through ``dispatch_many`` as a unit, so the
+        the record through the batched dispatch path as a unit, so the
         partitioning below reruns deterministically and the
         :class:`BulkAcks` all-or-nothing contract holds across a crash
         at any boundary.
@@ -440,7 +477,7 @@ class PricingService:
             return parts[0]
         return _ChainedReplies(parts)
 
-    def dispatch_dict(self, payload) -> dict:
+    def dispatch_json(self, payload) -> dict:
         """Wire-level dispatch: JSON-able dict in, JSON-able dict out.
 
         Never raises for request-shaped failures — malformed envelopes
@@ -452,7 +489,30 @@ class PricingService:
         except ReproError as exc:
             kind = payload.get("kind") if isinstance(payload, Mapping) else None
             return to_dict(ErrorReply.of(exc, request_kind=str(kind or "")))
-        return to_dict(self.dispatch(request))
+        return to_dict(self._dispatch_one(request, log=True))
+
+    # Deprecated entry points (API 1.5 unified them; kept one release as
+    # warning aliases so out-of-tree callers migrate without breaking).
+
+    def dispatch_many(self, requests) -> Sequence[Reply]:
+        """Deprecated: pass the sequence straight to :meth:`dispatch`."""
+        warnings.warn(
+            "PricingService.dispatch_many() is deprecated; pass the "
+            "request sequence straight to dispatch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._dispatch_batch(list(requests))
+
+    def dispatch_dict(self, payload) -> dict:
+        """Deprecated: renamed to :meth:`dispatch_json`."""
+        warnings.warn(
+            "PricingService.dispatch_dict() is deprecated; use "
+            "dispatch_json()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.dispatch_json(payload)
 
     # ----------------------------------------------------------- handlers --
 
@@ -480,11 +540,14 @@ class PricingService:
                         f"optimization {optimization!r} listed twice"
                     )
                 costs[optimization] = cost
-            fleet = self.configure(costs, request.horizon, request.shards)
+            fleet = self.configure(
+                costs, request.horizon, request.shards, request.workers
+            )
             return ConfigReply(
                 games=len(fleet.catalog),
                 horizon=fleet.horizon,
                 shards=len(fleet.shards),
+                workers=getattr(fleet, "workers", 0),
             )
         raise ProtocolError(
             f"{type(request).__name__} is not a dispatchable request"
@@ -541,8 +604,7 @@ class PricingService:
                 f"cannot advance {request.slots} slot(s); only {remaining} "
                 f"remain before the horizon {fleet.horizon}"
             )
-        for _ in range(request.slots):
-            fleet.advance_slot()
+        fleet.advance_slots(request.slots)
         self._note_fleet_mutation(request)
         implemented = sorted(
             fleet.implemented.items(), key=lambda kv: str(kv[0])
@@ -701,12 +763,15 @@ class PricingService:
 
         Every further ``dispatch`` returns a ``protocol``-coded
         :class:`ErrorReply`; a closed durable service is recovered with
-        :meth:`PricingService.recover`, not reused.
+        :meth:`PricingService.recover`, not reused. A multi-process
+        fleet's worker pool is reclaimed (reports stay readable).
         """
         self._closed = True
         if self._wal is not None:
             self._wal.close()
             self._wal = None
+        if self.fleet is not None and getattr(self.fleet, "workers", 0) > 0:
+            self.fleet.close()
 
     def _probe(self, stage: str) -> None:
         if self.wal_probe is not None:

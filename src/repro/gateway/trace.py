@@ -4,14 +4,14 @@ A trace is one request envelope per line, in wire form (see
 :mod:`repro.gateway.envelopes`). The first line is normally a
 ``Configure`` envelope so the trace is self-contained::
 
-    {"api": "1.4", "kind": "Configure", "optimizations": [["idx", 40.0]], "horizon": 4, "shards": 1}
-    {"api": "1.4", "kind": "SubmitBids", "tenant": "ann", "bids": [["idx", 1, [30.0, 30.0]]]}
-    {"api": "1.4", "kind": "AdvanceSlots", "slots": 4}
-    {"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"}
+    {"api": "1.5", "kind": "Configure", "optimizations": [["idx", 40.0]], "horizon": 4, "shards": 1}
+    {"api": "1.5", "kind": "SubmitBids", "tenant": "ann", "bids": [["idx", 1, [30.0, 30.0]]]}
+    {"api": "1.5", "kind": "AdvanceSlots", "slots": 4}
+    {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}
 
 :func:`replay` feeds every line through
-:meth:`~repro.gateway.service.PricingService.dispatch_dict` — runs of
-``SubmitBids`` lines take the columnar bulk path via ``dispatch_many``,
+:meth:`~repro.gateway.service.PricingService.dispatch_json` — runs of
+``SubmitBids`` lines take the columnar bulk path via batched dispatch,
 so replaying a fleet-scale trace costs what driving the engine directly
 costs. Malformed lines become ``ErrorReply`` entries, never exceptions:
 a replay always finishes and always yields one reply per request line.
@@ -93,7 +93,7 @@ def replay(
     """Dispatch raw envelope dictionaries in order; never raises per line.
 
     Consecutive ``SubmitBids`` lines are batched through
-    :meth:`PricingService.dispatch_many` to keep the fleet's columnar
+    one batched :meth:`PricingService.dispatch` to keep the fleet's columnar
     intake path; everything else dispatches one by one.
     """
     if service is None:
@@ -104,7 +104,7 @@ def replay(
     def flush() -> None:
         if bulk:
             replies.extend(
-                to_dict(reply) for reply in service.dispatch_many(list(bulk))
+                to_dict(reply) for reply in service.dispatch(list(bulk))
             )
             bulk.clear()
 

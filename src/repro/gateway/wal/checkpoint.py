@@ -191,7 +191,7 @@ def replay_history_entry(service, entry) -> None:
     try:
         if "requests" in entry:
             requests = [request_from_dict(raw) for raw in entry["requests"]]
-            acks = service.dispatch_many(requests)
+            acks = service.dispatch(requests)
             failed = getattr(acks, "failed", None)
             if failed is None:
                 failed = next(

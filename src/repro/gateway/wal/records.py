@@ -5,7 +5,7 @@ One WAL record is one JSON line (the same line discipline
 is the single reader both consume). A record wraps either one request
 envelope in wire form or one atomic bulk run of them::
 
-    {"seq": 7, "epoch": 3, "request": {"api": "1.4", "kind": ...}, "crc": ...}
+    {"seq": 7, "epoch": 3, "request": {"api": "1.5", "kind": ...}, "crc": ...}
     {"seq": 8, "epoch": 3, "requests": [{...}, {...}], "crc": ...}
 
 ``seq`` is the contiguous per-log sequence number (first record is 1),
@@ -117,8 +117,8 @@ class WalRecord:
     """One durably logged dispatch: a single envelope or an atomic run.
 
     ``requests`` holds the wire dictionaries (trace-shaped); ``batch``
-    marks an all-or-nothing ``dispatch_many`` group commit — recovery
-    re-dispatches it through ``dispatch_many`` as one unit so the
+    marks an all-or-nothing batched-``dispatch`` group commit — recovery
+    re-dispatches it as one batch so the
     :class:`BulkAcks` contract survives a crash between the append and
     the apply.
     """

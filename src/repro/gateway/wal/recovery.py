@@ -198,7 +198,7 @@ def _replay_record(service, record: WalRecord) -> None:
             f"WAL record seq {record.seq} does not decode: {exc}"
         ) from exc
     if record.batch:
-        service.dispatch_many(requests)
+        service.dispatch(requests)
     else:
         service.dispatch(requests[0])
 

@@ -4,7 +4,7 @@ Every accepted envelope is framed (:mod:`repro.gateway.wal.records`),
 appended, flushed, and fsync'd **before** its effects apply — the fsync
 is the durability point, so a crash leaves either a fully durable record
 or (at worst) a torn final line that recovery truncates away. One bulk
-``dispatch_many`` run is one record and therefore one fsync, which is
+batched ``dispatch`` run is one record and therefore one fsync, which is
 what keeps the steady-state dispatch overhead low
 (``benchmarks/bench_recovery.py`` gates it).
 

@@ -69,7 +69,7 @@ class CrashPoint:
 def run_steps(service, steps) -> list:
     """Drive one workload; returns wire-form reply dicts in step order.
 
-    A list step goes through ``dispatch_many`` (the bulk path); any other
+    A list step goes through a batched ``dispatch`` (the bulk path); any other
     step through ``dispatch``. Replies are materialized to dictionaries
     immediately so lazy acks cannot observe later state.
     """
@@ -77,7 +77,7 @@ def run_steps(service, steps) -> list:
     for step in steps:
         if isinstance(step, list):
             replies.extend(
-                to_dict(reply) for reply in service.dispatch_many(list(step))
+                to_dict(reply) for reply in service.dispatch(list(step))
             )
         else:
             replies.append(to_dict(service.dispatch(step)))

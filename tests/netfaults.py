@@ -74,14 +74,14 @@ def workload(tenants: int = 3, opts: int = 4, horizon: int = 6) -> list:
 def serial_fingerprint(steps) -> dict:
     """Final-state fingerprint of a serial, fault-free, network-free run.
 
-    Drives ``dispatch_many`` one envelope at a time — the same facade
+    Drives the batched dispatch path one envelope at a time — the same facade
     entry the server's group commit uses — so the comparison isolates
     what the *fault layer* did, not scalar-vs-columnar intake (whose
     equivalence ``tests/test_gateway.py`` covers separately).
     """
     service = PricingService()
     for step in steps:
-        service.dispatch_many([step])
+        service.dispatch([step])
     return fingerprint(service)
 
 

@@ -143,14 +143,14 @@ class TestExecution:
 
 class TestReplayCommand:
     TRACE = [
-        {"api": "1.4", "kind": "Configure",
+        {"api": "1.5", "kind": "Configure",
          "optimizations": [["idx", 40.0]], "horizon": 3, "shards": 1},
-        {"api": "1.4", "kind": "SubmitBids", "tenant": "ann",
+        {"api": "1.5", "kind": "SubmitBids", "tenant": "ann",
          "bids": [["idx", 1, [30.0, 15.0]]]},
-        {"api": "1.4", "kind": "SubmitBids", "tenant": "bob",
+        {"api": "1.5", "kind": "SubmitBids", "tenant": "bob",
          "bids": [["idx", 1, [20.0]]]},
-        {"api": "1.4", "kind": "AdvanceSlots", "slots": 3},
-        {"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"},
+        {"api": "1.5", "kind": "AdvanceSlots", "slots": 3},
+        {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"},
     ]
 
     def _write(self, tmp_path, lines):
@@ -188,7 +188,7 @@ class TestReplayCommand:
 
     def test_strict_fails_on_errors(self, tmp_path, capsys):
         path = self._write(
-            tmp_path, self.TRACE + [{"api": "1.4", "kind": "Mystery"}]
+            tmp_path, self.TRACE + [{"api": "1.5", "kind": "Mystery"}]
         )
         assert main(["replay", str(path)]) == 0  # tolerant by default
         capsys.readouterr()
@@ -197,7 +197,7 @@ class TestReplayCommand:
 
     def test_replay_with_universe_queries(self, tmp_path, capsys):
         trace = [
-            {"api": "1.4", "kind": "RunQuery", "tenant": "ada",
+            {"api": "1.5", "kind": "RunQuery", "tenant": "ada",
              "query": "members", "table": "snap_02", "halo": 0},
         ]
         path = self._write(tmp_path, trace)

@@ -4,7 +4,7 @@ Three contracts from DESIGN.md's "Gateway conventions":
 
 * every envelope and every public value object survives
   ``from_dict(to_dict(x)) == x`` — including a real JSON hop;
-* ``PricingService.dispatch_many`` produces outcomes and metered costs
+* a batched ``PricingService.dispatch`` produces outcomes and metered costs
   bit-identical to driving the ``FleetEngine`` directly;
 * no malformed envelope can make the gateway raise anything outside the
   ``ReproError`` hierarchy — the wire entry point never raises at all.
@@ -242,7 +242,7 @@ class TestGatewayPreservesFleetPath:
             )
             for a in trace
         ]
-        replies = service.dispatch_many(requests)
+        replies = service.dispatch(requests)
         assert all(not isinstance(r, ErrorReply) for r in replies)
         report = service.run_to_end()
 
@@ -280,7 +280,7 @@ class TestGatewayPreservesFleetPath:
 
     def test_mixed_batch_flushes_in_order(self):
         service = PricingService({"idx": 40.0}, horizon=4)
-        replies = service.dispatch_many(
+        replies = service.dispatch(
             [
                 SubmitBids(tenant="ann", bids=(("idx", 1, (30.0, 15.0)),)),
                 SubmitBids(tenant="bob", bids=(("idx", 1, (20.0,)),)),
@@ -294,7 +294,7 @@ class TestGatewayPreservesFleetPath:
 
     def test_revisable_bids_skip_bulk_and_stay_revisable(self):
         service = PricingService({"idx": 40.0}, horizon=4)
-        replies = service.dispatch_many(
+        replies = service.dispatch(
             [
                 SubmitBids(
                     tenant="ann", bids=(("idx", 1, (10.0, 10.0)),), revisable=True
@@ -315,7 +315,7 @@ class TestGatewayPreservesFleetPath:
 
     def test_bulk_submitted_bids_cannot_be_revised(self):
         service = PricingService({"idx": 40.0}, horizon=4)
-        replies = service.dispatch_many(
+        replies = service.dispatch(
             [
                 SubmitBids(tenant="ann", bids=(("idx", 1, (10.0, 10.0)),)),
                 ReviseBid(tenant="ann", optimization="idx", new_values={2: 35.0}),
@@ -326,7 +326,7 @@ class TestGatewayPreservesFleetPath:
 
     def test_bulk_run_shares_one_verdict_on_error(self):
         service = PricingService({"idx": 40.0}, horizon=4)
-        replies = service.dispatch_many(
+        replies = service.dispatch(
             [
                 SubmitBids(tenant="ann", bids=(("idx", 1, (30.0,)),)),
                 SubmitBids(tenant="bob", bids=(("nope", 1, (1.0,)),)),
@@ -339,7 +339,7 @@ class TestGatewayPreservesFleetPath:
         # All-or-nothing across duration batches: a later batch failing
         # must not leave an earlier one scheduled (and later invoiced).
         service = PricingService({"idx": 40.0, "v": 10.0}, horizon=2)
-        replies = service.dispatch_many(
+        replies = service.dispatch(
             [
                 SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),)),
                 # duration 3 ends beyond the horizon: the run must fail whole
@@ -353,11 +353,11 @@ class TestGatewayPreservesFleetPath:
         assert service.dispatch(LedgerQuery(tenant="ann")).total == 0.0
         # ...and the failed run must not squat on the (tenant, game) pair.
         service2 = PricingService({"idx": 40.0, "v": 10.0}, horizon=2)
-        service2.dispatch_many(
+        service2.dispatch(
             [SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),)),
              SubmitBids(tenant="bob", bids=(("v", 1, (1.0,) * 3),))]
         )
-        retry = service2.dispatch_many(
+        retry = service2.dispatch(
             [SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))]
         )
         assert retry.failed is None
@@ -387,7 +387,7 @@ class TestGatewayPreservesFleetPath:
             )
         )
         service = PricingService(fleet=engine)
-        acks = service.dispatch_many(
+        acks = service.dispatch(
             [SubmitBids(tenant="ann", bids=(("x", 1, (20.0,)),))]
         )
         assert acks.failed is not None and acks[0].code == "game-config"
@@ -443,8 +443,8 @@ class TestGatewayPreservesFleetPath:
                 build()
         # On the wire, JSON lists decode to (hashable) tuples; a JSON
         # object is the unhashable case and must come back as data.
-        reply = service.dispatch_dict(
-            {"api": "1.4", "kind": "LedgerQuery", "tenant": {"a": 1}}
+        reply = service.dispatch_json(
+            {"api": "1.5", "kind": "LedgerQuery", "tenant": {"a": 1}}
         )
         assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
 
@@ -458,7 +458,7 @@ class TestGatewayPreservesFleetPath:
         ):
             request = SubmitBids(tenant="a", bids=bids)
             per_bid = PricingService({"idx": 40.0}, horizon=2).dispatch(request)
-            bulk = PricingService({"idx": 40.0}, horizon=2).dispatch_many(
+            bulk = PricingService({"idx": 40.0}, horizon=2).dispatch(
                 [request]
             )[0]
             assert isinstance(per_bid, ErrorReply)
@@ -467,13 +467,13 @@ class TestGatewayPreservesFleetPath:
     def test_badly_typed_wire_fields_become_error_replies(self):
         service = PricingService({"idx": 40.0}, horizon=3)
         for payload in (
-            {"api": "1.4", "kind": "AdvanceSlots", "slots": "three"},
-            {"api": "1.4", "kind": "Configure", "optimizations": [], "horizon": "x"},
-            {"api": "1.4", "kind": "RunQuery", "tenant": "t", "query": "members",
+            {"api": "1.5", "kind": "AdvanceSlots", "slots": "three"},
+            {"api": "1.5", "kind": "Configure", "optimizations": [], "horizon": "x"},
+            {"api": "1.5", "kind": "RunQuery", "tenant": "t", "query": "members",
              "halo": "zero"},
-            {"api": "1.4", "kind": "AdviseRequest", "horizon": [1]},
+            {"api": "1.5", "kind": "AdviseRequest", "horizon": [1]},
         ):
-            reply = service.dispatch_dict(payload)
+            reply = service.dispatch_json(payload)
             assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
 
     def test_bulk_duplicates_rejected_not_double_invoiced(self):
@@ -481,12 +481,12 @@ class TestGatewayPreservesFleetPath:
         # silently accept (and double-invoice) the same envelope list.
         dup = SubmitBids(tenant="ann", bids=(("idx", 1, (50.0,)),))
         service = PricingService({"idx": 40.0}, horizon=1)
-        replies = service.dispatch_many([dup, dup])
+        replies = service.dispatch([dup, dup])
         assert [type(r).__name__ for r in replies] == ["ErrorReply", "ErrorReply"]
         # Across two bulk runs as well.
         service2 = PricingService({"idx": 40.0}, horizon=1)
-        assert service2.dispatch_many([dup]).failed is None
-        second = service2.dispatch_many([dup])
+        assert service2.dispatch([dup]).failed is None
+        second = service2.dispatch([dup])
         assert second.failed is not None and second[0].code == "game-config"
         report = service2.run_to_end()
         assert report.payments.get("ann", 0.0) <= 40.0
@@ -669,7 +669,7 @@ class TestMalformedEnvelopeFuzz:
             payload[key] = data.draw(
                 st.one_of(st.none(), st.text(max_size=3), st.lists(st.integers(), max_size=2))
             )
-        reply = service.dispatch_dict(payload)
+        reply = service.dispatch_json(payload)
         assert isinstance(reply, dict)
         assert reply["kind"] in {
             "ConfigReply",
@@ -721,9 +721,9 @@ class TestTraces:
             "\n".join(
                 [
                     "this is not json",
-                    '{"api": "1.4", "kind": "Mystery"}',
+                    '{"api": "1.5", "kind": "Mystery"}',
                     '{"api": "9.9", "kind": "AdvanceSlots", "slots": 1}',
-                    '{"api": "1.4", "kind": "AdvanceSlots", "slots": 1}',
+                    '{"api": "1.5", "kind": "AdvanceSlots", "slots": 1}',
                 ]
             )
             + "\n"
@@ -745,7 +745,7 @@ class TestTraces:
         replayed = replay(iter_trace(path)).service.report()
 
         service = PricingService()
-        service.dispatch_many(requests)
+        service.dispatch(requests)
         direct = service.run_to_end()
         assert dict(replayed.payments) == dict(direct.payments)
         assert replayed.ledger == direct.ledger
@@ -770,14 +770,14 @@ class TestServiceErrorPaths:
         assert isinstance(reply, ErrorReply)
         assert reply.code == "protocol"
         assert "closed" in reply.message
-        many = service.dispatch_many(
+        many = service.dispatch(
             [
                 SubmitBids(tenant="ann", bids=(("idx", 1, (5.0,)),)),
                 AdvanceSlots(slots=1),
             ]
         )
         assert [r.code for r in many] == ["protocol", "protocol"]
-        wire = service.dispatch_dict(to_dict(AdvanceSlots(slots=1)))
+        wire = service.dispatch_json(to_dict(AdvanceSlots(slots=1)))
         assert wire["kind"] == "ErrorReply"
         assert wire["code"] == "protocol"
         service.close()  # idempotent
@@ -789,7 +789,7 @@ class TestServiceErrorPaths:
     )
     def test_unknown_api_version_is_a_version_error_for_every_kind(self, wire):
         service = PricingService({"idx": 40.0}, horizon=3)
-        reply = service.dispatch_dict(dict(wire, api="9.9"))
+        reply = service.dispatch_json(dict(wire, api="9.9"))
         assert reply["kind"] == "ErrorReply"
         assert reply["code"] == "version"
 
@@ -953,3 +953,60 @@ class TestErrorPathTraceReplay:
             assert isinstance(reply, ErrorReply)
             assert reply.retryable is True
             assert reply.code in RETRYABLE_CODES
+
+
+class TestUnifiedDispatchSurface:
+    """API 1.5 folded ``dispatch_many``/``dispatch_dict`` into two entry
+    points: ``dispatch`` (Request or request sequence) and
+    ``dispatch_json`` (wire dicts). The old names survive one release as
+    warning aliases with identical behavior."""
+
+    def _service(self):
+        return PricingService({"idx": 40.0}, horizon=3)
+
+    def test_dispatch_takes_request_or_sequence(self):
+        service = self._service()
+        single = service.dispatch(SubmitBids(tenant="a", bids=(("idx", 1, (50.0,)),)))
+        assert single.accepted == 1
+        replies = service.dispatch(
+            [
+                SubmitBids(tenant="b", bids=(("idx", 1, (50.0,)),)),
+                AdvanceSlots(slots=1),
+            ]
+        )
+        assert [type(r).__name__ for r in replies] == ["BidsReply", "SlotReply"]
+        # Generators are sequences too.
+        more = service.dispatch(
+            AdvanceSlots(slots=1) for _ in range(2)
+        )
+        assert [r.slot for r in more] == [2, 3]
+
+    def test_dispatch_rejects_wire_dicts_as_data(self):
+        service = self._service()
+        wire = to_dict(AdvanceSlots(slots=1))
+        reply = service.dispatch(wire)
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "protocol"
+        assert "dispatch_json" in reply.message
+        assert service.fleet.slot == 0  # nothing applied
+        for junk in ("AdvanceSlots", b"AdvanceSlots", None, 7):
+            reply = service.dispatch(junk)
+            assert isinstance(reply, ErrorReply) and reply.code == "protocol"
+
+    def test_deprecated_aliases_warn_and_delegate(self):
+        service = self._service()
+        with pytest.warns(DeprecationWarning, match="dispatch_many"):
+            replies = service.dispatch_many(
+                [SubmitBids(tenant="a", bids=(("idx", 1, (50.0,)),))]
+            )
+        assert replies[0].accepted == 1
+        with pytest.warns(DeprecationWarning, match="dispatch_dict"):
+            wire = service.dispatch_dict(to_dict(AdvanceSlots(slots=1)))
+        assert wire["kind"] == "SlotReply" and wire["slot"] == 1
+        # The new names never warn.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            service.dispatch(AdvanceSlots(slots=1))
+            service.dispatch_json(to_dict(AdvanceSlots(slots=1)))

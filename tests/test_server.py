@@ -189,7 +189,7 @@ class TestRawHttp:
     def test_kind_on_wrong_path_is_400(self, gateway):
         client, _service, _thread = gateway
         body = json.dumps(
-            {"api": "1.4", "kind": "AdvanceSlots", "slots": 1}
+            {"api": "1.5", "kind": "AdvanceSlots", "slots": 1}
         ).encode()
         status, payload = self._raw(
             client.host, client.port, "POST", "/v1/bids", body=body
@@ -201,7 +201,7 @@ class TestRawHttp:
     def test_malformed_deadline_header_is_400(self, gateway):
         client, _service, _thread = gateway
         body = json.dumps(
-            {"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"}
+            {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}
         ).encode()
         status, payload = self._raw(
             client.host,
@@ -219,7 +219,7 @@ class TestRawHttp:
         try:
             conn = http.client.HTTPConnection(host, port, timeout=10)
             body = json.dumps(
-                {"api": "1.4", "kind": "LedgerQuery", "tenant": "ann"}
+                {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}
             ).encode()
             conn.request("POST", "/v1/ledger", body=body)
             response = conn.getresponse()

@@ -32,12 +32,35 @@ import harness
 from repro.gateway import Configure, ErrorReply, PricingService, SubmitBids
 from repro.gateway.client import GatewayClient
 from repro.gateway.server import ServerConfig, ServerThread
+from repro.obs import MetricsRegistry
 
 #: (users, client threads) — the headline scale and the CI smoke scale.
 USERS, THREADS = harness.scale((50_000, 16), (400, 4))
 
 SEED = 2012
 OPTS = tuple((f"opt{i}", 50.0) for i in range(8))
+
+
+def _sorted_list_percentile(samples: list, q: float) -> float:
+    """The pre-obs percentile math this bench used: nearest rank over the
+    merged sorted sample list."""
+    merged = sorted(samples)
+    return merged[min(len(merged) - 1, int(len(merged) * q))]
+
+
+def _check_percentile_identity() -> None:
+    """obs.Histogram must reproduce the old sorted-list percentiles
+    exactly when the samples sit on bucket bounds — the property that
+    makes swapping the bench's math for the shared histogram safe."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bench_check_seconds", "identity probe")
+    buckets = histogram.buckets
+    fixed = [buckets[3]] * 55 + [buckets[9]] * 40 + [buckets[17]] * 5
+    for value in fixed:
+        histogram.observe(value)
+    for q in (0.5, 0.9, 0.99):
+        old = _sorted_list_percentile(fixed, q)
+        assert histogram.percentile(q) == old, (q, histogram.percentile(q), old)
 
 
 def _run_throughput():
@@ -58,7 +81,14 @@ def _run_throughput():
         host, port = thread.start()
         setup = GatewayClient(host, port)
         setup.request(Configure(optimizations=OPTS, horizon=4))
-        latencies: list[list[float]] = [[] for _ in range(THREADS)]
+        # One shared histogram instead of per-thread lists + a sorted
+        # merge: child mutation is lock-protected, and the percentile
+        # identity with the old math is asserted by
+        # _check_percentile_identity before the numbers are trusted.
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "bench_server_latency_seconds", "client-observed request latency"
+        )
         failures: list = []
 
         def worker(index: int) -> None:
@@ -71,7 +101,7 @@ def _run_throughput():
                     )
                     begin = time.perf_counter()
                     reply = client.request(request)
-                    latencies[index].append(time.perf_counter() - begin)
+                    latency.observe(time.perf_counter() - begin)
                     if isinstance(reply, ErrorReply):
                         failures.append(reply)
             finally:
@@ -93,9 +123,9 @@ def _run_throughput():
 
     assert not failures, f"bids rejected during the bench: {failures[:3]}"
     assert health["dispatched"] == USERS + 1  # every submit + the config
-    merged = sorted(lat for bucket in latencies for lat in bucket)
-    p50 = merged[len(merged) // 2]
-    p99 = merged[min(len(merged) - 1, int(len(merged) * 0.99))]
+    assert latency.count == USERS
+    p50 = latency.percentile(0.5)
+    p99 = latency.percentile(0.99)
     fsync_ratio = health["fsyncs"] / health["dispatched"]
     return USERS / elapsed, p50, p99, fsync_ratio
 
@@ -150,6 +180,7 @@ def _run_shedding():
 
 def test_server_throughput_and_group_commit(emit):
     """Acceptance bar: fsyncs/request < 1 on the durable serving path."""
+    _check_percentile_identity()
     req_per_s, p50, p99, fsync_ratio = _run_throughput()
     served, shed, untyped = _run_shedding()
     total = served + shed

@@ -1,8 +1,9 @@
 """CI gate: fail when the bench trajectory regresses.
 
 Compares every fresh result under ``benchmarks/results/*.json`` against
-the committed trajectory baselines (``BENCH_PR9.json`` first, falling
-back to ``BENCH_PR6.json``/``BENCH_PR4.json``/``BENCH_PR3.json`` for
+the committed trajectory baselines (``BENCH_PR10.json`` first, falling
+back to ``BENCH_PR9.json``/``BENCH_PR6.json``/``BENCH_PR4.json``/
+``BENCH_PR3.json`` for
 benchmarks that predate it) and exits
 non-zero when a benchmark's headline speedup fell more than the allowed
 tolerance (default 20%) below its baseline.
@@ -96,7 +97,7 @@ def check_entry(
     if baseline is None:
         if smoke:
             return True, f"sanity only (no baseline yet): speedup {speedup}"
-        return False, "no committed baseline — record one in BENCH_PR9.json"
+        return False, "no committed baseline — record one in BENCH_PR10.json"
 
     strict = (
         fresh.get("n") == baseline.get("n")
@@ -131,7 +132,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baselines", type=Path, nargs="+", default=None,
         help="trajectory files, newest first (default: the committed "
-        "HEAD versions of BENCH_PR9.json, BENCH_PR6.json, BENCH_PR4.json and "
+        "HEAD versions of BENCH_PR10.json, BENCH_PR9.json, BENCH_PR6.json, BENCH_PR4.json and "
         "BENCH_PR3.json)",
     )
     parser.add_argument(

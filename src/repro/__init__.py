@@ -28,6 +28,7 @@ Quickstart
 runnable snippet per entry.
 """
 
+from repro import obs
 from repro.bids import AdditiveBid, RevisableBid, SlotValues, SubstitutableBid
 from repro.core import (
     AddOffOutcome,
@@ -61,10 +62,12 @@ from repro.gateway import API_VERSION, PricingService, TenantSession
 # codec, so it must not load while repro.gateway is mid-initialization.
 from repro.fleet.mp import MultiProcessFleet
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # bids
     "SlotValues",
     "AdditiveBid",

@@ -343,6 +343,21 @@ def build_parser() -> argparse.ArgumentParser:
         "wal_dir", type=Path, help="directory holding wal.jsonl + checkpoints"
     )
 
+    stats = sub.add_parser(
+        "stats",
+        help="read a running gateway's metrics (Prometheus text, or the "
+        "MetricsReply wire form with --json)",
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="gateway host")
+    stats.add_argument(
+        "--port", type=int, default=8321, help="gateway port (default 8321)"
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="fetch through the MetricsRequest envelope and print the "
+        "reply's wire dict instead of the Prometheus text",
+    )
+
     wal_gc = sub.add_parser(
         "wal-gc",
         help="compact a WAL directory: checkpoint, rotate, and delete "
@@ -622,6 +637,25 @@ def _run_wal_gc(args) -> int:
     return 0
 
 
+def _run_stats(args) -> int:
+    import json
+
+    from repro.gateway.client import GatewayClient, GatewayUnavailable
+    from repro.gateway.envelopes import MetricsRequest, to_dict
+
+    try:
+        with GatewayClient(args.host, args.port, max_attempts=2) as client:
+            if args.json:
+                reply = client.request(MetricsRequest())
+                print(json.dumps(to_dict(reply), sort_keys=True))
+            else:
+                print(client.metrics_text(), end="")
+    except (OSError, GatewayUnavailable) as exc:
+        print(f"stats failed: no gateway at {args.host}:{args.port} ({exc})")
+        return 1
+    return 0
+
+
 def _emit(result, args) -> None:
     text = format_summary(result) if args.summary else format_result(result, max_rows=args.rows)
     print(text)
@@ -645,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         print("recover (durability)   rebuild a durable service from its WAL")
         print("checkpoint (durability) recover a WAL directory and checkpoint it")
         print("wal-gc  (durability)   compact a WAL directory (rotate + delete)")
+        print("stats   (observability) read a running gateway's metrics")
         return 0
     if args.command == "fleet":
         return _run_fleet(args)
@@ -660,6 +695,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recover(args, write_checkpoint=True)
     if args.command == "wal-gc":
         return _run_wal_gc(args)
+    if args.command == "stats":
+        return _run_stats(args)
 
     names = list(FIGURES) if args.command == "all" else [args.command]
     if args.command == "all":

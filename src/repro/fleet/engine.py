@@ -64,6 +64,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.bids.additive import AdditiveBid
 from repro.bids.revision import RevisableBid
 from repro.cloudsim.catalog import OptimizationCatalog
@@ -85,6 +86,14 @@ from repro.fleet.executor import FleetExecutor
 from repro.fleet.shard import ShardMap
 
 __all__ = ["FleetBatch", "FleetEngine", "FleetReport"]
+
+# Per-slot granularity only (DESIGN.md "Metrics conventions"): the
+# per-bid/per-group loops inside a slot are the fleet's hot path and
+# stay uninstrumented — one observation per advanced slot is the floor.
+_SLOT_SECONDS = obs.REGISTRY.histogram(
+    "repro_fleet_slot_advance_seconds",
+    "Wall time of one FleetEngine slot advance.",
+)
 
 
 @dataclass(frozen=True)
@@ -737,6 +746,10 @@ class FleetEngine(FleetExecutor):
 
     def advance_slot(self) -> int:
         """Process the next slot for every game; returns its number."""
+        with _SLOT_SECONDS.time():
+            return self._advance_one_slot()
+
+    def _advance_one_slot(self) -> int:
         self._ensure_usable()
         if self.slot >= self.horizon:
             raise MechanismError(f"period is over after slot {self.horizon}")

@@ -60,6 +60,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.bids.additive import AdditiveBid
 from repro.cloudsim.catalog import OptimizationCatalog
 from repro.cloudsim.events import (
@@ -76,6 +77,20 @@ from repro.fleet.shard import ShardMap
 from repro.gateway.codec import decode_value, encode_value
 
 __all__ = ["MultiProcessFleet"]
+
+# Master-side fleet instrumentation. Both live in the *master* process,
+# so their values survive worker kills — a respawned worker rebuilds its
+# own (worker-local, unread) registry, never this one. Worker labels are
+# process ranks: cardinality == pool size.
+_RESPAWNS_TOTAL = obs.REGISTRY.counter(
+    "repro_fleet_respawns_total",
+    "Worker processes respawned after a crash (master-side count).",
+)
+_CHUNK_SECONDS = obs.REGISTRY.histogram(
+    "repro_fleet_worker_chunk_seconds",
+    "Master wall time from chunk scatter until each worker's reply.",
+    ("worker",),
+)
 
 #: Slots per scatter/gather round trip. Bounds per-message delta payloads
 #: while amortizing pipe latency across many slots.
@@ -310,6 +325,7 @@ class MultiProcessFleet(FleetExecutor):
             self._roundtrip(worker, message)
 
     def _respawn(self, worker: int) -> None:
+        _RESPAWNS_TOTAL.inc()
         proc = self._procs[worker]
         if proc is not None:
             try:
@@ -511,6 +527,7 @@ class MultiProcessFleet(FleetExecutor):
         message = ("advance", chunk)
         results: list = [None] * self.workers
         dead: list[int] = []
+        begin = obs.REGISTRY.clock() if obs.REGISTRY.enabled else None
         for worker in range(self.workers):
             try:
                 self._conns[worker].send(message)
@@ -530,6 +547,10 @@ class MultiProcessFleet(FleetExecutor):
                     f"fleet worker {worker} rejected 'advance': {name}: {text}"
                 )
             results[worker] = reply[1]
+            if begin is not None:
+                _CHUNK_SECONDS.labels(worker=str(worker)).observe(
+                    obs.REGISTRY.clock() - begin
+                )
         for worker in dead:
             last: Exception | None = None
             for _ in range(2):
@@ -540,6 +561,10 @@ class MultiProcessFleet(FleetExecutor):
                     break
                 except _WorkerDied as exc:
                     last = exc
+            if begin is not None and results[worker] is not None:
+                _CHUNK_SECONDS.labels(worker=str(worker)).observe(
+                    obs.REGISTRY.clock() - begin
+                )
             if last is not None:
                 raise MechanismError(
                     f"fleet worker {worker} keeps dying mid-advance"

@@ -52,6 +52,8 @@ from repro.gateway.envelopes import (
     ErrorReply,
     LedgerQuery,
     LedgerReply,
+    MetricsReply,
+    MetricsRequest,
     QueryReply,
     Reply,
     Request,
@@ -90,6 +92,7 @@ __all__ = [
     "RunQuery",
     "AdviseRequest",
     "LedgerQuery",
+    "MetricsRequest",
     "ConfigReply",
     "BidsReply",
     "ReviseReply",
@@ -97,6 +100,7 @@ __all__ = [
     "QueryReply",
     "AdviseReply",
     "LedgerReply",
+    "MetricsReply",
     "ErrorReply",
     "ERROR_CODES",
     "RETRYABLE_CODES",

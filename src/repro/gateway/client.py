@@ -13,7 +13,8 @@ worth copying:
 - Transport failures are retried only when they cannot have half-applied
   a mutation: a refused connection (the request never left) always
   retries; a *fresh* connection that died mid-exchange retries only for
-  read-only kinds (``RunQuery``, ``AdviseRequest``, ``LedgerQuery``) —
+  read-only kinds (``RunQuery``, ``AdviseRequest``, ``LedgerQuery``,
+  ``MetricsRequest``) —
   a mutating envelope may or may not have been committed, and the
   caller, not this client, must decide. A **reused** keep-alive
   connection that closes without a response is the idle-timeout race
@@ -37,6 +38,7 @@ import json
 import random
 import time
 
+from repro import obs
 from repro.errors import ReproError
 from repro.gateway.envelopes import (
     Reply,
@@ -44,13 +46,30 @@ from repro.gateway.envelopes import (
     reply_from_dict,
     to_dict,
 )
-from repro.gateway.server import HEALTH_PATH, DEADLINE_HEADER, path_for_kind
+from repro.gateway.server import (
+    DEADLINE_HEADER,
+    HEALTH_PATH,
+    METRICS_PATH,
+    path_for_kind,
+)
 
 __all__ = ["GatewayClient", "GatewayUnavailable", "READ_ONLY_KINDS"]
 
 #: Request kinds with no durable effect: safe to retry after a torn
 #: exchange, because replaying them cannot double-charge anyone.
-READ_ONLY_KINDS = frozenset({"RunQuery", "AdviseRequest", "LedgerQuery"})
+READ_ONLY_KINDS = frozenset(
+    {"RunQuery", "AdviseRequest", "LedgerQuery", "MetricsRequest"}
+)
+
+_RETRIES_TOTAL = obs.REGISTRY.counter(
+    "repro_client_retries_total",
+    "Request attempts beyond the first, by request kind.",
+    ("kind",),
+)
+_BACKOFF_SECONDS = obs.REGISTRY.counter(
+    "repro_client_backoff_seconds_total",
+    "Total time spent sleeping between retries.",
+)
 
 
 class GatewayUnavailable(ReproError):
@@ -106,6 +125,8 @@ class GatewayClient:
         last_failure = ""
         last_shed: Reply | None = None
         for attempt in range(self.max_attempts):
+            if attempt:
+                _RETRIES_TOTAL.labels(kind=payload["kind"]).inc()
             sent = False
             fresh = False
             try:
@@ -156,6 +177,23 @@ class GatewayClient:
                 if fresh:
                     raise
 
+    def metrics_text(self) -> str:
+        """One GET of ``/v1/metrics`` (the server's Prometheus text
+        exposition); same retry stance as :meth:`health`."""
+        while True:
+            conn, fresh = self._connection()
+            try:
+                conn.request("GET", METRICS_PATH)
+                response = conn.getresponse()
+                body = response.read()
+                if response.will_close:
+                    self._drop_connection()
+                return body.decode("utf-8")
+            except (OSError, http.client.HTTPException):
+                self._drop_connection()
+                if fresh:
+                    raise
+
     def close(self) -> None:
         self._drop_connection()
 
@@ -197,4 +235,6 @@ class GatewayClient:
         if attempt >= self.max_attempts - 1:
             return  # no point sleeping before giving up
         ceiling = min(self.max_delay, self.base_delay * (2**attempt))
-        self._sleep(max(self._rng.uniform(0, ceiling), floor))
+        delay = max(self._rng.uniform(0, ceiling), floor)
+        _BACKOFF_SECONDS.inc(delay)
+        self._sleep(delay)

@@ -11,7 +11,7 @@ Wire shape
 ----------
 A serialized envelope is a flat JSON object::
 
-    {"api": "1.5", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
+    {"api": "1.6", "kind": "SubmitBids", "tenant": "ann", "bids": [...]}
 
 ``api`` is :data:`API_VERSION` (checked on decode; a mismatch raises
 :class:`~repro.errors.ProtocolError` with code ``"version"``), ``kind``
@@ -57,6 +57,7 @@ __all__ = [
     "RunQuery",
     "AdviseRequest",
     "LedgerQuery",
+    "MetricsRequest",
     "ConfigReply",
     "BidsReply",
     "ReviseReply",
@@ -64,6 +65,7 @@ __all__ = [
     "QueryReply",
     "AdviseReply",
     "LedgerReply",
+    "MetricsReply",
     "ErrorReply",
     "ERROR_CODES",
     "RETRYABLE_CODES",
@@ -83,7 +85,12 @@ __all__ = [
 #: :class:`ErrorReply`. 1.5 added the executor seam: ``Configure.workers``
 #: picks the fleet backend (0/1 in-process, N > 1 a shared-nothing
 #: multi-process pool) and :class:`ConfigReply` echoes the worker count.
-API_VERSION = "1.5"
+#: 1.6 added the observability surface — the :class:`MetricsRequest`/
+#: :class:`MetricsReply` pair reading the process-wide
+#: :mod:`repro.obs` registry — and removed the deprecated
+#: ``dispatch_many``/``dispatch_dict`` aliases API 1.5 had kept as
+#: warning shims.
+API_VERSION = "1.6"
 
 #: Query kinds :class:`RunQuery` accepts (the astronomy workload surface).
 QUERY_KINDS = ("members", "histogram", "top", "chain", "contributors")
@@ -304,6 +311,16 @@ class LedgerQuery(Request):
         _require_hashable(self.tenant, "a tenant id")
 
 
+@dataclass(frozen=True)
+class MetricsRequest(Request):
+    """Read the process-wide :mod:`repro.obs` metrics registry.
+
+    Carries no parameters: the reply is one deterministic dump of every
+    family (API 1.6). Read-only — dispatching it never touches service
+    state, so it is always safe to retry.
+    """
+
+
 # --------------------------------------------------------------- replies --
 
 
@@ -413,6 +430,30 @@ class LedgerReply(Reply):
         )
 
 
+def _deep_tuple(value):
+    """Lists and tuples -> nested tuples (hashable, wire-normal)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class MetricsReply(Reply):
+    """One deterministic dump of the metrics registry.
+
+    ``metrics`` is :meth:`repro.obs.MetricsRegistry.wire`'s flat tuple
+    form — ``(name, kind, ((label, value), ...), value)`` per series,
+    histogram values as ``(buckets, counts, sum, count)`` — tuples and
+    JSON scalars only, so the envelope round-trips exactly like every
+    other one.
+    """
+
+    metrics: tuple = ()
+
+    def _normalize(self) -> None:
+        object.__setattr__(self, "metrics", _deep_tuple(self.metrics))
+
+
 #: Exception class -> structured wire code, most-derived first. The scan
 #: order matters: ``RevisionError`` must map to ``"revision"`` although it
 #: is also a ``BidError``.
@@ -495,6 +536,7 @@ _REQUESTS = {
         RunQuery,
         AdviseRequest,
         LedgerQuery,
+        MetricsRequest,
     )
 }
 
@@ -508,6 +550,7 @@ _REPLIES = {
         QueryReply,
         AdviseReply,
         LedgerReply,
+        MetricsReply,
         ErrorReply,
     )
 }

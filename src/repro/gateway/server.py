@@ -9,7 +9,9 @@ third-party web framework), one small curl-able endpoint per resource::
     POST /v1/query    RunQuery
     POST /v1/advise   AdviseRequest
     POST /v1/ledger   LedgerQuery
+    POST /v1/metrics  MetricsRequest
     GET  /v1/healthz  liveness + serving counters (never sheds)
+    GET  /v1/metrics  Prometheus text exposition of repro.obs (never sheds)
 
 The robustness machinery is the point, not an afterthought:
 
@@ -57,12 +59,14 @@ import signal
 import threading
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import GameConfigError
 from repro.gateway.envelopes import ErrorReply, request_from_dict, to_dict
 
 __all__ = [
     "ROUTES",
     "HEALTH_PATH",
+    "METRICS_PATH",
     "DEADLINE_HEADER",
     "HTTP_STATUS",
     "path_for_kind",
@@ -79,9 +83,14 @@ ROUTES = {
     "/v1/query": ("RunQuery",),
     "/v1/advise": ("AdviseRequest",),
     "/v1/ledger": ("LedgerQuery",),
+    "/v1/metrics": ("MetricsRequest",),
 }
 
 HEALTH_PATH = "/v1/healthz"
+
+#: GET here answers with the Prometheus text exposition of
+#: :data:`repro.obs.REGISTRY` (POST dispatches a MetricsRequest).
+METRICS_PATH = "/v1/metrics"
 
 #: Request header naming the seconds a caller will wait (lower-cased).
 DEADLINE_HEADER = "x-repro-deadline"
@@ -120,6 +129,38 @@ _REASONS = {
 _MAX_LINE = 8192
 _MAX_HEADERS = 100
 _MAX_BODY = 8 * 1024 * 1024
+
+# Serving-layer instrumentation (repro.obs). Endpoint labels come from
+# the closed ROUTES table (plus the two GET paths) and shed codes from
+# the two admission verdicts — bounded cardinality by construction.
+_REQUESTS_TOTAL = obs.REGISTRY.counter(
+    "repro_server_requests_total",
+    "HTTP requests received, per known endpoint.",
+    ("endpoint",),
+)
+_REQUEST_SECONDS = obs.REGISTRY.histogram(
+    "repro_server_request_seconds",
+    "Wall time from parsed request to response written, per endpoint.",
+    ("endpoint",),
+)
+_PENDING_GAUGE = obs.REGISTRY.gauge(
+    "repro_server_pending",
+    "Envelopes queued or in flight (the admission gauge).",
+)
+_SHEDS_TOTAL = obs.REGISTRY.counter(
+    "repro_server_sheds_total",
+    "Typed sheds, per error code.",
+    ("code",),
+)
+_BATCH_SIZE = obs.REGISTRY.histogram(
+    "repro_server_batch_size",
+    "Live envelopes per group-commit dispatch batch.",
+    buckets=tuple(float(2**k) for k in range(10)),
+)
+_FSYNCS_PER_REQUEST = obs.REGISTRY.gauge(
+    "repro_server_fsyncs_per_request",
+    "WAL fsyncs divided by dispatched envelopes (group-commit dividend).",
+)
 
 _KIND_TO_PATH = {
     kind: path for path, kinds in ROUTES.items() for kind in kinds
@@ -200,6 +241,7 @@ class GatewayServer:
         self._pending = 0
         self._tenant_pending: dict = {}
         self._draining = False
+        self._started: float | None = None  # loop-clock instant of start()
         self.dispatched = 0  # envelopes that reached the service
         self.shed = 0  # envelopes rejected (overloaded or expired)
         self.batches = 0  # batched dispatch calls (group commits)
@@ -214,6 +256,7 @@ class GatewayServer:
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound ``(host, port)``."""
         self._loop = asyncio.get_running_loop()
+        self._started = self._loop.time()
         self._flush_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
@@ -301,8 +344,17 @@ class GatewayServer:
             if self._draining:
                 keep_alive = False
             if path == HEALTH_PATH:
+                _REQUESTS_TOTAL.labels(endpoint=HEALTH_PATH).inc()
                 await self._write_response(
                     writer, 200, self._health(), keep_alive=keep_alive
+                )
+            elif path == METRICS_PATH and method != "POST":
+                # The scrape path: GET answers text exposition outside
+                # admission control (a monitoring probe must not shed);
+                # POST falls through to the MetricsRequest envelope.
+                _REQUESTS_TOTAL.labels(endpoint=METRICS_PATH).inc()
+                await self._write_text(
+                    writer, 200, obs.render(), keep_alive=keep_alive
                 )
             else:
                 keep_alive = await self._handle_api(
@@ -378,6 +430,15 @@ class GatewayServer:
                 keep_alive=keep_alive,
             )
             return keep_alive
+        _REQUESTS_TOTAL.labels(endpoint=path).inc()
+        with _REQUEST_SECONDS.labels(endpoint=path).time():
+            return await self._dispatch_api(
+                writer, method, path, headers, body, keep_alive, kinds
+            )
+
+    async def _dispatch_api(
+        self, writer, method, path, headers, body, keep_alive, kinds
+    ) -> bool:
         if method != "POST":
             await self._respond_error(
                 writer,
@@ -451,6 +512,7 @@ class GatewayServer:
 
     def _overloaded(self, kind: str, message: str) -> dict:
         self.shed += 1
+        _SHEDS_TOTAL.labels(code="overloaded").inc()
         return to_dict(
             ErrorReply(
                 code="overloaded",
@@ -462,6 +524,7 @@ class GatewayServer:
 
     def _deadline_reply(self, kind: str) -> dict:
         self.shed += 1
+        _SHEDS_TOTAL.labels(code="deadline_exceeded").inc()
         return to_dict(
             ErrorReply(
                 code="deadline_exceeded",
@@ -487,6 +550,7 @@ class GatewayServer:
             )
         entry = _Entry(request, kind, self._loop.create_future(), deadline)
         self._pending += 1
+        _PENDING_GAUGE.set(self._pending)
         self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
         entry.future.add_done_callback(lambda _f: self._release(tenant))
         self._queue.append(entry)
@@ -498,6 +562,7 @@ class GatewayServer:
 
     def _release(self, tenant) -> None:
         self._pending -= 1
+        _PENDING_GAUGE.set(self._pending)
         remaining = self._tenant_pending.get(tenant, 1) - 1
         if remaining <= 0:
             self._tenant_pending.pop(tenant, None)
@@ -549,6 +614,7 @@ class GatewayServer:
             for entry in live:
                 entry.claimed = True
             self.batches += 1
+            _BATCH_SIZE.observe(len(live))
             try:
                 replies = self.service.dispatch(
                     [entry.request for entry in live]
@@ -560,6 +626,9 @@ class GatewayServer:
                     for entry in live
                 ]
             self.dispatched += len(live)
+            wal = getattr(self.service, "_wal", None)
+            if wal is not None and self.dispatched:
+                _FSYNCS_PER_REQUEST.set(wal.fsyncs / self.dispatched)
             for entry, result in zip(live, results):
                 if not entry.future.done():
                     entry.future.set_result(result)
@@ -567,14 +636,23 @@ class GatewayServer:
     # --------------------------------------------------------- responses --
 
     def _health(self) -> dict:
+        from repro import __version__  # deferred: repro imports gateway
+
         wal = getattr(self.service, "_wal", None)
+        uptime = 0.0
+        if self._loop is not None and self._started is not None:
+            uptime = self._loop.time() - self._started
         return {
             "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_s": round(uptime, 6),
+            "workers": getattr(self.service.fleet, "workers", 0),
             "pending": self._pending,
             "dispatched": self.dispatched,
             "shed": self.shed,
             "batches": self.batches,
             "fsyncs": getattr(wal, "fsyncs", 0),
+            "wal_seq": getattr(wal, "last_seq", 0),
             "epoch": self.service.db.epoch,
         }
 
@@ -587,6 +665,19 @@ class GatewayServer:
         await self._write_response(
             writer, status, reply, keep_alive=keep_alive
         )
+
+    async def _write_text(
+        self, writer, status: int, text: str, *, keep_alive: bool
+    ) -> None:
+        body = text.encode()
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + body)
+        await writer.drain()
 
     async def _write_response(
         self, writer, status: int, payload: dict, *, keep_alive: bool

@@ -38,7 +38,6 @@ Contracts (tested in ``tests/test_gateway.py``):
 
 from __future__ import annotations
 
-import warnings
 from bisect import bisect_right
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -62,6 +61,7 @@ from repro.errors import (
     RecoveryError,
     ReproError,
 )
+from repro import obs
 from repro.fleet.engine import FleetBatch, FleetEngine, FleetReport
 from repro.fleet.executor import FleetExecutor
 from repro.gateway.envelopes import (
@@ -75,6 +75,8 @@ from repro.gateway.envelopes import (
     ErrorReply,
     LedgerQuery,
     LedgerReply,
+    MetricsReply,
+    MetricsRequest,
     QueryReply,
     Reply,
     Request,
@@ -92,6 +94,30 @@ __all__ = ["PricingService", "TenantSession", "BulkAcks", "SNAPSHOT_RETENTION"]
 #: Catalog snapshots the service retains for ``as_of`` time travel. Each
 #: pinned epoch keeps its tables' buffers alive, so retention is bounded.
 SNAPSHOT_RETENTION = 16
+
+# Dispatch-level instrumentation (repro.obs). Label cardinality is
+# bounded by construction: request kinds and query kinds are closed
+# sets. Per DESIGN.md's conventions nothing below per-request
+# granularity is metered here.
+_DISPATCH_TOTAL = obs.REGISTRY.counter(
+    "repro_dispatch_total",
+    "Envelopes dispatched through PricingService, per request kind.",
+    ("kind",),
+)
+_DISPATCH_SECONDS = obs.REGISTRY.histogram(
+    "repro_dispatch_seconds",
+    "PricingService dispatch latency per request kind.",
+    ("kind",),
+)
+_QUERY_UNITS_TOTAL = obs.REGISTRY.counter(
+    "repro_query_units_total",
+    "Metered cost units charged through RunQuery, per query kind.",
+    ("query",),
+)
+_CHECKPOINT_SECONDS = obs.REGISTRY.histogram(
+    "repro_wal_checkpoint_seconds",
+    "Wall time of one checkpoint (capture, write, rotation, GC).",
+)
 
 
 class BulkAcks(Sequence):
@@ -393,14 +419,17 @@ class PricingService:
     def _dispatch_one(self, request: Request, *, log: bool) -> Reply:
         """One dispatch; ``log=False`` when a batch record already covers
         the envelope (batched-:meth:`dispatch` group commit)."""
-        try:
-            self._ensure_open()
-            if log and self._wal is not None:
-                self._wal.append_request(self.db.epoch, to_dict(request))
-                self._records_since_checkpoint += 1
-            reply = self._handle(request)
-        except ReproError as exc:
-            reply = ErrorReply.of(exc, request_kind=type(request).__name__)
+        kind = type(request).__name__
+        _DISPATCH_TOTAL.labels(kind=kind).inc()
+        with _DISPATCH_SECONDS.labels(kind=kind).time():
+            try:
+                self._ensure_open()
+                if log and self._wal is not None:
+                    self._wal.append_request(self.db.epoch, to_dict(request))
+                    self._records_since_checkpoint += 1
+                reply = self._handle(request)
+            except ReproError as exc:
+                reply = ErrorReply.of(exc, request_kind=kind)
         self._probe("apply:done")
         if log:
             self._maybe_checkpoint()
@@ -491,28 +520,9 @@ class PricingService:
             return to_dict(ErrorReply.of(exc, request_kind=str(kind or "")))
         return to_dict(self._dispatch_one(request, log=True))
 
-    # Deprecated entry points (API 1.5 unified them; kept one release as
-    # warning aliases so out-of-tree callers migrate without breaking).
-
-    def dispatch_many(self, requests) -> Sequence[Reply]:
-        """Deprecated: pass the sequence straight to :meth:`dispatch`."""
-        warnings.warn(
-            "PricingService.dispatch_many() is deprecated; pass the "
-            "request sequence straight to dispatch()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._dispatch_batch(list(requests))
-
-    def dispatch_dict(self, payload) -> dict:
-        """Deprecated: renamed to :meth:`dispatch_json`."""
-        warnings.warn(
-            "PricingService.dispatch_dict() is deprecated; use "
-            "dispatch_json()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.dispatch_json(payload)
+    # The pre-1.5 entry points dispatch_many()/dispatch_dict() are gone:
+    # API 1.5 unified them into dispatch()/dispatch_json() and kept
+    # DeprecationWarning aliases for one release; API 1.6 removed them.
 
     # ----------------------------------------------------------- handlers --
 
@@ -529,6 +539,10 @@ class PricingService:
             return self._advise(request)
         if isinstance(request, LedgerQuery):
             return self._ledger(request)
+        if isinstance(request, MetricsRequest):
+            # Reads the process-wide registry; deliberately stateless
+            # (replaying one from a WAL is a no-op for service state).
+            return MetricsReply(metrics=obs.REGISTRY.wire())
         if isinstance(request, Configure):
             costs: dict = {}
             for optimization, cost in request.optimizations:
@@ -661,6 +675,7 @@ class PricingService:
         )
         with self.log.tenant(request.tenant):
             rows, units, source = self._execute_query(engine, request)
+        _QUERY_UNITS_TOTAL.labels(query=request.query).inc(units)
         return QueryReply(
             tenant=request.tenant,
             query=request.query,
@@ -852,11 +867,12 @@ class PricingService:
                 "no WAL is attached; attach_wal() before checkpointing"
             )
         self._probe("checkpoint:begin")
-        state = capture_state(self, wal_seq=self._wal.last_seq)
-        path = write_checkpoint(self._wal_dir, state, probe=self._probe)
-        self._records_since_checkpoint = 0
-        if self._retain_checkpoints is not None:
-            self.wal_gc(self._retain_checkpoints)
+        with _CHECKPOINT_SECONDS.time(), obs.SPANS.span("checkpoint"):
+            state = capture_state(self, wal_seq=self._wal.last_seq)
+            path = write_checkpoint(self._wal_dir, state, probe=self._probe)
+            self._records_since_checkpoint = 0
+            if self._retain_checkpoints is not None:
+                self.wal_gc(self._retain_checkpoints)
         self._probe("checkpoint:done")
         return path
 
@@ -903,11 +919,12 @@ class PricingService:
         """
         from repro.gateway.wal.recovery import recover as _recover
 
-        return _recover(
-            directory,
-            checkpoint_every=checkpoint_every,
-            retain_checkpoints=retain_checkpoints,
-        )
+        with obs.SPANS.span("recover"):
+            return _recover(
+                directory,
+                checkpoint_every=checkpoint_every,
+                retain_checkpoints=retain_checkpoints,
+            )
 
     def _adopt_wal(
         self,
@@ -952,6 +969,9 @@ class PricingService:
         (:class:`BulkAcks`); the caller must not mutate ``requests``
         afterwards.
         """
+        # One bulk counter bump for the whole run — per-request-kind
+        # accounting without touching the per-bid hot loop below.
+        _DISPATCH_TOTAL.labels(kind="SubmitBids").inc(len(requests))
         fleet = self._require_fleet()
         rank_get = fleet.rank_map.get
         # The gateway is an *untrusted* boundary over the engine's

@@ -24,9 +24,27 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro import obs
 from repro.gateway.wal.records import WalRecord, encode_record
 
 __all__ = ["WalWriter"]
+
+_APPEND_SECONDS = obs.REGISTRY.histogram(
+    "repro_wal_append_seconds",
+    "Wall time of one durable append (write + flush + fsync).",
+)
+_FSYNC_SECONDS = obs.REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "Wall time of the fsync alone (the durability point).",
+)
+_BYTES_TOTAL = obs.REGISTRY.counter(
+    "repro_wal_bytes_total",
+    "Bytes appended to the active WAL file (records are ASCII JSONL).",
+)
+_ROTATIONS_TOTAL = obs.REGISTRY.counter(
+    "repro_wal_rotations_total",
+    "Active-file rotations into sealed segments.",
+)
 
 
 class WalWriter:
@@ -80,10 +98,13 @@ class WalWriter:
         line = encode_record(record)
         if self._probe is not None:
             self._probe("wal:append")
-        self._handle.write(line)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with _APPEND_SECONDS.time():
+            self._handle.write(line)
+            self._handle.flush()
+            with _FSYNC_SECONDS.time():
+                os.fsync(self._handle.fileno())
         self.fsyncs += 1
+        _BYTES_TOTAL.inc(len(line))
         self._next_seq = record.seq + 1
         if self._probe is not None:
             self._probe("wal:appended")
@@ -119,6 +140,7 @@ class WalWriter:
             os.close(dir_fd)
         self._handle = open(self.path, "a", encoding="utf-8")
         self._file_first_seq = self._next_seq
+        _ROTATIONS_TOTAL.inc()
         return sealed
 
     def close(self) -> None:

@@ -1,0 +1,79 @@
+"""Lightweight span tracing on the repo's JSONL conventions.
+
+A *span* is one named, timed region with arbitrary scalar fields —
+checkpoint writes, recoveries, WAL rotations. :class:`SpanRecorder`
+keeps a bounded in-memory ring of finished spans and (optionally)
+appends each one as a single JSON object per line, the same
+one-object-per-line shape as the gateway's request traces and WAL, so
+the existing JSONL tooling reads span files unchanged.
+
+Timing goes through the recorder's injectable ``clock`` — the same
+determinism seam as :class:`repro.obs.metrics.MetricsRegistry` — and a
+disabled recorder records nothing and never touches the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["SpanRecorder", "read_spans"]
+
+
+class SpanRecorder:
+    """A bounded recorder of finished spans (newest ``maxlen`` kept)."""
+
+    def __init__(self, path=None, *, maxlen: int = 512, clock=time.perf_counter):
+        self.clock = clock
+        self.enabled = True
+        self._path = None if path is None else Path(path)
+        self._rows: deque = deque(maxlen=maxlen)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Time one region; fields must be JSON scalars (they ride the
+        wire row verbatim). Records even when the body raises — a failed
+        checkpoint is exactly the span worth seeing."""
+        if not self.enabled:
+            yield
+            return
+        for reserved in ("span", "begin", "end", "elapsed"):
+            if reserved in fields:
+                raise ValueError(f"span field {reserved!r} is reserved")
+        begin = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            row = {
+                "span": str(name),
+                "begin": begin,
+                "end": end,
+                "elapsed": end - begin,
+                **fields,
+            }
+            self._rows.append(row)
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def rows(self) -> tuple:
+        """Finished spans, oldest first (dicts; treat as read-only)."""
+        return tuple(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+
+def read_spans(path):
+    """Every span row of one JSONL span file, in file order."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,210 @@
+"""A strict Prometheus text-exposition (format 0.0.4) parser for tests.
+
+``parse_exposition`` validates the whole document — line grammar, name
+and label syntax, escape sequences, ``# TYPE`` declarations preceding
+their samples, histogram bucket series that are cumulative and end at
+``+Inf`` consistent with ``_count`` — and raises :class:`ExpositionError`
+on the first violation. Tests feed it ``repro.obs.render_prometheus``
+output (and the server's ``GET /v1/metrics`` body) so "valid Prometheus"
+is an executable claim, not a string containment check.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["ExpositionError", "Sample", "parse_exposition"]
+
+_METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)\Z"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*'
+)
+_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+_ESCAPES = {"\\\\": "\\", r"\"": '"', r"\n": "\n"}
+
+
+class ExpositionError(AssertionError):
+    """The text is not valid exposition format."""
+
+
+class Sample:
+    """One sample line: ``name``, ``labels`` dict, float ``value``."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict, value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+def _unescape(text: str, line: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\":
+            pair = text[i : i + 2]
+            if pair not in _ESCAPES:
+                raise ExpositionError(f"bad escape {pair!r} in: {line}")
+            out.append(_ESCAPES[pair])
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str, line: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"unparseable value {text!r} in: {line}") from None
+
+
+def _parse_labels(raw: str, line: str) -> dict:
+    labels: dict = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            raise ExpositionError(f"bad label syntax in: {line}")
+        label = match.group("label")
+        if label in labels:
+            raise ExpositionError(f"duplicate label {label!r} in: {line}")
+        labels[label] = _unescape(match.group("value"), line)
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ExpositionError(f"bad label separator in: {line}")
+            pos += 1
+    return labels
+
+
+def _base_name(sample_name: str, types: dict) -> str:
+    """The family a sample belongs to, honoring histogram suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name[: -len(suffix)]
+        if sample_name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def _check_histogram(name: str, samples: list) -> None:
+    buckets = [s for s in samples if s.name == f"{name}_bucket"]
+    counts = [s for s in samples if s.name == f"{name}_count"]
+    sums = [s for s in samples if s.name == f"{name}_sum"]
+    series: dict = {}
+    for sample in buckets:
+        if "le" not in sample.labels:
+            raise ExpositionError(f"{name}_bucket sample without an le label")
+        key = tuple(
+            sorted((k, v) for k, v in sample.labels.items() if k != "le")
+        )
+        series.setdefault(key, []).append(sample)
+    count_by_key = {
+        tuple(sorted(s.labels.items())): s.value for s in counts
+    }
+    sum_keys = {tuple(sorted(s.labels.items())) for s in sums}
+    if set(count_by_key) != sum_keys:
+        raise ExpositionError(f"{name}: _sum and _count series disagree")
+    for key, rows in series.items():
+        les = [row.labels["le"] for row in rows]
+        if les[-1] != "+Inf":
+            raise ExpositionError(
+                f"{name}{dict(key)}: bucket series must end at le=+Inf"
+            )
+        bounds = [_parse_value(le, f"{name} le") for le in les]
+        if bounds != sorted(bounds):
+            raise ExpositionError(f"{name}{dict(key)}: le bounds not sorted")
+        values = [row.value for row in rows]
+        if values != sorted(values):
+            raise ExpositionError(
+                f"{name}{dict(key)}: bucket counts are not cumulative"
+            )
+        if key not in count_by_key:
+            raise ExpositionError(f"{name}{dict(key)}: buckets without _count")
+        if values[-1] != count_by_key[key]:
+            raise ExpositionError(
+                f"{name}{dict(key)}: +Inf bucket {values[-1]} != "
+                f"_count {count_by_key[key]}"
+            )
+
+
+def parse_exposition(text: str):
+    """Parse and validate; returns ``(types, samples)`` where ``types``
+    maps family name -> declared kind and ``samples`` is every sample in
+    document order."""
+    if not text.endswith("\n"):
+        raise ExpositionError("exposition must end with a newline")
+    types: dict = {}
+    helps: dict = {}
+    samples: list = []
+    seen_families: set = set()
+    for line in text.split("\n")[:-1]:
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _METRIC_RE.match(parts[2]):
+                raise ExpositionError(f"bad HELP line: {line}")
+            if parts[2] in helps:
+                raise ExpositionError(f"duplicate HELP for {parts[2]!r}")
+            helps[parts[2]] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_RE.match(parts[2]):
+                raise ExpositionError(f"bad TYPE line: {line}")
+            if parts[3] not in _KINDS:
+                raise ExpositionError(f"unknown kind {parts[3]!r}: {line}")
+            if parts[2] in types:
+                raise ExpositionError(f"duplicate TYPE for {parts[2]!r}")
+            if parts[2] in seen_families:
+                raise ExpositionError(
+                    f"TYPE for {parts[2]!r} after its samples"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal anywhere
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"unparseable sample line: {line}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line)
+        for label in labels:
+            if not _LABEL_RE.match(label):  # pragma: no cover - regex-gated
+                raise ExpositionError(f"bad label name {label!r} in: {line}")
+        value = _parse_value(match.group("value"), line)
+        base = _base_name(name, types)
+        if base not in types:
+            raise ExpositionError(f"sample before its TYPE: {line}")
+        seen_families.add(base)
+        samples.append(Sample(name, labels, value))
+    for name, kind in types.items():
+        if kind == "histogram":
+            _check_histogram(
+                name,
+                [
+                    s
+                    for s in samples
+                    if _base_name(s.name, types) == name
+                ],
+            )
+    return types, samples

@@ -143,14 +143,14 @@ class TestExecution:
 
 class TestReplayCommand:
     TRACE = [
-        {"api": "1.5", "kind": "Configure",
+        {"api": "1.6", "kind": "Configure",
          "optimizations": [["idx", 40.0]], "horizon": 3, "shards": 1},
-        {"api": "1.5", "kind": "SubmitBids", "tenant": "ann",
+        {"api": "1.6", "kind": "SubmitBids", "tenant": "ann",
          "bids": [["idx", 1, [30.0, 15.0]]]},
-        {"api": "1.5", "kind": "SubmitBids", "tenant": "bob",
+        {"api": "1.6", "kind": "SubmitBids", "tenant": "bob",
          "bids": [["idx", 1, [20.0]]]},
-        {"api": "1.5", "kind": "AdvanceSlots", "slots": 3},
-        {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"},
+        {"api": "1.6", "kind": "AdvanceSlots", "slots": 3},
+        {"api": "1.6", "kind": "LedgerQuery", "tenant": "ann"},
     ]
 
     def _write(self, tmp_path, lines):
@@ -188,7 +188,7 @@ class TestReplayCommand:
 
     def test_strict_fails_on_errors(self, tmp_path, capsys):
         path = self._write(
-            tmp_path, self.TRACE + [{"api": "1.5", "kind": "Mystery"}]
+            tmp_path, self.TRACE + [{"api": "1.6", "kind": "Mystery"}]
         )
         assert main(["replay", str(path)]) == 0  # tolerant by default
         capsys.readouterr()
@@ -197,7 +197,7 @@ class TestReplayCommand:
 
     def test_replay_with_universe_queries(self, tmp_path, capsys):
         trace = [
-            {"api": "1.5", "kind": "RunQuery", "tenant": "ada",
+            {"api": "1.6", "kind": "RunQuery", "tenant": "ada",
              "query": "members", "table": "snap_02", "halo": 0},
         ]
         path = self._write(tmp_path, trace)
@@ -270,3 +270,57 @@ class TestDurabilityCommands:
         out = capsys.readouterr().out
         assert "recover" in out and "checkpoint" in out and "wal-gc" in out
         assert "serve" in out
+        assert "stats" in out
+
+
+class TestStatsCommand:
+    def test_stats_flags(self):
+        args = build_parser().parse_args(
+            ["stats", "--host", "10.0.0.1", "--port", "9", "--json"]
+        )
+        assert (args.host, args.port, args.json) == ("10.0.0.1", 9, True)
+        defaults = build_parser().parse_args(["stats"])
+        assert (defaults.host, defaults.port) == ("127.0.0.1", 8321)
+
+    @pytest.fixture()
+    def running_gateway(self):
+        from repro.gateway import Configure, PricingService
+        from repro.gateway.client import GatewayClient
+        from repro.gateway.server import ServerConfig, ServerThread
+
+        service = PricingService()
+        thread = ServerThread(service, ServerConfig(port=0))
+        host, port = thread.start()
+        client = GatewayClient(host, port)
+        client.request(Configure(optimizations=(("idx", 40.0),), horizon=3))
+        client.close()
+        try:
+            yield host, port
+        finally:
+            thread.stop()
+
+    def test_stats_prints_prometheus_text(self, running_gateway, capsys):
+        from promparse import parse_exposition
+
+        host, port = running_gateway
+        assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        types, _samples = parse_exposition(out)
+        assert types["repro_server_requests_total"] == "counter"
+
+    def test_stats_json_prints_the_reply_wire_dict(
+        self, running_gateway, capsys
+    ):
+        host, port = running_gateway
+        assert main(
+            ["stats", "--host", host, "--port", str(port), "--json"]
+        ) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["kind"] == "MetricsReply"
+        names = {entry[0] for entry in wire["metrics"]}
+        assert "repro_dispatch_total" in names
+
+    def test_stats_fails_cleanly_without_a_gateway(self, capsys):
+        # Port 1 is privileged and unbound: connection refused, fast.
+        assert main(["stats", "--port", "1"]) == 1
+        assert "stats failed" in capsys.readouterr().out

@@ -230,6 +230,60 @@ class TestCrashTolerance:
             pool.close()
 
 
+# ---------------------------------------------------- metric continuity --
+
+
+class TestMetricContinuity:
+    """Fleet metrics live in the *master* process, so worker kills can
+    never reset them: respawns are counted, and every counter is
+    monotone across the crash-and-replay cycle."""
+
+    def test_respawns_are_counted_across_worker_kills(self):
+        from repro import obs
+
+        respawns = obs.REGISTRY.counter("repro_fleet_respawns_total")
+        before = respawns.value
+        expected = run_period(0)
+        assert respawns.value == before  # in-process: nothing to respawn
+        assert_reports_identical(expected, run_period(3, kill=(0, 1)))
+        assert respawns.value >= before + 2  # one per killed worker
+
+    def test_counters_survive_kills_and_never_go_backwards(self):
+        from repro import obs
+
+        chunks = obs.REGISTRY.histogram(
+            "repro_fleet_worker_chunk_seconds", "", ("worker",)
+        )
+        slots = obs.REGISTRY.histogram("repro_fleet_slot_advance_seconds")
+        catalog = make_catalog(5)
+        pool = FleetEngine.build(catalog, 6, shards=3, workers=2)
+        try:
+            pool.ingest_many(fleet_batches(13, 80, 5, 6, 3))
+            observed: list[int] = []
+            victim = 0
+            while pool.slot < pool.horizon:
+                pool.processes[victim].kill()
+                victim = (victim + 1) % pool.workers
+                pool.advance_slot()
+                observed.append(
+                    sum(
+                        chunks.labels(worker=str(w)).count
+                        for w in range(pool.workers)
+                    )
+                )
+            assert observed == sorted(observed)  # monotone through kills
+            assert observed[-1] > 0
+        finally:
+            pool.close()
+        # The single-process engine's per-slot histogram is master-side
+        # state too and keeps its count after the pool is gone.
+        engine = FleetEngine.build(catalog, 6, shards=3)
+        before = slots.count
+        engine.ingest_many(fleet_batches(13, 80, 5, 6, 3))
+        engine.run_to_end()
+        assert slots.count >= before + 6
+
+
 # ------------------------------------------------------- shard-map edges --
 
 

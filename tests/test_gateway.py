@@ -444,7 +444,7 @@ class TestGatewayPreservesFleetPath:
         # On the wire, JSON lists decode to (hashable) tuples; a JSON
         # object is the unhashable case and must come back as data.
         reply = service.dispatch_json(
-            {"api": "1.5", "kind": "LedgerQuery", "tenant": {"a": 1}}
+            {"api": "1.6", "kind": "LedgerQuery", "tenant": {"a": 1}}
         )
         assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
 
@@ -467,11 +467,11 @@ class TestGatewayPreservesFleetPath:
     def test_badly_typed_wire_fields_become_error_replies(self):
         service = PricingService({"idx": 40.0}, horizon=3)
         for payload in (
-            {"api": "1.5", "kind": "AdvanceSlots", "slots": "three"},
-            {"api": "1.5", "kind": "Configure", "optimizations": [], "horizon": "x"},
-            {"api": "1.5", "kind": "RunQuery", "tenant": "t", "query": "members",
+            {"api": "1.6", "kind": "AdvanceSlots", "slots": "three"},
+            {"api": "1.6", "kind": "Configure", "optimizations": [], "horizon": "x"},
+            {"api": "1.6", "kind": "RunQuery", "tenant": "t", "query": "members",
              "halo": "zero"},
-            {"api": "1.5", "kind": "AdviseRequest", "horizon": [1]},
+            {"api": "1.6", "kind": "AdviseRequest", "horizon": [1]},
         ):
             reply = service.dispatch_json(payload)
             assert reply["kind"] == "ErrorReply" and reply["code"] == "protocol"
@@ -721,9 +721,9 @@ class TestTraces:
             "\n".join(
                 [
                     "this is not json",
-                    '{"api": "1.5", "kind": "Mystery"}',
+                    '{"api": "1.6", "kind": "Mystery"}',
                     '{"api": "9.9", "kind": "AdvanceSlots", "slots": 1}',
-                    '{"api": "1.5", "kind": "AdvanceSlots", "slots": 1}',
+                    '{"api": "1.6", "kind": "AdvanceSlots", "slots": 1}',
                 ]
             )
             + "\n"
@@ -958,8 +958,8 @@ class TestErrorPathTraceReplay:
 class TestUnifiedDispatchSurface:
     """API 1.5 folded ``dispatch_many``/``dispatch_dict`` into two entry
     points: ``dispatch`` (Request or request sequence) and
-    ``dispatch_json`` (wire dicts). The old names survive one release as
-    warning aliases with identical behavior."""
+    ``dispatch_json`` (wire dicts). The warning aliases survived exactly
+    one release; API 1.6 removed them."""
 
     def _service(self):
         return PricingService({"idx": 40.0}, horizon=3)
@@ -993,17 +993,11 @@ class TestUnifiedDispatchSurface:
             reply = service.dispatch(junk)
             assert isinstance(reply, ErrorReply) and reply.code == "protocol"
 
-    def test_deprecated_aliases_warn_and_delegate(self):
+    def test_deprecated_aliases_are_gone(self):
         service = self._service()
-        with pytest.warns(DeprecationWarning, match="dispatch_many"):
-            replies = service.dispatch_many(
-                [SubmitBids(tenant="a", bids=(("idx", 1, (50.0,)),))]
-            )
-        assert replies[0].accepted == 1
-        with pytest.warns(DeprecationWarning, match="dispatch_dict"):
-            wire = service.dispatch_dict(to_dict(AdvanceSlots(slots=1)))
-        assert wire["kind"] == "SlotReply" and wire["slot"] == 1
-        # The new names never warn.
+        assert not hasattr(service, "dispatch_many")
+        assert not hasattr(service, "dispatch_dict")
+        # The unified names never warn.
         import warnings as _warnings
 
         with _warnings.catch_warnings():

@@ -138,6 +138,70 @@ class TestEndpoints:
         assert health["batches"] == 1
         assert health["shed"] == 0
 
+    def test_healthz_carries_version_uptime_workers_and_wal_seq(
+        self, tmp_path
+    ):
+        import repro
+
+        service = PricingService()
+        service.attach_wal(tmp_path / "wal")
+        thread, service, host, port = make_server(service)
+        client = GatewayClient(host, port)
+        try:
+            client.request(CONFIG)
+            health = client.health()
+            assert health["version"] == repro.__version__
+            assert health["uptime_s"] >= 0.0
+            assert health["workers"] == 0  # in-process engine, no pool
+            assert health["wal_seq"] >= 1  # the Configure was logged
+            assert health["epoch"] >= 0
+            seq = health["wal_seq"]
+            client.request(
+                SubmitBids(tenant="ann", bids=(("idx", 1, (30.0,)),))
+            )
+            assert client.health()["wal_seq"] > seq
+        finally:
+            client.close()
+            thread.stop()
+
+    def test_get_metrics_is_valid_prometheus_exposition(self, gateway):
+        from promparse import parse_exposition
+
+        client, _service, _thread = gateway
+        client.request(CONFIG)
+        client.request(SubmitBids(tenant="ann", bids=(("idx", 1, (30.0,)),)))
+        text = client.metrics_text()
+        types, samples = parse_exposition(text)
+        assert types["repro_server_requests_total"] == "counter"
+        assert types["repro_server_request_seconds"] == "histogram"
+        assert types["repro_server_batch_size"] == "histogram"
+        endpoints = {
+            s.labels["endpoint"]
+            for s in samples
+            if s.name == "repro_server_requests_total"
+        }
+        assert {"/v1/slots", "/v1/bids"} <= endpoints
+        # The scrape itself is accounted for on its own endpoint.
+        rescrape = client.metrics_text()
+        _, samples = parse_exposition(rescrape)
+        (metrics_hits,) = [
+            s.value
+            for s in samples
+            if s.name == "repro_server_requests_total"
+            and s.labels["endpoint"] == "/v1/metrics"
+        ]
+        assert metrics_hits >= 1.0
+
+    def test_post_metrics_routes_the_envelope(self, gateway):
+        from repro.gateway import MetricsReply, MetricsRequest
+
+        client, _service, _thread = gateway
+        client.request(CONFIG)
+        reply = client.request(MetricsRequest())
+        assert isinstance(reply, MetricsReply)
+        names = {entry[0] for entry in reply.metrics}
+        assert "repro_server_requests_total" in names
+
     def test_every_route_kind_has_a_path_and_status(self):
         for path, kinds in ROUTES.items():
             for kind in kinds:
@@ -189,7 +253,7 @@ class TestRawHttp:
     def test_kind_on_wrong_path_is_400(self, gateway):
         client, _service, _thread = gateway
         body = json.dumps(
-            {"api": "1.5", "kind": "AdvanceSlots", "slots": 1}
+            {"api": "1.6", "kind": "AdvanceSlots", "slots": 1}
         ).encode()
         status, payload = self._raw(
             client.host, client.port, "POST", "/v1/bids", body=body
@@ -201,7 +265,7 @@ class TestRawHttp:
     def test_malformed_deadline_header_is_400(self, gateway):
         client, _service, _thread = gateway
         body = json.dumps(
-            {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}
+            {"api": "1.6", "kind": "LedgerQuery", "tenant": "ann"}
         ).encode()
         status, payload = self._raw(
             client.host,
@@ -219,7 +283,7 @@ class TestRawHttp:
         try:
             conn = http.client.HTTPConnection(host, port, timeout=10)
             body = json.dumps(
-                {"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}
+                {"api": "1.6", "kind": "LedgerQuery", "tenant": "ann"}
             ).encode()
             conn.request("POST", "/v1/ledger", body=body)
             response = conn.getresponse()

@@ -472,7 +472,7 @@ def test_binary_junk_in_a_trace_is_an_error_marker_not_a_crash(tmp_path):
     # UnicodeDecodeError out of iter_trace.
     path = tmp_path / "trace.jsonl"
     path.write_bytes(
-        b'\x80\x81\xfe\n{"api": "1.5", "kind": "LedgerQuery", "tenant": "ann"}\n'
+        b'\x80\x81\xfe\n{"api": "1.6", "kind": "LedgerQuery", "tenant": "ann"}\n'
     )
     payloads = list(iter_trace(path))
     assert payloads[0]["kind"] == "<unparseable>"
